@@ -1,0 +1,31 @@
+// Ablation: all-reduce algorithm costs under the alpha-beta model — ring
+// vs tree vs double-binary-tree vs hierarchical — locating the crossovers
+// that motivate NCCL's algorithm choices and the paper's related-work
+// claim that other algorithms also decouple (tree -> reduce + broadcast,
+// hierarchical -> intra/inter reduce-scatter + all-gather).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  for (auto net :
+       {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {
+    for (int gpus : {16, 64}) {
+      const comm::CostModel cost(net, gpus);
+      bench::PrintHeader(std::string("all-reduce algorithms, ") + net.name +
+                         ", " + std::to_string(gpus) + " GPUs (ms)");
+      std::printf("%12s %10s %10s %10s %14s %12s\n", "bytes", "ring",
+                  "tree", "dbl-tree", "hier(4/node)", "rabenseifner");
+      bench::PrintRule(74);
+      for (std::size_t bytes = 1u << 10; bytes <= (128u << 20); bytes <<= 3) {
+        std::printf("%12zu %10.3f %10.3f %10.3f %14.3f %12.3f\n", bytes,
+                    ToMilliseconds(cost.RingAllReduce(bytes)),
+                    ToMilliseconds(cost.TreeAllReduce(bytes)),
+                    ToMilliseconds(cost.DoubleBinaryTreeAllReduce(bytes)),
+                    ToMilliseconds(cost.HierarchicalAllReduce(bytes, 4)),
+                    ToMilliseconds(
+                        cost.RecursiveHalvingDoublingAllReduce(bytes)));
+      }
+    }
+  }
+  return 0;
+}

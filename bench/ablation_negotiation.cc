@@ -1,0 +1,54 @@
+// Ablation (DESIGN.md §4.6): how much of ByteScheduler's CNN slowdown
+// comes from negotiation/coordination vs from tensor partitioning, and
+// what Horovod's negotiation costs it — isolating the overheads the paper
+// blames in §II-D.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
+
+  bench::PrintHeader(
+      "ByteScheduler overhead decomposition (10GbE, 64 GPUs, vs WFBP)");
+  std::printf("%-14s %8s %12s %12s %12s %12s\n", "model", "wfbp",
+              "bs-full", "bs-no-coord", "bs-no-nego", "bs-no-part");
+  bench::PrintRule();
+  for (const auto& m : model::PaperModels()) {
+    const auto wfbp = bench::RunUnfused(m, cluster, sched::PolicyKind::kWFBP);
+    auto run_bs = [&](bool coordinator, bool negotiation,
+                      std::size_t partition) {
+      sched::PolicyConfig cfg;
+      cfg.kind = sched::PolicyKind::kByteScheduler;
+      cfg.charge_negotiation = negotiation;
+      cfg.coordinator_overhead_s = coordinator ? 500e-6 : 0.0;
+      cfg.partition_bytes = partition;
+      return sched::EvaluatePolicy(m, cluster, cfg).throughput_samples_per_s;
+    };
+    const double base = wfbp.throughput_samples_per_s;
+    std::printf("%-14s %8.3f %12.3f %12.3f %12.3f %12.3f\n",
+                m.name().c_str(), 1.0,
+                run_bs(true, true, 4u << 20) / base,
+                run_bs(false, true, 4u << 20) / base,
+                run_bs(false, false, 4u << 20) / base,
+                run_bs(true, true, 0) / base);
+  }
+
+  bench::PrintHeader("Horovod negotiation cost (25MB fusion, 10GbE)");
+  std::printf("%-14s %16s %16s\n", "model", "with-negotiation",
+              "without (==DDP)");
+  bench::PrintRule(50);
+  for (const auto& m : model::PaperModels()) {
+    const auto plan = fusion::ByBufferBytes(m, 25u << 20);
+    const auto with =
+        bench::RunPolicy(m, cluster, sched::PolicyKind::kHorovod, plan);
+    sched::PolicyConfig cfg;
+    cfg.kind = sched::PolicyKind::kHorovod;
+    cfg.plan = fusion::ByBufferBytes(m, 25u << 20);
+    cfg.charge_negotiation = false;
+    const auto without = sched::EvaluatePolicy(m, cluster, cfg);
+    std::printf("%-14s %16.0f %16.0f\n", m.name().c_str(),
+                with.throughput_samples_per_s,
+                without.throughput_samples_per_s);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: sensitivity of DeAR's gain over Horovod to the network's
+// latency (alpha) and bandwidth (beta), supporting the paper's §VI-I
+// argument that the improvement grows with the comm/comp ratio — i.e.
+// slower networks and larger clusters favor DeAR.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  const auto m = model::ResNet50();
+  const std::size_t buf = 25u << 20;
+
+  auto gain = [&](const sched::ClusterSpec& cluster) {
+    const auto plan = fusion::ByBufferBytes(m, buf);
+    const auto dear =
+        bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR, plan);
+    const auto hvd =
+        bench::RunPolicy(m, cluster, sched::PolicyKind::kHorovod, plan);
+    return dear.throughput_samples_per_s / hvd.throughput_samples_per_s;
+  };
+
+  bench::PrintHeader("DeAR/Horovod gain vs link bandwidth (alpha=23.5us, "
+                     "64 GPUs, ResNet-50)");
+  std::printf("%16s %12s\n", "bandwidth(Gb/s)", "dear/horovod");
+  bench::PrintRule(30);
+  for (double gbps : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    comm::NetworkModel net{23.5e-6, 8.0 / (gbps * 1e9), "sweep"};
+    std::printf("%16.0f %12.3f\n", gbps, gain(bench::MakeCluster(64, net)));
+  }
+
+  bench::PrintHeader("DeAR/Horovod gain vs per-hop latency (10Gb/s, 64 GPUs)");
+  std::printf("%16s %12s\n", "alpha(us)", "dear/horovod");
+  bench::PrintRule(30);
+  for (double alpha_us : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+    comm::NetworkModel net{alpha_us * 1e-6, 1.0 / 1.25e9, "sweep"};
+    std::printf("%16.0f %12.3f\n", alpha_us,
+                gain(bench::MakeCluster(64, net)));
+  }
+
+  bench::PrintHeader("DeAR/Horovod gain vs cluster size (10GbE)");
+  std::printf("%16s %12s\n", "GPUs", "dear/horovod");
+  bench::PrintRule(30);
+  for (int gpus : {4, 8, 16, 32, 64, 128, 256}) {
+    std::printf("%16d %12.3f\n", gpus,
+                gain(bench::MakeCluster(gpus, comm::NetworkModel::TenGbE())));
+  }
+  std::printf("\n(paper §VI-I: with more GPUs / slower links the comm-to-"
+              "comp ratio rises, and so should DeAR's advantage)\n");
+
+  // Fusion-buffer copy cost (ignored by the paper; MG-WFBP's journal
+  // version models it): how fast must host memcpy be before packing stops
+  // eating the fusion gains?
+  bench::PrintHeader("DeAR throughput vs host copy bandwidth "
+                     "(ResNet-50, 10GbE, 64 GPUs, 25MB buffers)");
+  std::printf("%16s %14s\n", "copy GB/s", "samples/s");
+  bench::PrintRule(32);
+  const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
+  for (double gbps : {0.0, 2.0, 5.0, 10.0, 25.0, 100.0}) {
+    sched::PolicyConfig cfg;
+    cfg.kind = sched::PolicyKind::kDeAR;
+    cfg.plan = fusion::ByBufferBytes(m, buf);
+    cfg.host_copy_gbps = gbps;
+    const auto r = sched::EvaluatePolicy(m, cluster, cfg);
+    std::printf("%16s %14.0f\n",
+                gbps == 0.0 ? "off" : std::to_string(gbps).substr(0, 5).c_str(),
+                r.throughput_samples_per_s);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table regeneration binaries.
+//
+// Each bench/ binary prints one table or figure from the paper's evaluation
+// section (see DESIGN.md's experiment index) in plain text, with the
+// paper's reported values alongside where the paper states them, so the
+// output is directly comparable. EXPERIMENTS.md archives one run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fusion/plan.h"
+#include "model/zoo.h"
+#include "sched/runner.h"
+#include "tune/search.h"
+
+namespace dear::bench {
+
+inline sched::ClusterSpec MakeCluster(int world, comm::NetworkModel net) {
+  sched::ClusterSpec c;
+  c.world_size = world;
+  c.network = net;
+  return c;
+}
+
+inline sched::RunResult RunPolicy(const model::ModelSpec& m,
+                                  const sched::ClusterSpec& cluster,
+                                  sched::PolicyKind kind,
+                                  fusion::FusionPlan plan) {
+  sched::PolicyConfig cfg;
+  cfg.kind = kind;
+  cfg.plan = std::move(plan);
+  return sched::EvaluatePolicy(m, cluster, cfg);
+}
+
+/// Per-tensor granularity (no fusion) run.
+inline sched::RunResult RunUnfused(const model::ModelSpec& m,
+                                   const sched::ClusterSpec& cluster,
+                                   sched::PolicyKind kind) {
+  return RunPolicy(m, cluster, kind, fusion::PerTensor(m));
+}
+
+/// Simulator-side BO tuning of the fusion buffer size for `kind` (the
+/// analog of core::AutoTuner, §IV-B): maximizes simulated throughput over
+/// [1, 100] MB starting from the 25 MB default. Returns the best buffer in
+/// bytes after `trials` observations.
+inline std::size_t TuneBufferBytes(const model::ModelSpec& m,
+                                   const sched::ClusterSpec& cluster,
+                                   sched::PolicyKind kind, int trials = 15) {
+  tune::BoOptions opts;
+  opts.first_point = 25.0;
+  tune::BayesianOptimizer bo(1.0, 100.0, opts);
+  for (int i = 0; i < trials; ++i) {
+    const double mb = bo.SuggestNext();
+    const auto bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+    const auto r = RunPolicy(m, cluster, kind, fusion::ByBufferBytes(m, bytes));
+    bo.Observe(mb, r.throughput_samples_per_s);
+  }
+  return static_cast<std::size_t>(bo.best_x() * 1024.0 * 1024.0);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace dear::bench

@@ -1,0 +1,57 @@
+// §VI-I / Eq. 7-9: analytic optimal iteration times for DeAR vs the
+// baseline under perfect overlap, as the communication-to-computation
+// ratio grows, cross-checked against the simulator on a synthetic model.
+//
+// Paper claim: t_baseline - t_DeAR is 0 when t_ag <= t_ff, grows as
+// t_ag - t_ff in the middle regime, and saturates at one full t_ff —
+// so DeAR never loses, and wins most on slow networks / big models.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  const SimTime ff = Milliseconds(30);
+  const SimTime bp = 2 * ff;
+
+  bench::PrintHeader(
+      "Eq. 9: analytic gap (t_ff=30ms, t_bp=60ms; t_ar=2t_rs=2t_ag)");
+  std::printf("%10s %12s %14s %12s %14s\n", "t_ag(ms)", "t_dear(ms)",
+              "t_baseline(ms)", "gap(ms)", "regime");
+  bench::PrintRule(66);
+  for (double ag_ms = 5.0; ag_ms <= 120.0; ag_ms += 5.0) {
+    const SimTime ag = Milliseconds(ag_ms);
+    const SimTime dear = sched::OptimalDeARIterTime(ff, bp, ag, ag);
+    const SimTime base = sched::OptimalBaselineIterTime(ff, bp, 2 * ag);
+    const char* regime = ag <= ff           ? "gap = 0"
+                         : ag <= 2 * ff     ? "gap = t_ag - t_ff"
+                                            : "gap = t_ff (max)";
+    std::printf("%10.0f %12.1f %14.1f %12.1f %14s\n", ag_ms,
+                ToMilliseconds(dear), ToMilliseconds(base),
+                ToMilliseconds(base - dear), regime);
+  }
+
+  // Simulator cross-check: a 64-layer uniform model whose gradient size we
+  // scale to sweep the comm/comp ratio; DeAR and DDP with one group per
+  // 8 layers. The simulated gap should track the analytic regimes.
+  bench::PrintHeader("Simulator cross-check (64 GPUs, 10GbE, uniform model)");
+  std::printf("%16s %12s %14s %12s %12s\n", "params/layer", "dear(ms)",
+              "baseline(ms)", "gap(ms)", "gap/t_ff");
+  bench::PrintRule(70);
+  const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
+  for (std::size_t elems : {20000u, 100000u, 400000u, 1000000u, 3000000u}) {
+    const auto m = model::UniformTestModel(64, elems, /*ff_us=*/500.0);
+    const auto plan = fusion::ByLayerCount(m, 8);
+    const auto dear =
+        bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR, plan);
+    const auto ddp =
+        bench::RunPolicy(m, cluster, sched::PolicyKind::kDDP, plan);
+    const SimTime gap = ddp.iter_time - dear.iter_time;
+    std::printf("%16zu %12.2f %14.2f %12.2f %12.2f\n", elems,
+                ToMilliseconds(dear.iter_time), ToMilliseconds(ddp.iter_time),
+                ToMilliseconds(gap),
+                static_cast<double>(gap) /
+                    static_cast<double>(m.total_ff_time()));
+  }
+  std::printf("\n(gap/t_ff should rise toward ~1 and saturate — the Eq. 9 "
+              "ceiling)\n");
+  return 0;
+}

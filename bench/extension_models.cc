@@ -1,0 +1,49 @@
+// Extension-model study (beyond the paper's Table I): VGG-16 and AlexNet —
+// fc-dominated architectures where one giant tensor arrives FIRST in
+// backpropagation. That ordering is the worst case for buffer-size fusion
+// (the big fc fills a bucket alone while the cheap convs trickle in), and
+// an interesting stress for DeAR's FeedPipe, because the giant all-gather
+// gates the front of the next forward pass.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  for (auto net :
+       {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {
+    const auto cluster = bench::MakeCluster(64, net);
+    bench::PrintHeader(std::string("fc-heavy extension models, 64 GPUs, ") +
+                       net.name + " (samples/s)");
+    std::printf("%-10s %10s %12s %10s %10s %10s %10s\n", "model", "wfbp",
+                "bytesched", "horovod", "mg-wfbp", "dear", "dear-bo");
+    bench::PrintRule(80);
+    for (const auto& m : model::ExtensionModels()) {
+      const auto wfbp =
+          bench::RunUnfused(m, cluster, sched::PolicyKind::kWFBP);
+      sched::PolicyConfig bs;
+      bs.kind = sched::PolicyKind::kByteScheduler;
+      const auto bytesched = sched::EvaluatePolicy(m, cluster, bs);
+      const auto plan25 = fusion::ByBufferBytes(m, 25u << 20);
+      const auto horovod =
+          bench::RunPolicy(m, cluster, sched::PolicyKind::kHorovod, plan25);
+      const auto mg = bench::RunPolicy(
+          m, cluster, sched::PolicyKind::kMGWFBP,
+          fusion::MergeGradientsWisely(m, net.alpha_s, 64));
+      const auto dear =
+          bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR, plan25);
+      const std::size_t tuned = bench::TuneBufferBytes(
+          m, cluster, sched::PolicyKind::kDeAR, /*trials=*/20);
+      const auto dear_bo = bench::RunPolicy(
+          m, cluster, sched::PolicyKind::kDeAR,
+          fusion::ByBufferBytes(m, tuned));
+      std::printf("%-10s %10.0f %12.0f %10.0f %10.0f %10.0f %10.0f\n",
+                  m.name().c_str(), wfbp.throughput_samples_per_s,
+                  bytesched.throughput_samples_per_s,
+                  horovod.throughput_samples_per_s,
+                  mg.throughput_samples_per_s, dear.throughput_samples_per_s,
+                  dear_bo.throughput_samples_per_s);
+      std::printf("%-10s   (BO-tuned buffer: %.1f MB)\n", "",
+                  static_cast<double>(tuned) / (1024.0 * 1024.0));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 11: speed comparison with different per-GPU batch sizes on the
+// 10GbE 64-GPU cluster, ResNet-50 and BERT-Base, all methods with 25MB
+// fusion (per the paper's protocol), normalized to Horovod at each size.
+//
+// Paper shape: DeAR outperforms every other method at every batch size.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
+  const std::size_t buf = 25u << 20;
+
+  struct Sweep {
+    const char* name;
+    std::vector<int> batches;
+  };
+  const Sweep sweeps[2] = {{"resnet50", {16, 32, 64, 128}},
+                           {"bert_base", {16, 32, 64}}};
+
+  for (const auto& sweep : sweeps) {
+    bench::PrintHeader(std::string("Fig. 11: ") + sweep.name +
+                       ", 10GbE, 64 GPUs (throughput normalized to Horovod)");
+    std::printf("%6s %12s %9s %9s %9s %9s %14s\n", "BS", "horovod(sps)",
+                "horovod", "ddp", "mg-wfbp", "dear", "dear(abs sps)");
+    bench::PrintRule();
+    const auto base_model = model::ByName(sweep.name);
+    for (int bs : sweep.batches) {
+      const auto m = base_model.WithBatchSize(bs);
+      const auto horovod =
+          bench::RunPolicy(m, cluster, sched::PolicyKind::kHorovod,
+                           fusion::ByBufferBytes(m, buf));
+      const auto ddp = bench::RunPolicy(m, cluster, sched::PolicyKind::kDDP,
+                                        fusion::ByBufferBytes(m, buf));
+      const auto mg = bench::RunPolicy(
+          m, cluster, sched::PolicyKind::kMGWFBP,
+          fusion::MergeGradientsWisely(m, cluster.network.alpha_s, 64));
+      const auto dear =
+          bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR,
+                           fusion::ByBufferBytes(m, buf));
+      const double base = horovod.throughput_samples_per_s;
+      std::printf("%6d %12.0f %9.3f %9.3f %9.3f %9.3f %14.0f\n", bs, base,
+                  1.0, ddp.throughput_samples_per_s / base,
+                  mg.throughput_samples_per_s / base,
+                  dear.throughput_samples_per_s / base,
+                  dear.throughput_samples_per_s);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 6: speedups WITHOUT tensor fusion, normalized to WFBP, on the
+// 64-GPU cluster — (a) 10GbE and (b) 100GbIB. Methods: WFBP (baseline),
+// ByteScheduler (priority scheduling + tensor partitioning + negotiation),
+// DeAR (decoupled all-reduce, per-tensor groups).
+//
+// Paper shape: DeAR 1.06-1.19x over WFBP everywhere; ByteScheduler < 0.9x
+// on CNNs over 10GbE, closer to par on BERTs.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  for (auto net :
+       {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {
+    const auto cluster = bench::MakeCluster(64, net);
+    bench::PrintHeader(std::string("Fig. 6: speedup vs WFBP, no fusion, "
+                                   "64 GPUs, ") +
+                       net.name);
+    std::printf("%-14s %10s %15s %10s   %s\n", "model", "wfbp",
+                "bytescheduler", "dear", "(paper: dear 1.06-1.19)");
+    bench::PrintRule();
+    for (const auto& m : model::PaperModels()) {
+      const auto wfbp =
+          bench::RunUnfused(m, cluster, sched::PolicyKind::kWFBP);
+      sched::PolicyConfig bs;
+      bs.kind = sched::PolicyKind::kByteScheduler;
+      const auto bytesched = sched::EvaluatePolicy(m, cluster, bs);
+      const auto dear =
+          bench::RunUnfused(m, cluster, sched::PolicyKind::kDeAR);
+      const double base = wfbp.throughput_samples_per_s;
+      std::printf("%-14s %10.3f %15.3f %10.3f\n", m.name().c_str(), 1.0,
+                  bytesched.throughput_samples_per_s / base,
+                  dear.throughput_samples_per_s / base);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 8: time breakdown per iteration (10GbE, 64 GPUs): feed-forward,
+// backpropagation, and NON-OVERLAPPED communication, for Horovod, DeAR,
+// and DeAR's RS-only / AG-only variants.
+//
+// Paper shape: FF and BP identical across methods (same backend); DeAR's
+// exposed communication < Horovod's; RS-only < AG-only because BP (~2x FF)
+// offers more overlap room.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
+  const std::size_t buf = 25u << 20;
+  bench::PrintHeader("Fig. 8: time breakdown (ms/iter), 10GbE, 64 GPUs");
+  std::printf("%-14s %-10s %8s %8s %10s %10s\n", "model", "method", "FF",
+              "BP", "comm", "iter");
+  bench::PrintRule();
+  for (const auto& m : model::PaperModels()) {
+    auto print = [&](const char* label, const sched::RunResult& r) {
+      std::printf("%-14s %-10s %8.1f %8.1f %10.1f %10.1f\n", m.name().c_str(),
+                  label, ToMilliseconds(r.breakdown.ff),
+                  ToMilliseconds(r.breakdown.bp),
+                  ToMilliseconds(r.breakdown.comm_exposed),
+                  ToMilliseconds(r.iter_time));
+    };
+    print("horovod", bench::RunPolicy(m, cluster, sched::PolicyKind::kHorovod,
+                                      fusion::ByBufferBytes(m, buf)));
+    print("dear", bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR,
+                                   fusion::ByBufferBytes(m, buf)));
+    sched::PolicyConfig rs_only;
+    rs_only.kind = sched::PolicyKind::kDeAR;
+    rs_only.plan = fusion::ByBufferBytes(m, buf);
+    rs_only.include_all_gather = false;
+    print("rs-only", sched::EvaluatePolicy(m, cluster, rs_only));
+    sched::PolicyConfig ag_only = rs_only;
+    ag_only.include_all_gather = true;
+    ag_only.include_reduce_scatter = false;
+    print("ag-only", sched::EvaluatePolicy(m, cluster, ag_only));
+    bench::PrintRule();
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the in-process substrate itself:
+// threaded collectives, the discrete-event engine, fusion planning, and GP
+// fitting — the costs a user of this library actually pays on the host.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "comm/collectives.h"
+#include "comm/worker_group.h"
+#include "fusion/plan.h"
+#include "model/zoo.h"
+#include "sched/runner.h"
+#include "tune/gp.h"
+
+namespace {
+
+using namespace dear;
+
+void BM_RingAllReduceThreaded(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const auto elems = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    comm::RunOnRanks(world, [&](comm::Communicator& c) {
+      std::vector<float> data(elems, static_cast<float>(c.rank()));
+      benchmark::DoNotOptimize(comm::RingAllReduce(c, data));
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems) * 4 * world);
+}
+BENCHMARK(BM_RingAllReduceThreaded)
+    ->Args({2, 1024})
+    ->Args({2, 65536})
+    ->Args({4, 1024})
+    ->Args({4, 65536});
+
+void BM_DecoupledRsAgThreaded(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::RunOnRanks(4, [&](comm::Communicator& c) {
+      std::vector<float> data(elems, static_cast<float>(c.rank()));
+      benchmark::DoNotOptimize(comm::RingReduceScatter(c, data));
+      benchmark::DoNotOptimize(comm::RingAllGather(c, data));
+    });
+  }
+}
+BENCHMARK(BM_DecoupledRsAgThreaded)->Arg(1024)->Arg(65536);
+
+void BM_TreeAllReduceThreaded(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::RunOnRanks(4, [&](comm::Communicator& c) {
+      std::vector<float> data(elems, 1.0f);
+      benchmark::DoNotOptimize(comm::TreeAllReduce(c, data));
+    });
+  }
+}
+BENCHMARK(BM_TreeAllReduceThreaded)->Arg(1024)->Arg(65536);
+
+void BM_SimulateDeARIteration(benchmark::State& state) {
+  const auto m = model::ByName("resnet50");
+  sched::ClusterSpec cluster;
+  cluster.world_size = 64;
+  sched::PolicyConfig cfg;
+  cfg.kind = sched::PolicyKind::kDeAR;
+  cfg.plan = fusion::ByBufferBytes(m, 25u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::EvaluatePolicy(m, cluster, cfg));
+  }
+}
+BENCHMARK(BM_SimulateDeARIteration);
+
+void BM_FusionPlanning(benchmark::State& state) {
+  const auto m = model::ByName("densenet201");  // 604 tensors
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::ByBufferBytes(m, 25u << 20));
+  }
+}
+BENCHMARK(BM_FusionPlanning);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<double>(i);
+    ys[i] = std::sin(0.3 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    tune::GaussianProcess gp;
+    benchmark::DoNotOptimize(gp.Fit(xs, ys));
+    benchmark::DoNotOptimize(gp.Predict(0.5 * static_cast<double>(n)));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(10)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

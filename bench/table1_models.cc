@@ -1,0 +1,36 @@
+// Table I: DNN details for experiments — model statistics plus the
+// calibrated single-GPU compute profile each simulation uses.
+#include "bench/bench_util.h"
+#include "model/profiles.h"
+
+int main() {
+  using namespace dear;
+  bench::PrintHeader("Table I: DNN details (paper values in parentheses)");
+  std::printf("%-14s %4s %8s %9s %12s %10s %10s\n", "model", "BS", "#layers",
+              "#tensors", "#params(M)", "t_ff(ms)", "t_bp(ms)");
+  bench::PrintRule();
+  struct Published {
+    const char* name;
+    int bs, layers, tensors;
+    double params;
+  };
+  const Published pub[5] = {{"resnet50", 64, 107, 161, 25.6},
+                            {"densenet201", 32, 402, 604, 20.0},
+                            {"inception_v4", 64, 299, 449, 42.7},
+                            {"bert_base", 64, 105, 206, 110.1},
+                            {"bert_large", 32, 201, 398, 336.2}};
+  const auto models = model::PaperModels();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const auto& m = models[i];
+    std::printf("%-14s %4d %4d(%d) %5d(%d) %6.1f(%.1f) %10.1f %10.1f\n",
+                m.name().c_str(), m.batch_size(), m.num_layers(),
+                pub[i].layers, m.num_tensors(), pub[i].tensors,
+                static_cast<double>(m.total_params()) / 1e6, pub[i].params,
+                ToMilliseconds(m.total_ff_time()),
+                ToMilliseconds(m.total_bp_time()));
+  }
+  std::printf(
+      "\nCompute profiles back-solved from Table II via Eq. 6 (see "
+      "src/model/profiles.h).\n");
+  return 0;
+}

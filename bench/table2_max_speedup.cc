@@ -1,0 +1,43 @@
+// Table II: DeAR's achieved speedup S on the 64-GPU cluster vs the
+// theoretical maximum S^max of Eq. 6, on both networks.
+//
+// Paper: S/S^max of 82.5-99.2% (10GbE) and 72.3-96.2% (100GbIB).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dear;
+  struct Published {
+    double smax, s;
+  };
+  // Paper Table II rows, [network][model].
+  const Published pub[2][5] = {
+      {{61.6, 61.1}, {64.0, 52.8}, {59.8, 56.5}, {25.5, 23.9}, {12.1, 11.8}},
+      {{64.0, 61.6}, {64.0, 54.0}, {64.0, 57.2}, {64.0, 49.6}, {51.8, 37.5}}};
+
+  int row = 0;
+  for (auto net :
+       {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {
+    const auto cluster = bench::MakeCluster(64, net);
+    bench::PrintHeader(std::string("Table II on ") + net.name +
+                       " (paper values in parentheses)");
+    std::printf("%-14s %14s %14s %12s\n", "model", "S^max", "S (DeAR-BO)",
+                "S/S^max");
+    bench::PrintRule();
+    const auto models = model::PaperModels();
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const auto& m = models[i];
+      const double smax = sched::MaxSpeedup(m, cluster);
+      const std::size_t tuned =
+          bench::TuneBufferBytes(m, cluster, sched::PolicyKind::kDeAR);
+      const auto dear = bench::RunPolicy(m, cluster, sched::PolicyKind::kDeAR,
+                                         fusion::ByBufferBytes(m, tuned));
+      const double s = dear.speedup_vs_single_gpu;
+      std::printf("%-14s %6.1f (%5.1f) %6.1f (%5.1f) %5.1f%% (%4.1f%%)\n",
+                  m.name().c_str(), smax, pub[row][i].smax, s, pub[row][i].s,
+                  100.0 * s / smax,
+                  100.0 * pub[row][i].s / pub[row][i].smax);
+    }
+    ++row;
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Tour of the collective-communication library: runs every algorithm on an
+// 8-worker in-process cluster, checks the results agree, and demonstrates
+// the decoupled reduce-scatter / all-gather pair plus the async engine —
+// the primitives DeAR is built from.
+//
+// Run: build/examples/collective_zoo
+#include <cstdio>
+#include <vector>
+
+#include "comm/async.h"
+#include "comm/collectives.h"
+#include "comm/cost_model.h"
+#include "comm/worker_group.h"
+
+int main() {
+  using namespace dear;
+  constexpr int kWorld = 8;
+  constexpr std::size_t kElems = 1 << 14;
+
+  std::printf("== blocking collectives on %d in-process workers ==\n", kWorld);
+  for (auto alg : {comm::Algorithm::kRing,
+                   comm::Algorithm::kReduceScatterAllGather,
+                   comm::Algorithm::kTree, comm::Algorithm::kDoubleBinaryTree,
+                   comm::Algorithm::kHierarchical}) {
+    bool correct = true;
+    comm::RunOnRanks(kWorld, [&](comm::Communicator& c) {
+      std::vector<float> data(kElems, static_cast<float>(c.rank() + 1));
+      comm::AllReduceOptions opts;
+      opts.algorithm = alg;
+      opts.ranks_per_node = 4;  // 2 "nodes" x 4 "GPUs"
+      const Status st = comm::AllReduce(c, data, opts);
+      const float want = kWorld * (kWorld + 1) / 2.0f;  // sum of 1..8
+      for (float v : data)
+        if (!st.ok() || v != want) correct = false;
+    });
+    std::printf("  %-22s %s\n",
+                std::string(comm::AlgorithmName(alg)).c_str(),
+                correct ? "OK" : "WRONG");
+  }
+
+  std::printf("\n== decoupled pair (DeAR's OP1/OP2) ==\n");
+  comm::RunOnRanks(kWorld, [&](comm::Communicator& c) {
+    std::vector<float> grad(kElems, static_cast<float>(c.rank()));
+    (void)comm::RingReduceScatter(c, grad, comm::ReduceOp::kAvg);  // OP1
+    // ... on a GPU, backprop of earlier layers would run here ...
+    (void)comm::RingAllGather(c, grad);  // OP2
+    if (c.rank() == 0)
+      std::printf("  averaged gradient value: %.2f (expected %.2f)\n",
+                  grad[0], (kWorld - 1) / 2.0);
+  });
+
+  std::printf("\n== async engine: overlap compute with communication ==\n");
+  comm::RunOnRanks(4, [&](comm::Communicator& c) {
+    comm::CommEngine engine(c);
+    std::vector<float> a(kElems, 1.0f), b(kElems, 2.0f);
+    auto ha = engine.SubmitReduceScatter(a);  // queued on the comm thread
+    auto hb = engine.SubmitReduceScatter(b);
+    double busywork = 0;  // the "compute stream" keeps working meanwhile
+    for (int i = 0; i < 100000; ++i) busywork += i * 1e-9;
+    (void)ha.Wait();
+    (void)hb.Wait();
+    auto ga = engine.SubmitAllGather(a);
+    auto gb = engine.SubmitAllGather(b);
+    (void)ga.Wait();
+    (void)gb.Wait();
+    if (c.rank() == 0)
+      std::printf("  two pipelined RS+AG pairs done (busywork=%.3f): "
+                  "a=%.0f b=%.0f\n",
+                  busywork, a[0], b[0]);
+  });
+
+  std::printf("\n== alpha-beta cost model: what this would cost on a real "
+              "cluster ==\n");
+  const comm::CostModel cost(comm::NetworkModel::TenGbE(), 64);
+  std::printf("  64 GPUs / 10GbE, 25 MiB buffer: allreduce %.2f ms = "
+              "RS %.2f + AG %.2f ms\n",
+              ToMilliseconds(cost.RingAllReduce(25u << 20)),
+              ToMilliseconds(cost.ReduceScatter(25u << 20)),
+              ToMilliseconds(cost.AllGather(25u << 20)));
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dear::analysis {
+
+std::vector<Interval> BusyIntervals(const sim::TaskGraph& graph,
+                                    const sim::SimResult& result,
+                                    std::int16_t stream) {
+  DEAR_CHECK(result.timings.size() == graph.size());
+  std::vector<Interval> raw;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& task = graph.task(static_cast<sim::TaskId>(i));
+    const auto& timing = result.timings[i];
+    if (task.stream != stream || !timing.executed ||
+        timing.end == timing.start)
+      continue;
+    raw.push_back({timing.start, timing.end});
+  }
+  std::sort(raw.begin(), raw.end(), [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin;
+  });
+  std::vector<Interval> merged;
+  for (const Interval& iv : raw) {
+    if (!merged.empty() && iv.begin <= merged.back().end)
+      merged.back().end = std::max(merged.back().end, iv.end);
+    else
+      merged.push_back(iv);
+  }
+  return merged;
+}
+
+SimTime SubtractCover(const std::vector<Interval>& a,
+                      const std::vector<Interval>& b) {
+  SimTime exposed = 0;
+  std::size_t j = 0;
+  for (const Interval& iv : a) {
+    SimTime cursor = iv.begin;
+    while (cursor < iv.end) {
+      // Advance past cover intervals that end before the cursor.
+      while (j < b.size() && b[j].end <= cursor) ++j;
+      if (j >= b.size() || b[j].begin >= iv.end) {
+        exposed += iv.end - cursor;  // no cover left in this interval
+        break;
+      }
+      if (b[j].begin > cursor) {
+        exposed += b[j].begin - cursor;  // uncovered gap before the cover
+      }
+      cursor = std::max(cursor, b[j].end);
+    }
+  }
+  return exposed;
+}
+
+TimelineAnalysis Analyze(const sim::TaskGraph& graph,
+                         const sim::SimResult& result) {
+  DEAR_CHECK(result.timings.size() == graph.size());
+  TimelineAnalysis out;
+  out.makespan = result.makespan;
+
+  // Per-stream busy time.
+  std::map<std::int16_t, SimTime> busy;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& task = graph.task(static_cast<sim::TaskId>(i));
+    busy[task.stream] += task.duration;
+  }
+  for (const auto& [stream, time] : busy) {
+    StreamUtilization u;
+    u.stream = stream;
+    u.busy = time;
+    u.fraction_of_makespan =
+        out.makespan > 0
+            ? static_cast<double>(time) / static_cast<double>(out.makespan)
+            : 0.0;
+    out.streams.push_back(u);
+  }
+
+  // Critical path: longest dependency chain by duration. Tasks are stored
+  // in a valid construction order only if dependencies point backwards;
+  // handle the general case by ascending finish time, which is a valid
+  // topological order of any executed schedule.
+  std::vector<std::size_t> order(graph.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.timings[a].end < result.timings[b].end;
+  });
+  std::vector<SimTime> chain(graph.size(), 0);
+  std::vector<sim::TaskId> via(graph.size(), sim::kInvalidTask);
+  sim::TaskId best = sim::kInvalidTask;
+  for (std::size_t idx : order) {
+    const auto& task = graph.task(static_cast<sim::TaskId>(idx));
+    SimTime longest = 0;
+    for (sim::TaskId dep : task.deps) {
+      if (chain[static_cast<std::size_t>(dep)] > longest) {
+        longest = chain[static_cast<std::size_t>(dep)];
+        via[idx] = dep;
+      }
+    }
+    chain[idx] = longest + task.duration;
+    if (best == sim::kInvalidTask ||
+        chain[idx] > chain[static_cast<std::size_t>(best)])
+      best = static_cast<sim::TaskId>(idx);
+  }
+  if (best != sim::kInvalidTask) {
+    out.critical_path = chain[static_cast<std::size_t>(best)];
+    for (sim::TaskId t = best; t != sim::kInvalidTask;
+         t = via[static_cast<std::size_t>(t)])
+      out.critical_tasks.push_back(t);
+    std::reverse(out.critical_tasks.begin(), out.critical_tasks.end());
+  }
+  return out;
+}
+
+namespace {
+
+char KindChar(sim::TaskKind kind) {
+  switch (kind) {
+    case sim::TaskKind::kForward: return 'F';
+    case sim::TaskKind::kBackward: return 'B';
+    case sim::TaskKind::kAllReduce: return 'A';
+    case sim::TaskKind::kReduceScatter: return 'R';
+    case sim::TaskKind::kAllGather: return 'G';
+    case sim::TaskKind::kSync: return 's';
+    case sim::TaskKind::kOther: return 'o';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string RenderAsciiGantt(const sim::TaskGraph& graph,
+                             const sim::SimResult& result, int width) {
+  DEAR_CHECK(width > 0 && result.timings.size() == graph.size());
+  std::int16_t max_stream = 0;
+  for (const auto& task : graph.tasks())
+    max_stream = std::max(max_stream, task.stream);
+  if (result.makespan <= 0) return "(empty timeline)\n";
+
+  std::string out;
+  for (std::int16_t s = 0; s <= max_stream; ++s) {
+    // Per bucket, show the kind that occupies the most time.
+    std::vector<std::map<char, SimTime>> buckets(
+        static_cast<std::size_t>(width));
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      const auto& task = graph.task(static_cast<sim::TaskId>(i));
+      const auto& timing = result.timings[i];
+      if (task.stream != s || !timing.executed || timing.end == timing.start)
+        continue;
+      const auto lo = static_cast<int>(timing.start * width /
+                                       result.makespan);
+      auto hi =
+          static_cast<int>((timing.end * width + result.makespan - 1) /
+                           result.makespan);
+      hi = std::min(hi, width);
+      for (int b = lo; b < hi; ++b) {
+        const SimTime bucket_begin = result.makespan * b / width;
+        const SimTime bucket_end = result.makespan * (b + 1) / width;
+        const SimTime overlap = std::min(timing.end, bucket_end) -
+                                std::max(timing.start, bucket_begin);
+        if (overlap > 0)
+          buckets[static_cast<std::size_t>(b)][KindChar(task.kind)] +=
+              overlap;
+      }
+    }
+    out += "stream " + std::to_string(s) + " |";
+    for (const auto& bucket : buckets) {
+      char c = '.';
+      SimTime most = 0;
+      for (const auto& [kind, time] : bucket) {
+        if (time > most) {
+          most = time;
+          c = kind;
+        }
+      }
+      out += c;
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace dear::analysis

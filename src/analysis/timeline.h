@@ -1,0 +1,67 @@
+// Timeline analysis over simulated schedules: per-stream utilization,
+// exposed (non-overlapped) time, critical-path extraction, and an ASCII
+// Gantt rendering — the tooling a performance engineer points at a
+// schedule to understand *why* it takes as long as it does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/task_graph.h"
+
+namespace dear::analysis {
+
+/// Half-open busy interval on a stream.
+struct Interval {
+  SimTime begin{0};
+  SimTime end{0};
+  [[nodiscard]] SimTime length() const noexcept { return end - begin; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Merged, sorted busy intervals of one stream (zero-duration tasks are
+/// skipped — they occupy no time).
+std::vector<Interval> BusyIntervals(const sim::TaskGraph& graph,
+                                    const sim::SimResult& result,
+                                    std::int16_t stream);
+
+/// Total time covered by `a` but not by `b` (both must be merged+sorted,
+/// as produced by BusyIntervals). This is the "exposed communication"
+/// computation of Fig. 8: a = comm busy, b = compute busy.
+SimTime SubtractCover(const std::vector<Interval>& a,
+                      const std::vector<Interval>& b);
+
+struct StreamUtilization {
+  std::int16_t stream{0};
+  SimTime busy{0};
+  double fraction_of_makespan{0.0};
+};
+
+struct TimelineAnalysis {
+  SimTime makespan{0};
+  std::vector<StreamUtilization> streams;
+  /// Length of the longest dependency chain (a lower bound on makespan).
+  SimTime critical_path{0};
+  /// One witness chain realizing it, in execution order.
+  std::vector<sim::TaskId> critical_tasks;
+  /// makespan == critical_path means the schedule is dependency-bound;
+  /// otherwise some resource (stream) serialization is adding time.
+  [[nodiscard]] bool dependency_bound() const noexcept {
+    return makespan == critical_path;
+  }
+};
+
+/// Full analysis of a simulated schedule. The result's timings must come
+/// from simulating exactly this graph.
+TimelineAnalysis Analyze(const sim::TaskGraph& graph,
+                         const sim::SimResult& result);
+
+/// Compact ASCII Gantt chart: one row per stream, `width` time buckets; a
+/// bucket shows the kind of the task occupying most of it (F=forward,
+/// B=backward, A=all-reduce, R=reduce-scatter, G=all-gather, o=other,
+/// '.'=idle). Intended for terminal inspection and golden tests.
+std::string RenderAsciiGantt(const sim::TaskGraph& graph,
+                             const sim::SimResult& result, int width = 80);
+
+}  // namespace dear::analysis

@@ -1,0 +1,287 @@
+#include "cli/cli.h"
+
+#include <iomanip>
+
+#include "analysis/timeline.h"
+#include "common/flags.h"
+#include "fusion/plan.h"
+#include "model/zoo.h"
+#include "sched/runner.h"
+#include "sim/engine.h"
+#include "tune/search.h"
+
+namespace dear::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dearsim <models|simulate|compare|tune|sweep> [flags]\n"
+    "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
+
+StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
+  if (name == "10gbe") return comm::NetworkModel::TenGbE();
+  if (name == "100gbib") return comm::NetworkModel::HundredGbIB();
+  if (name == "25gbe") return comm::NetworkModel::TwentyFiveGbE();
+  return Status::InvalidArgument(
+      "unknown network '" + name + "' (expected 10gbe, 25gbe, or 100gbib)");
+}
+
+StatusOr<sched::PolicyKind> SchedulerByName(const std::string& name) {
+  if (name == "sequential") return sched::PolicyKind::kSequential;
+  if (name == "wfbp") return sched::PolicyKind::kWFBP;
+  if (name == "ddp") return sched::PolicyKind::kDDP;
+  if (name == "horovod") return sched::PolicyKind::kHorovod;
+  if (name == "mg-wfbp") return sched::PolicyKind::kMGWFBP;
+  if (name == "bytescheduler") return sched::PolicyKind::kByteScheduler;
+  if (name == "dear") return sched::PolicyKind::kDeAR;
+  if (name == "zero") return sched::PolicyKind::kZeRO;
+  return Status::InvalidArgument("unknown scheduler '" + name + "'");
+}
+
+bool KnownModel(const std::string& name) {
+  for (const char* m : {"resnet50", "densenet201", "inception_v4",
+                        "bert_base", "bert_large", "vgg16", "alexnet"})
+    if (name == m) return true;
+  return false;
+}
+
+sched::PolicyConfig MakeConfig(sched::PolicyKind kind,
+                               const model::ModelSpec& m,
+                               const sched::ClusterSpec& cluster,
+                               double buffer_mb) {
+  sched::PolicyConfig cfg;
+  cfg.kind = kind;
+  if (kind == sched::PolicyKind::kWFBP ||
+      kind == sched::PolicyKind::kByteScheduler ||
+      kind == sched::PolicyKind::kSequential) {
+    cfg.plan = fusion::PerTensor(m);
+  } else if (kind == sched::PolicyKind::kMGWFBP) {
+    cfg.plan = fusion::MergeGradientsWisely(m, cluster.network.alpha_s,
+                                            cluster.world_size);
+  } else {
+    cfg.plan = fusion::ByBufferBytes(
+        m, static_cast<std::size_t>(buffer_mb * 1024 * 1024));
+  }
+  return cfg;
+}
+
+int CmdModels(std::ostream& out) {
+  out << "model           BS  layers tensors   params(M)  ff(ms)  bp(ms)\n";
+  auto print = [&](const model::ModelSpec& m) {
+    out << std::left << std::setw(15) << m.name() << std::right
+        << std::setw(4) << m.batch_size() << std::setw(8) << m.num_layers()
+        << std::setw(8) << m.num_tensors() << std::setw(12) << std::fixed
+        << std::setprecision(1)
+        << static_cast<double>(m.total_params()) / 1e6 << std::setw(8)
+        << ToMilliseconds(m.total_ff_time()) << std::setw(8)
+        << ToMilliseconds(m.total_bp_time()) << "\n";
+  };
+  for (const auto& m : model::PaperModels()) print(m);
+  for (const auto& m : model::ExtensionModels()) print(m);
+  return 0;
+}
+
+int CmdSimulate(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string model_name = flags.GetString("model");
+  if (!KnownModel(model_name)) {
+    err << "unknown model '" << model_name << "'; run 'dearsim models'\n";
+    return 1;
+  }
+  auto net = NetworkByName(flags.GetString("network"));
+  auto kind = SchedulerByName(flags.GetString("scheduler"));
+  if (!net.ok() || !kind.ok()) {
+    err << (net.ok() ? kind.status() : net.status()).ToString() << "\n";
+    return 1;
+  }
+  auto m = model::ByName(model_name);
+  if (flags.GetInt("batch-size") > 0)
+    m = m.WithBatchSize(flags.GetInt("batch-size"));
+  sched::ClusterSpec cluster;
+  cluster.world_size = flags.GetInt("gpus");
+  cluster.network = *net;
+
+  const auto cfg = MakeConfig(*kind, m, cluster, flags.GetDouble("buffer-mb"));
+  const auto r = sched::EvaluatePolicy(m, cluster, cfg);
+  out << model_name << " x" << cluster.world_size << " on " << net->name
+      << ", scheduler=" << sched::PolicyName(*kind) << "\n"
+      << std::fixed << std::setprecision(1)
+      << "  iteration time : " << ToMilliseconds(r.iter_time) << " ms\n"
+      << "  throughput     : " << std::setprecision(0)
+      << r.throughput_samples_per_s << " samples/s\n"
+      << std::setprecision(1)
+      << "  speedup        : " << r.speedup_vs_single_gpu << " of "
+      << cluster.world_size
+      << " (Eq.6 max: " << sched::MaxSpeedup(m, cluster) << ")\n"
+      << "  exposed comm   : " << ToMilliseconds(r.breakdown.comm_exposed)
+      << " ms/iter\n";
+
+  if (flags.GetBool("gantt")) {
+    const auto built = sched::BuildTaskGraph(m, cluster, cfg, 3);
+    const auto sim = sim::Simulate(built.graph, built.stream_policies);
+    if (sim.ok())
+      out << "\n" << analysis::RenderAsciiGantt(built.graph, *sim, 76);
+  }
+  return 0;
+}
+
+int CmdTune(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string model_name = flags.GetString("model");
+  if (!KnownModel(model_name)) {
+    err << "unknown model '" << model_name << "'\n";
+    return 1;
+  }
+  auto net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    err << net.status().ToString() << "\n";
+    return 1;
+  }
+  const auto m = model::ByName(model_name);
+  sched::ClusterSpec cluster;
+  cluster.world_size = flags.GetInt("gpus");
+  cluster.network = *net;
+
+  tune::BoOptions opts;
+  opts.first_point = 25.0;
+  tune::BayesianOptimizer bo(1.0, 100.0, opts);
+  out << "trial  buffer(MB)  throughput(samples/s)\n";
+  for (int trial = 1; trial <= flags.GetInt("trials"); ++trial) {
+    const double mb = bo.SuggestNext();
+    const auto r = sched::EvaluatePolicy(
+        m, cluster,
+        MakeConfig(sched::PolicyKind::kDeAR, m, cluster, mb));
+    bo.Observe(mb, r.throughput_samples_per_s);
+    out << std::setw(5) << trial << std::fixed << std::setprecision(2)
+        << std::setw(12) << mb << std::setprecision(0) << std::setw(18)
+        << r.throughput_samples_per_s << "\n";
+  }
+  out << "best: " << std::fixed << std::setprecision(1) << bo.best_x()
+      << " MB at " << std::setprecision(0) << bo.best_y() << " samples/s\n";
+  return 0;
+}
+
+int CmdSweep(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string model_name = flags.GetString("model");
+  if (!KnownModel(model_name)) {
+    err << "unknown model '" << model_name << "'\n";
+    return 1;
+  }
+  auto net = NetworkByName(flags.GetString("network"));
+  auto kind = SchedulerByName(flags.GetString("scheduler"));
+  if (!net.ok() || !kind.ok()) {
+    err << (net.ok() ? kind.status() : net.status()).ToString() << "\n";
+    return 1;
+  }
+  const auto m = model::ByName(model_name);
+  out << "gpus  iter(ms)  throughput  speedup  efficiency\n";
+  for (int gpus : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    sched::ClusterSpec cluster;
+    cluster.world_size = gpus;
+    cluster.network = *net;
+    const auto r = sched::EvaluatePolicy(
+        m, cluster,
+        MakeConfig(*kind, m, cluster, flags.GetDouble("buffer-mb")));
+    out << std::setw(4) << gpus << std::fixed << std::setprecision(1)
+        << std::setw(10) << ToMilliseconds(r.iter_time) << std::setprecision(0)
+        << std::setw(12) << r.throughput_samples_per_s << std::setprecision(1)
+        << std::setw(9) << r.speedup_vs_single_gpu << std::setprecision(1)
+        << std::setw(10) << 100.0 * r.speedup_vs_single_gpu / gpus << "%\n";
+  }
+  return 0;
+}
+
+int CmdCompare(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string model_name = flags.GetString("model");
+  if (!KnownModel(model_name)) {
+    err << "unknown model '" << model_name << "'\n";
+    return 1;
+  }
+  auto net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    err << net.status().ToString() << "\n";
+    return 1;
+  }
+  const auto m = model::ByName(model_name);
+  sched::ClusterSpec cluster;
+  cluster.world_size = flags.GetInt("gpus");
+  cluster.network = *net;
+  const bool csv = flags.GetBool("csv");
+  const double buffer_mb = flags.GetDouble("buffer-mb");
+
+  if (csv) {
+    out << "scheduler,iter_ms,throughput,speedup,exposed_comm_ms\n";
+  } else {
+    out << model_name << " x" << cluster.world_size << " on " << net->name
+        << "\n";
+    out << std::left << std::setw(16) << "scheduler" << std::right
+        << std::setw(10) << "iter(ms)" << std::setw(12) << "samples/s"
+        << std::setw(9) << "speedup" << std::setw(12) << "exposed(ms)"
+        << "\n";
+  }
+  for (auto kind :
+       {sched::PolicyKind::kSequential, sched::PolicyKind::kWFBP,
+        sched::PolicyKind::kByteScheduler, sched::PolicyKind::kHorovod,
+        sched::PolicyKind::kDDP, sched::PolicyKind::kMGWFBP,
+        sched::PolicyKind::kZeRO, sched::PolicyKind::kDeAR}) {
+    const auto r = sched::EvaluatePolicy(
+        m, cluster, MakeConfig(kind, m, cluster, buffer_mb));
+    if (csv) {
+      out << sched::PolicyName(kind) << "," << std::fixed
+          << std::setprecision(3) << ToMilliseconds(r.iter_time) << ","
+          << std::setprecision(1) << r.throughput_samples_per_s << ","
+          << std::setprecision(3) << r.speedup_vs_single_gpu << ","
+          << ToMilliseconds(r.breakdown.comm_exposed) << "\n";
+    } else {
+      out << std::left << std::setw(16) << sched::PolicyName(kind)
+          << std::right << std::fixed << std::setprecision(1)
+          << std::setw(10) << ToMilliseconds(r.iter_time)
+          << std::setprecision(0) << std::setw(12)
+          << r.throughput_samples_per_s << std::setprecision(1)
+          << std::setw(9) << r.speedup_vs_single_gpu << std::setw(12)
+          << ToMilliseconds(r.breakdown.comm_exposed) << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string cmd = argv[1];
+
+  FlagParser flags;
+  flags.AddString("model", "resnet50", "model zoo entry (see 'models')");
+  flags.AddInt("gpus", 64, "cluster size");
+  flags.AddString("network", "10gbe", "10gbe | 25gbe | 100gbib");
+  flags.AddString("scheduler", "dear",
+                  "sequential|wfbp|ddp|horovod|mg-wfbp|bytescheduler|dear|zero");
+  flags.AddDouble("buffer-mb", 25.0, "tensor fusion buffer size");
+  flags.AddInt("batch-size", 0, "override per-GPU batch (0 = model default)");
+  flags.AddInt("trials", 15, "tuning trials");
+  flags.AddBool("gantt", false, "print an ASCII Gantt of the schedule");
+  flags.AddBool("csv", false, "emit CSV instead of aligned text (compare)");
+  flags.AddBool("help", false, "show flags");
+
+  const Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) {
+    err << st.ToString() << "\n" << flags.Usage();
+    return 1;
+  }
+  if (flags.GetBool("help")) {
+    out << kUsage << flags.Usage();
+    return 0;
+  }
+
+  if (cmd == "models") return CmdModels(out);
+  if (cmd == "simulate") return CmdSimulate(flags, out, err);
+  if (cmd == "compare") return CmdCompare(flags, out, err);
+  if (cmd == "tune") return CmdTune(flags, out, err);
+  if (cmd == "sweep") return CmdSweep(flags, out, err);
+  err << "unknown subcommand '" << cmd << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace dear::cli

@@ -1,0 +1,24 @@
+// dearsim — command-line front end over the simulator, tuner, and model
+// zoo. The logic lives here (library) so tests can drive it directly; the
+// tools/dearsim binary is a thin main().
+//
+// Subcommands:
+//   models                               list the model zoo
+//   simulate [--model --gpus --network --scheduler --buffer-mb ...]
+//                                        evaluate one configuration
+//   tune     [--model --gpus --network --trials]
+//                                        BO-tune the fusion buffer
+//   sweep    [--model --network --scheduler --buffer-mb]
+//                                        scaling table over cluster sizes
+#pragma once
+
+#include <ostream>
+
+namespace dear::cli {
+
+/// Runs the CLI; writes human-readable output to `out` and diagnostics to
+/// `err`. Returns a process exit code (0 on success).
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace dear::cli

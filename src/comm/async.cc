@@ -1,0 +1,111 @@
+#include "comm/async.h"
+
+#include <utility>
+
+namespace dear::comm {
+
+CommEngine::CommEngine(Communicator comm)
+    : comm_(comm), thread_([this] { Loop(); }) {}
+
+CommEngine::~CommEngine() { Shutdown(); }
+
+void CommEngine::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+CollectiveHandle CommEngine::Submit(Kind kind, std::span<float> data,
+                                    ReduceOp op, Rank root) {
+  CollectiveHandle handle;
+  handle.state_ = std::make_shared<CollectiveHandle::State>();
+  Request req{kind, data, op, root, handle.state_};
+  if (!queue_.Send(std::move(req))) {
+    handle.state_->status = Status::Unavailable("comm engine shut down");
+    handle.state_->done.CountDown();
+  }
+  return handle;
+}
+
+CollectiveHandle CommEngine::SubmitReduceScatter(std::span<float> data,
+                                                 ReduceOp op) {
+  return Submit(Kind::kReduceScatter, data, op);
+}
+
+CollectiveHandle CommEngine::SubmitAllGather(std::span<float> data) {
+  return Submit(Kind::kAllGather, data, ReduceOp::kSum);
+}
+
+CollectiveHandle CommEngine::SubmitAllReduce(std::span<float> data,
+                                             ReduceOp op) {
+  return Submit(Kind::kAllReduce, data, op);
+}
+
+CollectiveHandle CommEngine::SubmitBarrier() {
+  return Submit(Kind::kBarrier, {}, ReduceOp::kSum);
+}
+
+CollectiveHandle CommEngine::SubmitBroadcast(std::span<float> data,
+                                             Rank root) {
+  return Submit(Kind::kBroadcast, data, ReduceOp::kSum, root);
+}
+
+CollectiveHandle CommEngine::SubmitHierarchicalReduceScatter(
+    std::span<float> data, int ranks_per_node, ReduceOp op) {
+  return Submit(Kind::kHierReduceScatter, data, op, ranks_per_node);
+}
+
+CollectiveHandle CommEngine::SubmitHierarchicalAllGather(
+    std::span<float> data, int ranks_per_node) {
+  return Submit(Kind::kHierAllGather, data, ReduceOp::kSum, ranks_per_node);
+}
+
+CollectiveHandle CommEngine::SubmitRecursiveHalvingReduceScatter(
+    std::span<float> data, ReduceOp op) {
+  return Submit(Kind::kRecursiveRs, data, op);
+}
+
+CollectiveHandle CommEngine::SubmitRecursiveDoublingAllGather(
+    std::span<float> data) {
+  return Submit(Kind::kRecursiveAg, data, ReduceOp::kSum);
+}
+
+void CommEngine::Loop() {
+  while (auto req = queue_.Recv()) {
+    Status st;
+    switch (req->kind) {
+      case Kind::kReduceScatter:
+        st = RingReduceScatter(comm_, req->data, req->op);
+        break;
+      case Kind::kAllGather:
+        st = RingAllGather(comm_, req->data);
+        break;
+      case Kind::kAllReduce:
+        st = RingAllReduce(comm_, req->data, req->op);
+        break;
+      case Kind::kBarrier:
+        st = Barrier(comm_);
+        break;
+      case Kind::kBroadcast:
+        st = TreeBroadcast(comm_, req->data, req->root);
+        break;
+      case Kind::kHierReduceScatter:
+        st = HierarchicalReduceScatter(comm_, req->data, req->root, req->op);
+        break;
+      case Kind::kHierAllGather:
+        st = HierarchicalAllGather(comm_, req->data, req->root);
+        break;
+      case Kind::kRecursiveRs:
+        st = RecursiveHalvingReduceScatter(comm_, req->data, req->op);
+        break;
+      case Kind::kRecursiveAg:
+        st = RecursiveDoublingAllGather(comm_, req->data);
+        break;
+    }
+    req->state->status = std::move(st);
+    req->state->done.CountDown();
+  }
+}
+
+}  // namespace dear::comm

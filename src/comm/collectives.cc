@@ -1,0 +1,617 @@
+#include "comm/collectives.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dear::comm {
+namespace {
+
+// Tag layout: kind(8) | round(12) | extra(12). Collectives are serialized
+// per communicator, so tags only need to disambiguate within one call.
+enum TagKind : std::uint32_t {
+  kTagReduceScatter = 1,
+  kTagAllGather = 2,
+  kTagTreeReduce = 3,
+  kTagTreeBcast = 4,
+  kTagBarrier = 5,
+  kTagHierLeaderRs = 6,
+  kTagHierLeaderAg = 7,
+  kTagDbtA = 8,
+  kTagDbtB = 9,
+  kTagGather = 10,
+  kTagScatter = 11,
+  kTagAllToAll = 12,
+  kTagRecursiveRs = 13,
+  kTagRecursiveAg = 14,
+};
+
+constexpr std::uint32_t MakeTag(std::uint32_t kind, std::uint32_t round,
+                                std::uint32_t extra = 0) {
+  return (kind << 24) | ((round & 0xfffu) << 12) | (extra & 0xfffu);
+}
+
+void Accumulate(ReduceOp op, std::span<float> acc,
+                std::span<const float> incoming) {
+  DEAR_CHECK(acc.size() == incoming.size());
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    ApplyOp(op, acc[i], incoming[i]);
+}
+
+void ScaleForAvg(ReduceOp op, std::span<float> data, int world) {
+  if (op != ReduceOp::kAvg || world <= 1) return;
+  const float inv = 1.0f / static_cast<float>(world);
+  for (float& v : data) v *= inv;
+}
+
+int PositionOf(const std::vector<Rank>& members, Rank rank) {
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i] == rank) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+namespace internal {
+
+Status RingReduceScatterOver(Communicator& comm,
+                             const std::vector<Rank>& members,
+                             std::span<float> data, ReduceOp op,
+                             std::uint32_t tag_base) {
+  const int p = static_cast<int>(members.size());
+  const int pos = PositionOf(members, comm.rank());
+  DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
+  if (p == 1) return Status::Ok();
+
+  const Rank right = members[(pos + 1) % p];
+  const Rank left = members[(pos - 1 + p) % p];
+  const std::size_t n = data.size();
+
+  // Round s: send chunk (pos - s - 1) mod p rightward, receive chunk
+  // (pos - s - 2) mod p from the left and fold it in. After p-1 rounds,
+  // ring position `pos` holds the fully reduced chunk `pos`.
+  for (int s = 0; s < p - 1; ++s) {
+    const auto send_chunk = static_cast<std::size_t>((pos - s - 1 + 2 * p) % p);
+    const auto recv_chunk = static_cast<std::size_t>((pos - s - 2 + 2 * p) % p);
+    const Range sr = ChunkRange(n, static_cast<std::size_t>(p), send_chunk);
+    const Range rr = ChunkRange(n, static_cast<std::size_t>(p), recv_chunk);
+    const std::uint32_t tag =
+        MakeTag(kTagReduceScatter, static_cast<std::uint32_t>(s)) + tag_base;
+
+    if (!comm.Send(right, tag, data.subspan(sr.begin, sr.size())))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(left, tag);
+    if (!msg.ok()) return msg.status();
+    Accumulate(op, data.subspan(rr.begin, rr.size()), msg->payload);
+  }
+  return Status::Ok();
+}
+
+Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
+                         std::span<float> data, std::uint32_t tag_base) {
+  const int p = static_cast<int>(members.size());
+  const int pos = PositionOf(members, comm.rank());
+  DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
+  if (p == 1) return Status::Ok();
+
+  const Rank right = members[(pos + 1) % p];
+  const Rank left = members[(pos - 1 + p) % p];
+  const std::size_t n = data.size();
+
+  // Round s: send chunk (pos - s) mod p rightward, receive chunk
+  // (pos - s - 1) mod p from the left. Starts from our own chunk.
+  for (int s = 0; s < p - 1; ++s) {
+    const auto send_chunk = static_cast<std::size_t>((pos - s + 2 * p) % p);
+    const auto recv_chunk = static_cast<std::size_t>((pos - s - 1 + 2 * p) % p);
+    const Range sr = ChunkRange(n, static_cast<std::size_t>(p), send_chunk);
+    const Range rr = ChunkRange(n, static_cast<std::size_t>(p), recv_chunk);
+    const std::uint32_t tag =
+        MakeTag(kTagAllGather, static_cast<std::uint32_t>(s)) + tag_base;
+
+    if (!comm.Send(right, tag, data.subspan(sr.begin, sr.size())))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(left, tag);
+    if (!msg.ok()) return msg.status();
+    std::copy(msg->payload.begin(), msg->payload.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(rr.begin));
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal
+
+namespace {
+
+std::vector<Rank> AllRanks(int p) {
+  std::vector<Rank> v(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+}  // namespace
+
+Status RingReduceScatter(Communicator& comm, std::span<float> data,
+                         ReduceOp op) {
+  Status st = internal::RingReduceScatterOver(comm, AllRanks(comm.size()),
+                                              data, op, /*tag_base=*/0);
+  if (!st.ok()) return st;
+  if (op == ReduceOp::kAvg) {
+    const Range own = ChunkRange(data.size(),
+                                 static_cast<std::size_t>(comm.size()),
+                                 static_cast<std::size_t>(comm.rank()));
+    ScaleForAvg(op, data.subspan(own.begin, own.size()), comm.size());
+  }
+  return Status::Ok();
+}
+
+Status RingAllGather(Communicator& comm, std::span<float> data) {
+  return internal::RingAllGatherOver(comm, AllRanks(comm.size()), data,
+                                     /*tag_base=*/0);
+}
+
+Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
+  DEAR_RETURN_IF_ERROR(RingReduceScatter(comm, data, op));
+  return RingAllGather(comm, data);
+}
+
+Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
+                  ReduceOp op) {
+  const int p = comm.size();
+  DEAR_CHECK(root >= 0 && root < p);
+  const int rel = (comm.rank() - root + p) % p;
+
+  // Binomial tree: children fold in before the parent sends up.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rel & mask) {
+      const Rank dst = ((rel - mask) + root) % p;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(rel & 0xfff));
+      if (!comm.Send(dst, tag, data))
+        return Status::Unavailable("send failed: transport shut down");
+      break;  // sent up: this rank is done
+    }
+    if (rel + mask < p) {
+      const Rank src = ((rel + mask) + root) % p;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>((rel + mask) & 0xfff));
+      auto msg = comm.Recv(src, tag);
+      if (!msg.ok()) return msg.status();
+      Accumulate(op == ReduceOp::kAvg ? ReduceOp::kSum : op, data,
+                 msg->payload);
+    }
+  }
+  if (comm.rank() == root) ScaleForAvg(op, data, p);
+  return Status::Ok();
+}
+
+Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
+  const int p = comm.size();
+  DEAR_CHECK(root >= 0 && root < p);
+  const int rel = (comm.rank() - root + p) % p;
+
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      const Rank src = ((rel - mask) + root) % p;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(rel & 0xfff));
+      auto msg = comm.Recv(src, tag);
+      if (!msg.ok()) return msg.status();
+      std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      const Rank dst = ((rel + mask) + root) % p;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>((rel + mask) & 0xfff));
+      if (!comm.Send(dst, tag, data))
+        return Status::Unavailable("send failed: transport shut down");
+    }
+    mask >>= 1;
+  }
+  return Status::Ok();
+}
+
+Status TreeAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
+  DEAR_RETURN_IF_ERROR(TreeReduce(comm, data, /*root=*/0, op));
+  return TreeBroadcast(comm, data, /*root=*/0);
+}
+
+Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
+                                 ReduceOp op) {
+  const int p = comm.size();
+  const std::size_t half = data.size() / 2;
+  auto a = data.subspan(0, half);
+  auto b = data.subspan(half);
+  // Tree A roots at rank 0, tree B at rank p-1, mirroring NCCL's use of two
+  // complementary trees so every rank is interior in at most one of them.
+  DEAR_RETURN_IF_ERROR(TreeReduce(comm, a, /*root=*/0, op));
+  DEAR_RETURN_IF_ERROR(TreeReduce(comm, b, /*root=*/p - 1, op));
+  DEAR_RETURN_IF_ERROR(TreeBroadcast(comm, a, /*root=*/0));
+  return TreeBroadcast(comm, b, /*root=*/p - 1);
+}
+
+Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
+                                 int ranks_per_node, ReduceOp op) {
+  const int p = comm.size();
+  if (ranks_per_node <= 0 || p % ranks_per_node != 0)
+    return Status::InvalidArgument("ranks_per_node must divide world size");
+  const int rpn = ranks_per_node;
+  const Rank leader = (comm.rank() / rpn) * rpn;
+
+  // Phase 1: intra-node binomial reduce onto the node leader. Relabel the
+  // node's ranks [leader, leader+rpn) as a tree rooted at the leader.
+  const int local_rel = comm.rank() - leader;
+  const ReduceOp sum_op = (op == ReduceOp::kAvg) ? ReduceOp::kSum : op;
+  for (int mask = 1; mask < rpn; mask <<= 1) {
+    if (local_rel & mask) {
+      const std::uint32_t tag =
+          MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(comm.rank() & 0xfff));
+      if (!comm.Send(leader + (local_rel - mask), tag, data))
+        return Status::Unavailable("send failed: transport shut down");
+      break;
+    }
+    if (local_rel + mask < rpn) {
+      const Rank src = leader + local_rel + mask;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(src & 0xfff));
+      auto msg = comm.Recv(src, tag);
+      if (!msg.ok()) return msg.status();
+      Accumulate(sum_op, data, msg->payload);
+    }
+  }
+
+  // Phase 2: ring reduce-scatter across the node leaders.
+  if (comm.rank() == leader) {
+    std::vector<Rank> leaders;
+    for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
+    DEAR_RETURN_IF_ERROR(internal::RingReduceScatterOver(
+        comm, leaders, data, sum_op, MakeTag(kTagHierLeaderRs, 0)));
+    if (op == ReduceOp::kAvg) {
+      const int pos = PositionOf(leaders, comm.rank());
+      const Range own = ChunkRange(data.size(), leaders.size(),
+                                   static_cast<std::size_t>(pos));
+      ScaleForAvg(op, data.subspan(own.begin, own.size()), p);
+    }
+  }
+  return Status::Ok();
+}
+
+Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
+                             int ranks_per_node) {
+  const int p = comm.size();
+  if (ranks_per_node <= 0 || p % ranks_per_node != 0)
+    return Status::InvalidArgument("ranks_per_node must divide world size");
+  const int rpn = ranks_per_node;
+  const Rank leader = (comm.rank() / rpn) * rpn;
+  const int local_rel = comm.rank() - leader;
+
+  // Phase 1: ring all-gather across the node leaders.
+  if (comm.rank() == leader) {
+    std::vector<Rank> leaders;
+    for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
+    DEAR_RETURN_IF_ERROR(internal::RingAllGatherOver(
+        comm, leaders, data, MakeTag(kTagHierLeaderAg, 0)));
+  }
+
+  // Phase 2: intra-node broadcast from the leader.
+  int mask = 1;
+  while (mask < rpn) {
+    if (local_rel & mask) {
+      const Rank src = leader + (local_rel - mask);
+      const std::uint32_t tag =
+          MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(comm.rank() & 0xfff));
+      auto msg = comm.Recv(src, tag);
+      if (!msg.ok()) return msg.status();
+      std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (local_rel + mask < rpn) {
+      const Rank dst = leader + local_rel + mask;
+      const std::uint32_t tag =
+          MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
+                  static_cast<std::uint32_t>(dst & 0xfff));
+      if (!comm.Send(dst, tag, data))
+        return Status::Unavailable("send failed: transport shut down");
+    }
+    mask >>= 1;
+  }
+  return Status::Ok();
+}
+
+Status HierarchicalAllReduce(Communicator& comm, std::span<float> data,
+                             int ranks_per_node, ReduceOp op) {
+  DEAR_RETURN_IF_ERROR(
+      HierarchicalReduceScatter(comm, data, ranks_per_node, op));
+  return HierarchicalAllGather(comm, data, ranks_per_node);
+}
+
+namespace {
+
+// One halving level: the parent range [lo, hi) splits at mid; `upper` says
+// which half this rank keeps. Both partners share the parent range, so
+// they derive identical splits.
+struct HalvingLevel {
+  int dist;
+  bool upper;
+  std::size_t lo, mid, hi;
+};
+
+std::vector<HalvingLevel> BuildHalvingPlan(Rank rank, int p, std::size_t n) {
+  std::vector<HalvingLevel> levels;
+  std::size_t lo = 0, hi = n;
+  for (int dist = p / 2; dist >= 1; dist /= 2) {
+    HalvingLevel level;
+    level.dist = dist;
+    level.upper = (rank & dist) != 0;
+    level.lo = lo;
+    level.mid = lo + (hi - lo) / 2;
+    level.hi = hi;
+    if (level.upper)
+      lo = level.mid;
+    else
+      hi = level.mid;
+    levels.push_back(level);
+  }
+  return levels;
+}
+
+bool IsPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+}  // namespace
+
+Status RecursiveHalvingReduceScatter(Communicator& comm,
+                                     std::span<float> data, ReduceOp op) {
+  const int p = comm.size();
+  if (!IsPowerOfTwo(p))
+    return Status::InvalidArgument(
+        "recursive halving requires a power-of-two world size");
+  if (p == 1) {
+    ScaleForAvg(op, data, 1);
+    return Status::Ok();
+  }
+  const auto levels = BuildHalvingPlan(comm.rank(), p, data.size());
+  const ReduceOp sum_op = (op == ReduceOp::kAvg) ? ReduceOp::kSum : op;
+  for (std::size_t s = 0; s < levels.size(); ++s) {
+    const HalvingLevel& level = levels[s];
+    const Rank partner = comm.rank() ^ level.dist;
+    const std::uint32_t tag =
+        MakeTag(kTagRecursiveRs, static_cast<std::uint32_t>(s));
+    // Send the half I am giving up; fold the partner's copy of the half I
+    // keep into my buffer.
+    const std::size_t keep_lo = level.upper ? level.mid : level.lo;
+    const std::size_t keep_hi = level.upper ? level.hi : level.mid;
+    const std::size_t give_lo = level.upper ? level.lo : level.mid;
+    const std::size_t give_hi = level.upper ? level.mid : level.hi;
+    if (!comm.Send(partner, tag, data.subspan(give_lo, give_hi - give_lo)))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(partner, tag);
+    if (!msg.ok()) return msg.status();
+    Accumulate(sum_op, data.subspan(keep_lo, keep_hi - keep_lo),
+               msg->payload);
+  }
+  if (op == ReduceOp::kAvg) {
+    const HalvingLevel& last = levels.back();
+    const std::size_t lo = last.upper ? last.mid : last.lo;
+    const std::size_t hi = last.upper ? last.hi : last.mid;
+    ScaleForAvg(op, data.subspan(lo, hi - lo), p);
+  }
+  return Status::Ok();
+}
+
+Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
+  const int p = comm.size();
+  if (!IsPowerOfTwo(p))
+    return Status::InvalidArgument(
+        "recursive doubling requires a power-of-two world size");
+  if (p == 1) return Status::Ok();
+  const auto levels = BuildHalvingPlan(comm.rank(), p, data.size());
+  // Unwind the halving: at each level (deepest first) partners exchange
+  // their halves of the shared parent range.
+  for (std::size_t s = levels.size(); s-- > 0;) {
+    const HalvingLevel& level = levels[s];
+    const Rank partner = comm.rank() ^ level.dist;
+    const std::uint32_t tag =
+        MakeTag(kTagRecursiveAg, static_cast<std::uint32_t>(s));
+    const std::size_t have_lo = level.upper ? level.mid : level.lo;
+    const std::size_t have_hi = level.upper ? level.hi : level.mid;
+    const std::size_t want_lo = level.upper ? level.lo : level.mid;
+    const std::size_t want_hi = level.upper ? level.mid : level.hi;
+    if (!comm.Send(partner, tag, data.subspan(have_lo, have_hi - have_lo)))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(partner, tag);
+    if (!msg.ok()) return msg.status();
+    if (msg->payload.size() != want_hi - want_lo)
+      return Status::Internal("recursive doubling size mismatch");
+    std::copy(msg->payload.begin(), msg->payload.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(want_lo));
+  }
+  return Status::Ok();
+}
+
+Status RecursiveHalvingDoublingAllReduce(Communicator& comm,
+                                         std::span<float> data, ReduceOp op) {
+  DEAR_RETURN_IF_ERROR(RecursiveHalvingReduceScatter(comm, data, op));
+  return RecursiveDoublingAllGather(comm, data);
+}
+
+Status Barrier(Communicator& comm) {
+  const int p = comm.size();
+  for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
+    const Rank dst = (comm.rank() + dist) % p;
+    const Rank src = (comm.rank() - dist + p) % p;
+    const std::uint32_t tag =
+        MakeTag(kTagBarrier, static_cast<std::uint32_t>(round));
+    if (!comm.Send(dst, tag, {}))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(src, tag);
+    if (!msg.ok()) return msg.status();
+  }
+  return Status::Ok();
+}
+
+Status Gather(Communicator& comm, std::span<const float> data,
+              std::vector<float>* out, Rank root) {
+  const int p = comm.size();
+  DEAR_CHECK(root >= 0 && root < p && out != nullptr);
+  const std::size_t n = data.size();
+  // Flat gather: leaves send directly to the root. With the in-process
+  // transport there is no tree advantage for distinct payloads (no
+  // combining possible), and flat keeps chunk bookkeeping trivial.
+  if (comm.rank() == root) {
+    out->assign(n * static_cast<std::size_t>(p), 0.0f);
+    std::copy(data.begin(), data.end(),
+              out->begin() + static_cast<std::ptrdiff_t>(
+                                 n * static_cast<std::size_t>(root)));
+    for (Rank r = 0; r < p; ++r) {
+      if (r == root) continue;
+      auto msg = comm.Recv(r, MakeTag(kTagGather, 0,
+                                      static_cast<std::uint32_t>(r & 0xfff)));
+      if (!msg.ok()) return msg.status();
+      if (msg->payload.size() != n)
+        return Status::InvalidArgument("gather size mismatch from rank " +
+                                       std::to_string(r));
+      std::copy(msg->payload.begin(), msg->payload.end(),
+                out->begin() + static_cast<std::ptrdiff_t>(
+                                   n * static_cast<std::size_t>(r)));
+    }
+  } else {
+    if (!comm.Send(root,
+                   MakeTag(kTagGather, 0,
+                           static_cast<std::uint32_t>(comm.rank() & 0xfff)),
+                   data))
+      return Status::Unavailable("send failed: transport shut down");
+  }
+  return Status::Ok();
+}
+
+Status Scatter(Communicator& comm, std::span<const float> in,
+               std::vector<float>* out, Rank root) {
+  const int p = comm.size();
+  DEAR_CHECK(root >= 0 && root < p && out != nullptr);
+  if (comm.rank() == root) {
+    for (Rank r = 0; r < p; ++r) {
+      const Range range = ChunkRange(in.size(), static_cast<std::size_t>(p),
+                                     static_cast<std::size_t>(r));
+      if (r == root) {
+        out->assign(in.begin() + static_cast<std::ptrdiff_t>(range.begin),
+                    in.begin() + static_cast<std::ptrdiff_t>(range.end));
+        continue;
+      }
+      if (!comm.Send(r,
+                     MakeTag(kTagScatter, 0,
+                             static_cast<std::uint32_t>(r & 0xfff)),
+                     in.subspan(range.begin, range.size())))
+        return Status::Unavailable("send failed: transport shut down");
+    }
+  } else {
+    auto msg = comm.Recv(
+        root, MakeTag(kTagScatter, 0,
+                      static_cast<std::uint32_t>(comm.rank() & 0xfff)));
+    if (!msg.ok()) return msg.status();
+    *out = std::move(msg->payload);
+  }
+  return Status::Ok();
+}
+
+Status AllToAll(Communicator& comm, std::span<float> data) {
+  const int p = comm.size();
+  if (data.size() % static_cast<std::size_t>(p) != 0)
+    return Status::InvalidArgument(
+        "all-to-all payload must divide evenly among ranks");
+  const std::size_t n = data.size() / static_cast<std::size_t>(p);
+  // Pairwise exchange: round s sends to (rank+s) and receives from
+  // (rank-s); the received data replaces chunk[src]. Outgoing chunks are
+  // snapshotted first — in later rounds (s > P/2) the in-place buffer
+  // already holds received data at the positions still to be sent.
+  const std::vector<float> original(data.begin(), data.end());
+  const std::span<const float> snapshot(original);
+  for (int s = 1; s < p; ++s) {
+    const Rank dst = (comm.rank() + s) % p;
+    const Rank src = (comm.rank() - s + p) % p;
+    const std::uint32_t tag =
+        MakeTag(kTagAllToAll, static_cast<std::uint32_t>(s));
+    if (!comm.Send(dst, tag,
+                   snapshot.subspan(static_cast<std::size_t>(dst) * n, n)))
+      return Status::Unavailable("send failed: transport shut down");
+    auto msg = comm.Recv(src, tag);
+    if (!msg.ok()) return msg.status();
+    std::copy(msg->payload.begin(), msg->payload.end(),
+              data.begin() +
+                  static_cast<std::ptrdiff_t>(static_cast<std::size_t>(src) *
+                                              n));
+  }
+  return Status::Ok();
+}
+
+Status RingAllReduceSegmented(Communicator& comm, std::span<float> data,
+                              std::size_t segment_bytes, ReduceOp op) {
+  if (segment_bytes < sizeof(float))
+    return Status::InvalidArgument("segment must hold at least one element");
+  const std::size_t seg_elems = segment_bytes / sizeof(float);
+  for (std::size_t off = 0; off < data.size(); off += seg_elems) {
+    const std::size_t len = std::min(seg_elems, data.size() - off);
+    DEAR_RETURN_IF_ERROR(RingAllReduce(comm, data.subspan(off, len), op));
+  }
+  return Status::Ok();
+}
+
+Status AllReduce(Communicator& comm, std::span<float> data,
+                 const AllReduceOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kRing:
+    case Algorithm::kReduceScatterAllGather:
+      return RingAllReduce(comm, data, options.op);
+    case Algorithm::kTree:
+      return TreeAllReduce(comm, data, options.op);
+    case Algorithm::kDoubleBinaryTree:
+      return DoubleBinaryTreeAllReduce(comm, data, options.op);
+    case Algorithm::kHierarchical:
+      return HierarchicalAllReduce(comm, data, options.ranks_per_node,
+                                   options.op);
+    case Algorithm::kRecursiveHalvingDoubling:
+      return RecursiveHalvingDoublingAllReduce(comm, data, options.op);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+std::string_view AlgorithmName(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kRing: return "ring";
+    case Algorithm::kReduceScatterAllGather: return "rs+ag";
+    case Algorithm::kTree: return "tree";
+    case Algorithm::kDoubleBinaryTree: return "double-binary-tree";
+    case Algorithm::kHierarchical: return "hierarchical";
+    case Algorithm::kRecursiveHalvingDoubling:
+      return "recursive-halving-doubling";
+  }
+  return "?";
+}
+
+std::string_view ReduceOpName(ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kAvg: return "avg";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kMin: return "min";
+  }
+  return "?";
+}
+
+}  // namespace dear::comm

@@ -1,0 +1,42 @@
+// Per-rank handle used by collectives — the moral equivalent of an
+// ncclComm_t bound to one device.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/transport.h"
+#include "comm/types.h"
+#include "common/status.h"
+
+namespace dear::comm {
+
+class Communicator {
+ public:
+  Communicator(TransportHub* hub, Rank rank)
+      : hub_(hub), rank_(rank) {}
+
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return hub_->size(); }
+
+  /// Point-to-point send of a float span (copied into the message).
+  bool Send(Rank dst, std::uint32_t tag, std::span<const float> data) {
+    Message m;
+    m.tag = tag;
+    m.payload.assign(data.begin(), data.end());
+    return hub_->Send(rank_, dst, std::move(m));
+  }
+
+  /// Blocking receive from `src` with tag verification.
+  StatusOr<Message> Recv(Rank src, std::uint32_t tag) {
+    return hub_->Recv(src, rank_, tag);
+  }
+
+  [[nodiscard]] TransportHub* hub() const noexcept { return hub_; }
+
+ private:
+  TransportHub* hub_;
+  Rank rank_;
+};
+
+}  // namespace dear::comm

@@ -1,0 +1,181 @@
+#include "comm/cost_model.h"
+
+#include <cmath>
+
+namespace dear::comm {
+namespace {
+
+int CeilLog2(int p) noexcept {
+  int log = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+SimTime CostModel::ReduceScatter(std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  const double t =
+      (p_ - 1) * (net_.alpha_s + d / p_ * net_.beta_s_per_byte);
+  return Seconds(t);
+}
+
+SimTime CostModel::AllGather(std::size_t bytes) const noexcept {
+  return ReduceScatter(bytes);  // Eq. 4 == Eq. 3
+}
+
+SimTime CostModel::RingAllReduce(std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  const double t = 2.0 * (p_ - 1) * net_.alpha_s +
+                   2.0 * (p_ - 1) / p_ * d * net_.beta_s_per_byte;
+  return Seconds(t);
+}
+
+SimTime CostModel::TreeAllReduce(std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  const double t =
+      2.0 * CeilLog2(p_) * (net_.alpha_s + d * net_.beta_s_per_byte);
+  return Seconds(t);
+}
+
+SimTime CostModel::DoubleBinaryTreeAllReduce(
+    std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes) / 2.0;
+  // Each tree moves half the payload; the two trees overlap, so the cost is
+  // one tree's reduce+broadcast on d/2 (latency term unchanged).
+  const double t =
+      2.0 * CeilLog2(p_) * (net_.alpha_s + d * net_.beta_s_per_byte);
+  return Seconds(t);
+}
+
+SimTime CostModel::HierarchicalAllReduce(std::size_t bytes,
+                                         int ranks_per_node) const noexcept {
+  if (p_ <= 1 || ranks_per_node <= 0 || p_ % ranks_per_node != 0)
+    return RingAllReduce(bytes);
+  const int nodes = p_ / ranks_per_node;
+  const double d = static_cast<double>(bytes);
+  // Intra-node tree reduce + broadcast (assume the same link model; on real
+  // hardware this phase runs over NVLink/PCIe and is far cheaper).
+  const double intra =
+      2.0 * CeilLog2(ranks_per_node) * (net_.alpha_s + d * net_.beta_s_per_byte);
+  const double inter =
+      nodes > 1 ? 2.0 * (nodes - 1) * net_.alpha_s +
+                      2.0 * (nodes - 1) / nodes * d * net_.beta_s_per_byte
+                : 0.0;
+  return Seconds(intra + inter);
+}
+
+SimTime CostModel::TreeReduce(std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  return Seconds(CeilLog2(p_) * (net_.alpha_s + d * net_.beta_s_per_byte));
+}
+
+SimTime CostModel::TreeBroadcast(std::size_t bytes) const noexcept {
+  return TreeReduce(bytes);  // symmetric halves of TreeAllReduce
+}
+
+SimTime CostModel::DoubleBinaryTreeReduce(std::size_t bytes) const noexcept {
+  return TreeReduce(bytes / 2);  // each tree carries half the payload
+}
+
+SimTime CostModel::DoubleBinaryTreeBroadcast(
+    std::size_t bytes) const noexcept {
+  return DoubleBinaryTreeReduce(bytes);
+}
+
+SimTime CostModel::HierarchicalReduceScatter(
+    std::size_t bytes, int ranks_per_node) const noexcept {
+  if (p_ <= 1 || ranks_per_node <= 0 || p_ % ranks_per_node != 0)
+    return ReduceScatter(bytes);
+  const int nodes = p_ / ranks_per_node;
+  const double d = static_cast<double>(bytes);
+  const double intra =
+      CeilLog2(ranks_per_node) * (net_.alpha_s + d * net_.beta_s_per_byte);
+  const double inter =
+      nodes > 1
+          ? (nodes - 1) * (net_.alpha_s + d / nodes * net_.beta_s_per_byte)
+          : 0.0;
+  return Seconds(intra + inter);
+}
+
+SimTime CostModel::HierarchicalAllGather(std::size_t bytes,
+                                         int ranks_per_node) const noexcept {
+  return HierarchicalReduceScatter(bytes, ranks_per_node);  // symmetric
+}
+
+SimTime CostModel::RecursiveHalvingReduceScatter(
+    std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  // Rounds send d/2, d/4, ...: total (P-1)/P * d bytes over log2(P) rounds.
+  return Seconds(CeilLog2(p_) * net_.alpha_s +
+                 (p_ - 1.0) / p_ * d * net_.beta_s_per_byte);
+}
+
+SimTime CostModel::RecursiveDoublingAllGather(
+    std::size_t bytes) const noexcept {
+  return RecursiveHalvingReduceScatter(bytes);  // symmetric halves
+}
+
+SimTime CostModel::RecursiveHalvingDoublingAllReduce(
+    std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  const double d = static_cast<double>(bytes);
+  return Seconds(2.0 * CeilLog2(p_) * net_.alpha_s +
+                 2.0 * (p_ - 1.0) / p_ * d * net_.beta_s_per_byte);
+}
+
+SimTime CostModel::SegmentedRingAllReduce(
+    std::size_t bytes, std::size_t segment_bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  if (segment_bytes == 0 || segment_bytes >= bytes)
+    return RingAllReduce(bytes);
+  const std::size_t full = bytes / segment_bytes;
+  const std::size_t rem = bytes % segment_bytes;
+  SimTime t = static_cast<SimTime>(full) * RingAllReduce(segment_bytes);
+  if (rem > 0) t += RingAllReduce(rem);
+  return t;
+}
+
+SimTime CostModel::NegotiationLatency() const noexcept {
+  if (p_ <= 1) return 0;
+  return Seconds(CeilLog2(p_) * net_.alpha_s);
+}
+
+SimTime CostModel::AllReduceBandwidthBound(std::size_t bytes) const noexcept {
+  if (p_ <= 1) return 0;
+  // Exact ring bandwidth term 2(P-1)/P * d * beta; the paper approximates
+  // it as 2m/B (its large-P limit). Using the exact form keeps the bound a
+  // true lower bound on RingAllReduce at every P.
+  return Seconds(2.0 * (p_ - 1) / p_ * static_cast<double>(bytes) *
+                 net_.beta_s_per_byte);
+}
+
+SimTime CostModel::Dispatch(Algorithm a, std::size_t bytes,
+                            int ranks_per_node) const noexcept {
+  switch (a) {
+    case Algorithm::kRing:
+    case Algorithm::kReduceScatterAllGather:
+      return RingAllReduce(bytes);
+    case Algorithm::kTree:
+      return TreeAllReduce(bytes);
+    case Algorithm::kDoubleBinaryTree:
+      return DoubleBinaryTreeAllReduce(bytes);
+    case Algorithm::kHierarchical:
+      return HierarchicalAllReduce(bytes, ranks_per_node);
+    case Algorithm::kRecursiveHalvingDoubling:
+      return RecursiveHalvingDoublingAllReduce(bytes);
+  }
+  return 0;
+}
+
+}  // namespace dear::comm

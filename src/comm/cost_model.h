@@ -1,0 +1,124 @@
+// α-β communication cost model (Hockney) for the collective algorithms,
+// implementing the paper's Eq. 3-5 plus the analogous formulas for the tree
+// and hierarchical algorithms, and the negotiation latency that priority
+// schedulers (ByteScheduler) pay per re-ordered collective.
+//
+// Calibration (see DESIGN.md "Anchor calibrations"): the 10GbE preset is
+// fitted so that on 64 workers a 1 MB all-reduce costs ≈ 4.5 ms and a 500 KB
+// all-reduce ≈ 3.9 ms, the two concrete numbers §II-D reports from the
+// authors' testbed; the 100GbIB preset uses the effective per-ring-edge
+// bandwidth implied by Table II's BERT-Large S^max (four GPUs share one NIC,
+// so the line rate is not the per-edge rate).
+#pragma once
+
+#include <cstddef>
+
+#include "comm/types.h"
+#include "common/sim_time.h"
+
+namespace dear::comm {
+
+/// Point-to-point link parameters: time to move an m-byte message between
+/// two workers is alpha + m * beta.
+struct NetworkModel {
+  double alpha_s{0.0};           // per-message latency, seconds
+  double beta_s_per_byte{0.0};   // inverse bandwidth, seconds per byte
+  const char* name{"custom"};
+
+  [[nodiscard]] double bandwidth_bytes_per_s() const noexcept {
+    return 1.0 / beta_s_per_byte;
+  }
+
+  /// 10 Gb/s Ethernet: full line rate per ring edge, TCP-stack latency
+  /// fitted to the paper's 4.5 ms / 3.9 ms anchors.
+  static NetworkModel TenGbE() noexcept {
+    return {23.5e-6, 1.0 / 1.25e9, "10GbE"};
+  }
+  /// 100 Gb/s InfiniBand: RDMA latency; effective per-edge bandwidth
+  /// 5.81 GB/s back-solved from Table II (S^max of BERT-Large = 51.8).
+  static NetworkModel HundredGbIB() noexcept {
+    return {2.0e-6, 1.0 / 5.81e9, "100GbIB"};
+  }
+  /// 25 Gb/s Ethernet (cloud-style), for sensitivity ablations.
+  static NetworkModel TwentyFiveGbE() noexcept {
+    return {15.0e-6, 1.0 / 3.125e9, "25GbE"};
+  }
+};
+
+/// Collective costs for `bytes` of payload on `p` workers. All return
+/// simulated nanoseconds; p == 1 costs zero.
+class CostModel {
+ public:
+  CostModel(NetworkModel net, int world_size)
+      : net_(net), p_(world_size) {}
+
+  [[nodiscard]] int world_size() const noexcept { return p_; }
+  [[nodiscard]] const NetworkModel& network() const noexcept { return net_; }
+
+  /// Eq. 3: (P-1)(α + d/P · β).
+  [[nodiscard]] SimTime ReduceScatter(std::size_t bytes) const noexcept;
+  /// Eq. 4: identical complexity to reduce-scatter.
+  [[nodiscard]] SimTime AllGather(std::size_t bytes) const noexcept;
+  /// Eq. 5: 2(P-1)α + 2(P-1)/P · d · β. Equals RS + AG exactly — the
+  /// zero-overhead decoupling property DeAR rests on.
+  [[nodiscard]] SimTime RingAllReduce(std::size_t bytes) const noexcept;
+
+  /// Binomial tree allreduce: 2·ceil(log2 P)·(α + d·β).
+  [[nodiscard]] SimTime TreeAllReduce(std::size_t bytes) const noexcept;
+  /// Double binary tree: two trees, each carrying d/2.
+  [[nodiscard]] SimTime DoubleBinaryTreeAllReduce(
+      std::size_t bytes) const noexcept;
+  /// Hierarchical: intra-node tree reduce + leader ring allreduce +
+  /// intra-node broadcast, with `ranks_per_node` ranks per node.
+  [[nodiscard]] SimTime HierarchicalAllReduce(
+      std::size_t bytes, int ranks_per_node) const noexcept;
+
+  /// Decoupled halves of the non-ring algorithms (paper §VII-A: "one can
+  /// decompose the double-binary-tree all-reduce into tree-based reduce and
+  /// tree-based broadcast, and the hierarchical ring into intra/inter
+  /// reduce-scatter and all-gather"). Each pair sums exactly to its fused
+  /// algorithm's cost — decoupling stays free.
+  [[nodiscard]] SimTime TreeReduce(std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime TreeBroadcast(std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime DoubleBinaryTreeReduce(std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime DoubleBinaryTreeBroadcast(
+      std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime HierarchicalReduceScatter(
+      std::size_t bytes, int ranks_per_node) const noexcept;
+  [[nodiscard]] SimTime HierarchicalAllGather(
+      std::size_t bytes, int ranks_per_node) const noexcept;
+
+  /// Rabenseifner recursive halving-doubling: 2 log2(P) alpha +
+  /// 2(P-1)/P d beta — the ring's bandwidth term with logarithmic startup.
+  [[nodiscard]] SimTime RecursiveHalvingDoublingAllReduce(
+      std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime RecursiveHalvingReduceScatter(
+      std::size_t bytes) const noexcept;
+  [[nodiscard]] SimTime RecursiveDoublingAllGather(
+      std::size_t bytes) const noexcept;
+
+  /// Segmented (pipelined) ring all-reduce over ceil(d / segment) segments,
+  /// each paying its own startup — NCCL's chunking trade-off.
+  [[nodiscard]] SimTime SegmentedRingAllReduce(
+      std::size_t bytes, std::size_t segment_bytes) const noexcept;
+
+  /// Readiness-consensus latency a re-ordering scheduler pays before each
+  /// collective it schedules out of FIFO order: one dissemination round,
+  /// ceil(log2 P)·α (paper §II-D, "several bytes but significant latency").
+  [[nodiscard]] SimTime NegotiationLatency() const noexcept;
+
+  /// Lower bound on all-reduce time at full link utilization:
+  /// 2(P-1)/P · d/B — the exact ring bandwidth term, which the paper's
+  /// §VI-E approximates as 2m/B. Used by the S^max computation, Eq. 6.
+  [[nodiscard]] SimTime AllReduceBandwidthBound(
+      std::size_t bytes) const noexcept;
+
+  [[nodiscard]] SimTime Dispatch(Algorithm a, std::size_t bytes,
+                                 int ranks_per_node = 1) const noexcept;
+
+ private:
+  NetworkModel net_;
+  int p_;
+};
+
+}  // namespace dear::comm

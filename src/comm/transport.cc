@@ -1,0 +1,40 @@
+#include "comm/transport.h"
+
+#include "common/logging.h"
+
+namespace dear::comm {
+
+TransportHub::TransportHub(int size) : size_(size) {
+  DEAR_CHECK_MSG(size >= 1, "TransportHub needs at least one rank");
+  channels_.reserve(static_cast<std::size_t>(size) * size);
+  for (int i = 0; i < size * size; ++i)
+    channels_.push_back(std::make_unique<Channel<Message>>());
+}
+
+Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
+  DEAR_CHECK(src >= 0 && src < size_ && dst >= 0 && dst < size_);
+  return *channels_[static_cast<std::size_t>(src) * size_ + dst];
+}
+
+bool TransportHub::Send(Rank src, Rank dst, Message msg) {
+  return ChannelFor(src, dst).Send(std::move(msg));
+}
+
+StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
+                                     std::uint32_t expected_tag) {
+  auto msg = ChannelFor(src, dst).Recv();
+  if (!msg.has_value())
+    return Status::Unavailable("transport shut down while receiving");
+  if (msg->tag != expected_tag) {
+    return Status::Internal("tag mismatch: expected " +
+                            std::to_string(expected_tag) + " got " +
+                            std::to_string(msg->tag));
+  }
+  return std::move(*msg);
+}
+
+void TransportHub::Shutdown() {
+  for (auto& ch : channels_) ch->Close();
+}
+
+}  // namespace dear::comm

@@ -1,0 +1,55 @@
+// In-process point-to-point transport connecting worker threads.
+//
+// A TransportHub owns one FIFO channel per directed (src, dst) rank pair.
+// Collectives on top of it are deterministic: every rank executes the same
+// algorithm, so each directed channel sees messages in a fixed order; tags
+// are carried only to detect protocol bugs (mismatched send/recv pairing
+// fails a DEAR_CHECK rather than deadlocking silently).
+//
+// This plays the role NCCL's bootstrap + ring/tree transports play on a real
+// cluster; see DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/channel.h"
+#include "common/status.h"
+#include "comm/types.h"
+
+namespace dear::comm {
+
+/// One point-to-point payload. Tag layout is up to the collective; the
+/// convention used by src/comm/collectives.cc is (collective_kind << 24 |
+/// step << 12 | chunk).
+struct Message {
+  std::uint32_t tag{0};
+  std::vector<float> payload;
+};
+
+class TransportHub {
+ public:
+  /// Creates a hub for `size` ranks. size >= 1.
+  explicit TransportHub(int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  /// Enqueues `msg` on the (src, dst) channel. Returns false if shut down.
+  bool Send(Rank src, Rank dst, Message msg);
+
+  /// Blocks for the next message on the (src, dst) channel; verifies the tag
+  /// matches `expected_tag`. Returns Unavailable after Shutdown().
+  StatusOr<Message> Recv(Rank src, Rank dst, std::uint32_t expected_tag);
+
+  /// Closes every channel, releasing any blocked receiver.
+  void Shutdown();
+
+ private:
+  Channel<Message>& ChannelFor(Rank src, Rank dst);
+
+  int size_;
+  std::vector<std::unique_ptr<Channel<Message>>> channels_;  // size*size
+};
+
+}  // namespace dear::comm

@@ -1,0 +1,45 @@
+// Shared vocabulary types for the collective communication library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dear::comm {
+
+/// Worker index within a communicator, in [0, size).
+using Rank = int;
+
+/// Element-wise reduction applied by reducing collectives.
+enum class ReduceOp { kSum, kAvg, kMax, kMin };
+
+/// All-reduce algorithm selector (mirrors NCCL's algorithm choices plus the
+/// decoupled form DeAR relies on).
+enum class Algorithm {
+  kRing,              // classic ring all-reduce (RS+AG fused in one call)
+  kReduceScatterAllGather,  // explicit decoupled RS followed by AG
+  kTree,              // reduce-to-root + broadcast
+  kDoubleBinaryTree,  // two complementary trees, half the payload each
+  kHierarchical,      // intra-node reduce, inter-node ring, intra-node bcast
+  kRecursiveHalvingDoubling,  // Rabenseifner: log-latency, optimal bandwidth
+};
+
+std::string_view AlgorithmName(Algorithm a) noexcept;
+std::string_view ReduceOpName(ReduceOp op) noexcept;
+
+/// Applies `op` to an accumulator element.
+inline void ApplyOp(ReduceOp op, float& acc, float v) noexcept {
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kAvg:  // averaged by caller after the sum completes
+      acc += v;
+      break;
+    case ReduceOp::kMax:
+      if (v > acc) acc = v;
+      break;
+    case ReduceOp::kMin:
+      if (v < acc) acc = v;
+      break;
+  }
+}
+
+}  // namespace dear::comm

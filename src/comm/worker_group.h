@@ -1,0 +1,58 @@
+// Spawns one thread per rank with a Communicator — the in-process stand-in
+// for launching one training process per GPU.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/transport.h"
+
+namespace dear::comm {
+
+/// Runs `body(comm)` on `world_size` threads, each bound to a distinct rank
+/// of a fresh TransportHub, and joins them all. The hub outlives the
+/// threads; any rank blocking in Recv after another rank exits abnormally
+/// is released by the destructor's Shutdown().
+class WorkerGroup {
+ public:
+  using Body = std::function<void(Communicator&)>;
+
+  WorkerGroup(int world_size, const Body& body) : hub_(world_size) {
+    threads_.reserve(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r) {
+      threads_.emplace_back([this, r, &body] {
+        Communicator comm(&hub_, r);
+        body(comm);
+      });
+    }
+  }
+
+  ~WorkerGroup() {
+    Join();
+    hub_.Shutdown();
+  }
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  void Join() {
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+
+  TransportHub& hub() { return hub_; }
+
+ private:
+  TransportHub hub_;
+  std::vector<std::thread> threads_;
+};
+
+/// Convenience wrapper: construct, run, join.
+inline void RunOnRanks(int world_size, const WorkerGroup::Body& body) {
+  WorkerGroup group(world_size, body);
+  group.Join();
+}
+
+}  // namespace dear::comm

@@ -1,0 +1,65 @@
+// Reusable thread barrier and countdown latch.
+//
+// std::barrier exists in C++20 but its completion-function template parameter
+// complicates storage in containers; this minimal phase-counting barrier is
+// all the worker pool needs and is trivially copy-armed for tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace dear {
+
+/// Cyclic barrier: Wait() blocks until `parties` threads have arrived, then
+/// releases them all and re-arms for the next phase.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties) {}
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return phase_ != phase; });
+  }
+
+ private:
+  const std::size_t parties_;
+  std::size_t arrived_{0};
+  std::size_t phase_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// One-shot countdown latch.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::size_t count_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dear

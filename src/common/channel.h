@@ -1,0 +1,84 @@
+// Blocking MPMC channel for inter-thread message passing.
+//
+// The in-process transport (src/comm) uses one channel per (src, dst) pair,
+// so in practice each instance is SPSC; the implementation is nevertheless
+// safe for multiple producers/consumers, which the async comm engine relies
+// on for its request queue.
+//
+// Close semantics follow Go channels: Send on a closed channel fails,
+// Recv drains remaining items and then reports closed.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dear {
+
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues an item; returns false if the channel is closed.
+  bool Send(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and drained.
+  /// Returns nullopt only in the closed-and-drained case.
+  std::optional<T> Recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> TryRecv() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  /// Closes the channel; wakes all blocked receivers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_{false};
+};
+
+}  // namespace dear

@@ -1,0 +1,58 @@
+// Minimal GNU-style command-line flag parser for the tools/ binaries.
+//
+// Supports --name=value and --name value forms, --flag for booleans,
+// "--" to end flag parsing, and collects positional arguments. Unknown
+// flags are errors (catches typos in experiment scripts).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dear {
+
+class FlagParser {
+ public:
+  /// Registration: each flag carries a default and a help line.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int default_value, std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv[1..); returns InvalidArgument on unknown flags or
+  /// malformed values. Safe to call once per instance.
+  Status Parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& GetString(const std::string& name) const;
+  [[nodiscard]] int GetInt(const std::string& name) const;
+  [[nodiscard]] double GetDouble(const std::string& name) const;
+  [[nodiscard]] bool GetBool(const std::string& name) const;
+
+  /// Arguments that are not flags, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Help text listing every registered flag with defaults.
+  [[nodiscard]] std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical string form
+    std::string default_value;
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dear

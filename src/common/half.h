@@ -1,0 +1,89 @@
+// IEEE-754 binary16 conversion, used by the gradient-compression extension
+// (paper §VI-D names gradient compression as future work; DistOptim's fp16
+// mode quantizes fused buffers through half precision before communication).
+//
+// Round-to-nearest-even on the float -> half path; correct handling of
+// subnormals, infinities, and NaN. No hardware F16C dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace dear {
+
+/// Converts a float to IEEE binary16 (round-to-nearest-even).
+inline std::uint16_t FloatToHalf(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t mant = x & 0x007fffffu;
+  const int exp = static_cast<int>((x >> 23) & 0xff);
+
+  if (exp == 0xff)  // inf / NaN
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+
+  // Re-bias 127 -> 15.
+  const int half_exp = exp - 127 + 15;
+  if (half_exp >= 0x1f)  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+
+  if (half_exp <= 0) {  // subnormal or underflow to zero
+    if (half_exp < -10) return static_cast<std::uint16_t>(sign);
+    // Add the implicit leading 1, then shift into subnormal position.
+    std::uint32_t m = mant | 0x00800000u;
+    const int shift = 14 - half_exp;
+    const std::uint32_t rounded =
+        (m >> shift) +
+        (((m >> (shift - 1)) & 1u) &
+         (((m & ((1u << (shift - 1)) - 1u)) != 0 || ((m >> shift) & 1u))
+              ? 1u
+              : 0u));
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal: round mantissa from 23 to 10 bits (nearest even).
+  std::uint32_t half_mant = mant >> 13;
+  const std::uint32_t round_bit = (mant >> 12) & 1u;
+  const std::uint32_t sticky = (mant & 0xfffu) != 0;
+  std::uint32_t h = sign | (static_cast<std::uint32_t>(half_exp) << 10) |
+                    half_mant;
+  if (round_bit && (sticky || (half_mant & 1u))) ++h;  // may carry into exp
+  return static_cast<std::uint16_t>(h);
+}
+
+/// Converts IEEE binary16 to float (exact).
+inline float HalfToFloat(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1f;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t x;
+  if (exp == 0) {
+    if (mant == 0) {
+      x = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      do {
+        mant <<= 1;
+        ++e;
+      } while ((mant & 0x400u) == 0);
+      x = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    x = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    x = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+/// Round-trips a float through binary16 — the numerical effect of fp16
+/// gradient compression.
+inline float QuantizeFp16(float f) noexcept {
+  return HalfToFloat(FloatToHalf(f));
+}
+
+}  // namespace dear

@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dear {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               g_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p)
+      if (*p == '/') base = p + 1;
+    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  {
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s %s\n", file, line,
+                 expr, msg.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dear

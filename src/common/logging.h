@@ -1,0 +1,61 @@
+// Minimal leveled logging plus CHECK macros for precondition enforcement.
+//
+// Logging is stderr-only, thread-safe at line granularity, and compiled in
+// all build types; the default level is kWarning so tests and benches stay
+// quiet unless something is wrong. DEAR_CHECK aborts on violation — it guards
+// programmer errors, not runtime failures (those return Status).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dear {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();  // emits the accumulated line
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+}  // namespace internal
+
+#define DEAR_LOG(level) \
+  ::dear::internal::LogLine(::dear::LogLevel::level, __FILE__, __LINE__)
+
+#define DEAR_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) [[unlikely]]                                         \
+      ::dear::internal::CheckFailed(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define DEAR_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]]                                          \
+      ::dear::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace dear

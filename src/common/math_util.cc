@@ -1,0 +1,34 @@
+#include "common/math_util.h"
+
+#include <cstdio>
+
+namespace dear {
+
+std::string FormatBytes(std::size_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes < KiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (bytes < MiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else if (bytes < MiB(1) * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+Range ChunkRange(std::size_t total, std::size_t parts,
+                 std::size_t index) noexcept {
+  if (parts == 0 || index >= parts) return {};
+  const std::size_t base = total / parts;
+  const std::size_t rem = total % parts;
+  // First `rem` chunks carry one extra element.
+  const std::size_t begin =
+      index * base + (index < rem ? index : rem);
+  const std::size_t size = base + (index < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace dear

@@ -1,0 +1,35 @@
+// Small integer/size helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dear {
+
+constexpr std::size_t CeilDiv(std::size_t a, std::size_t b) noexcept {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+constexpr std::size_t AlignUp(std::size_t v, std::size_t align) noexcept {
+  return align == 0 ? v : CeilDiv(v, align) * align;
+}
+
+constexpr std::size_t KiB(std::size_t n) noexcept { return n * 1024; }
+constexpr std::size_t MiB(std::size_t n) noexcept { return n * 1024 * 1024; }
+
+/// "1.5 KiB", "25.0 MiB" style human-readable byte counts.
+std::string FormatBytes(std::size_t bytes);
+
+/// Chunk [0, total) into `parts` near-equal contiguous ranges; returns the
+/// half-open range of chunk `index`. Earlier chunks get the remainder, which
+/// matches how ring collectives slice buffers.
+struct Range {
+  std::size_t begin{0};
+  std::size_t end{0};
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+Range ChunkRange(std::size_t total, std::size_t parts, std::size_t index) noexcept;
+
+}  // namespace dear

@@ -1,0 +1,33 @@
+// Simulated-time representation shared by the cost model and the
+// discrete-event engine.
+//
+// Time is a signed 64-bit count of nanoseconds. An integral representation
+// keeps the event queue deterministic (no floating-point tie ambiguity) while
+// giving ~292 years of range — far beyond any simulated training run.
+#pragma once
+
+#include <cstdint>
+
+namespace dear {
+
+/// Nanoseconds of simulated time.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime Nanoseconds(double ns) noexcept {
+  return static_cast<SimTime>(ns + (ns >= 0 ? 0.5 : -0.5));
+}
+constexpr SimTime Microseconds(double us) noexcept {
+  return Nanoseconds(us * 1e3);
+}
+constexpr SimTime Milliseconds(double ms) noexcept {
+  return Nanoseconds(ms * 1e6);
+}
+constexpr SimTime Seconds(double s) noexcept { return Nanoseconds(s * 1e9); }
+
+constexpr double ToMicroseconds(SimTime t) noexcept { return t / 1e3; }
+constexpr double ToMilliseconds(SimTime t) noexcept { return t / 1e6; }
+constexpr double ToSeconds(SimTime t) noexcept { return t / 1e9; }
+
+}  // namespace dear

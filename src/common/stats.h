@@ -1,0 +1,40 @@
+// Streaming and batch statistics used by throughput measurement, the BO
+// tuner, and the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dear {
+
+/// Welford-style running mean/variance; O(1) per observation.
+class RunningStat {
+ public:
+  void Add(double x) noexcept;
+  void Reset() noexcept { *this = RunningStat{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Linear-interpolated percentile over a copy of `values`; p in [0, 100].
+/// Returns 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+double Median(std::vector<double> values);
+
+}  // namespace dear

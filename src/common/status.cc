@@ -1,0 +1,19 @@
+#include "common/status.h"
+
+namespace dear {
+
+std::string_view StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace dear

@@ -1,0 +1,71 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dear {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[\n";
+  char buf[160];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += R"({"name":")";
+    AppendEscaped(out, e.name);
+    out += R"(","cat":")";
+    AppendEscaped(out, e.category);
+    std::snprintf(buf, sizeof(buf),
+                  R"(","ph":"X","pid":%lld,"tid":%lld,"ts":%.3f,"dur":%.3f})",
+                  static_cast<long long>(e.pid), static_cast<long long>(e.tid),
+                  ToMicroseconds(e.start), ToMicroseconds(e.duration));
+    out += buf;
+    out += (i + 1 < events_.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToJson();
+  return static_cast<bool>(f);
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace dear

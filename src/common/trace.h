@@ -1,0 +1,49 @@
+// Chrome-trace-format (about://tracing, Perfetto) event writer.
+//
+// Both the discrete-event simulator and the real runtime can emit their
+// timelines here; the output is a JSON array of complete ("X") events with
+// microsecond timestamps. Thread-safe: events may be recorded from multiple
+// worker threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace dear {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t pid{0};      // process lane (e.g. worker rank)
+  std::int64_t tid{0};      // thread lane (e.g. compute=0 / comm=1 stream)
+  SimTime start{0};         // ns
+  SimTime duration{0};      // ns
+};
+
+class TraceRecorder {
+ public:
+  /// Records a complete event. Thread-safe.
+  void Record(TraceEvent event);
+
+  /// Serializes all recorded events as Chrome trace JSON.
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  [[nodiscard]] std::size_t size() const;
+  void Clear();
+
+  /// Snapshot of events (copy), for programmatic inspection in tests.
+  [[nodiscard]] std::vector<TraceEvent> Events() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dear

@@ -1,0 +1,53 @@
+// Online Bayesian-optimization tuner for the fusion buffer size (§IV-B).
+//
+// Mirrors the paper's run-time loop: measure average throughput over a
+// window of iterations at the current buffer size, feed the observation to
+// the BO tuner, and adopt its next suggestion. Rank 0 owns the optimizer;
+// its decision is broadcast through the communication stream so every rank
+// re-buckets identically — re-bucketing divergence would deadlock the
+// collectives, which is why the decision must be centralized.
+#pragma once
+
+#include <memory>
+
+#include "core/dist_optim.h"
+#include "tune/search.h"
+
+namespace dear::core {
+
+struct AutoTunerOptions {
+  int window_iters{10};    // iterations averaged per observation (§IV-B)
+  double lo_mb{1.0};       // search range, megabytes (paper: 1-100 MB)
+  double hi_mb{100.0};
+  int max_trials{20};      // after this many proposals, lock in the best
+  tune::BoOptions bo;      // xi defaults to the paper's 0.1
+};
+
+class AutoTuner {
+ public:
+  /// `optim` must outlive the tuner. Every rank constructs one with the
+  /// same options and calls OnIterationEnd the same number of times.
+  AutoTuner(DistOptim* optim, AutoTunerOptions options = {});
+
+  /// Call once per training iteration with that iteration's measured
+  /// throughput (samples/s). When a tuning window closes this synchronizes
+  /// the optimizer, agrees on the next buffer size, and re-buckets —
+  /// returns true in that case.
+  bool OnIterationEnd(double throughput_samples_per_s);
+
+  [[nodiscard]] bool done() const noexcept { return trials_ >= options_.max_trials; }
+  [[nodiscard]] int trials() const noexcept { return trials_; }
+  /// Best observed buffer size so far (rank 0's view; other ranks see the
+  /// adopted value through buffer_bytes()).
+  [[nodiscard]] double best_mb() const noexcept { return tuner_->best_x(); }
+
+ private:
+  DistOptim* optim_;
+  AutoTunerOptions options_;
+  std::unique_ptr<tune::BayesianOptimizer> tuner_;
+  double window_sum_{0.0};
+  int window_count_{0};
+  int trials_{0};
+};
+
+}  // namespace dear::core

@@ -1,0 +1,407 @@
+#include "core/dist_optim.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/half.h"
+#include "common/math_util.h"
+#include "common/logging.h"
+
+namespace dear::core {
+
+DistOptim::DistOptim(comm::Communicator comm, model::ModelSpec spec,
+                     std::vector<train::ParamBinding> bindings,
+                     DistOptimOptions options)
+    : spec_(std::move(spec)),
+      bindings_(std::move(bindings)),
+      options_(options),
+      engine_(std::make_unique<comm::CommEngine>(comm)) {
+  DEAR_CHECK_MSG(
+      static_cast<int>(bindings_.size()) == spec_.num_tensors(),
+      "bindings must be index-aligned with the model spec's tensors");
+  for (int t = 0; t < spec_.num_tensors(); ++t) {
+    DEAR_CHECK_MSG(bindings_[static_cast<std::size_t>(t)].values.size() ==
+                           spec_.tensor(t).elems &&
+                       bindings_[static_cast<std::size_t>(t)].grads.size() ==
+                           spec_.tensor(t).elems,
+                   "binding size mismatch for tensor " + std::to_string(t));
+  }
+  DEAR_CHECK_MSG(
+      options_.algorithm == comm::Algorithm::kRing ||
+          options_.algorithm == comm::Algorithm::kHierarchical ||
+          options_.algorithm == comm::Algorithm::kRecursiveHalvingDoubling,
+      "DistOptim supports ring, hierarchical, or recursive-halving "
+      "decoupling");
+  if (options_.algorithm != comm::Algorithm::kRing) {
+    DEAR_CHECK_MSG(options_.mode != ScheduleMode::kZeRO,
+                   "kZeRO requires ring chunk ownership");
+  }
+  if (options_.algorithm == comm::Algorithm::kHierarchical) {
+    DEAR_CHECK_MSG(options_.ranks_per_node > 0 &&
+                       engine_->size() % options_.ranks_per_node == 0,
+                   "ranks_per_node must divide the world size");
+  }
+  if (options_.algorithm == comm::Algorithm::kRecursiveHalvingDoubling) {
+    const int p = engine_->size();
+    DEAR_CHECK_MSG((p & (p - 1)) == 0,
+                   "recursive halving-doubling needs a power-of-two world");
+  }
+  DEAR_CHECK_MSG(options_.accumulation_steps >= 1,
+                 "accumulation_steps must be at least 1");
+  DEAR_CHECK_MSG(options_.local_steps >= 1,
+                 "local_steps must be at least 1");
+  std::vector<std::size_t> sizes;
+  sizes.reserve(bindings_.size());
+  for (const auto& b : bindings_) sizes.push_back(b.values.size());
+  sgd_ = std::make_unique<train::Sgd>(sizes, options_.sgd);
+  RebuildPlan();
+}
+
+DistOptim::~DistOptim() { engine_->Shutdown(); }
+
+void DistOptim::RebuildPlan() {
+  plan_ = fusion::ByBufferBytes(spec_, options_.buffer_bytes);
+  groups_.clear();
+  groups_.resize(static_cast<std::size_t>(plan_.num_groups()));
+  for (int g = 0; g < plan_.num_groups(); ++g) {
+    groups_[static_cast<std::size_t>(g)].buffer.assign(
+        plan_.group(g).bytes / model::kBytesPerElement, 0.0f);
+  }
+}
+
+void DistOptim::WaitHandle(const comm::CollectiveHandle& handle) const {
+  const Status st = handle.Wait();
+  DEAR_CHECK_MSG(st.ok(), "collective failed: " + st.ToString());
+}
+
+void DistOptim::TimedWait(const comm::CollectiveHandle& handle,
+                          double* bucket) {
+  const auto t0 = std::chrono::steady_clock::now();
+  WaitHandle(handle);
+  *bucket +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+void DistOptim::PackGroup(int g) {
+  GroupState& state = groups_[static_cast<std::size_t>(g)];
+  std::size_t offset = 0;
+  for (int t : plan_.group(g).tensors) {
+    const auto& grads = bindings_[static_cast<std::size_t>(t)].grads;
+    std::copy(grads.begin(), grads.end(), state.buffer.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  offset));
+    offset += grads.size();
+  }
+  if (options_.compression == Compression::kFp16) {
+    // Quantize to the wire format every rank would transmit; the reduction
+    // then sums fp16-rounded contributions, as real mixed-precision
+    // all-reduce does.
+    for (float& v : state.buffer) v = QuantizeFp16(v);
+  }
+}
+
+void DistOptim::UnpackAndApply(int g) {
+  GroupState& state = groups_[static_cast<std::size_t>(g)];
+  std::size_t offset = 0;
+  if (options_.mode == ScheduleMode::kZeRO) {
+    // The buffer holds freshly gathered PARAMETERS (owners already applied
+    // the sharded update); install them.
+    for (int t : plan_.group(g).tensors) {
+      auto& binding = bindings_[static_cast<std::size_t>(t)];
+      std::copy(state.buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                state.buffer.begin() + static_cast<std::ptrdiff_t>(
+                                           offset + binding.values.size()),
+                binding.values.begin());
+      offset += binding.values.size();
+    }
+  } else {
+    // Apply the SGD update straight from the fused gradient buffer.
+    // Deliberately does NOT write back into binding.grads: under FeedPipe
+    // this runs after the next iteration's ZeroGrad(), and autograd-style
+    // accumulation must not see stale averaged gradients.
+    for (int t : plan_.group(g).tensors) {
+      auto& binding = bindings_[static_cast<std::size_t>(t)];
+      const std::span<const float> avg_grad(state.buffer.data() + offset,
+                                            binding.grads.size());
+      offset += binding.grads.size();
+      sgd_->Step(t, binding.values, avg_grad);
+    }
+  }
+  state.phase = GroupPhase::kIdle;
+  state.tensors_ready = 0;
+}
+
+void DistOptim::ApplyShardedUpdate(int g) {
+  GroupState& state = groups_[static_cast<std::size_t>(g)];
+  const Range own = ChunkRange(state.buffer.size(),
+                               static_cast<std::size_t>(engine_->size()),
+                               static_cast<std::size_t>(engine_->rank()));
+  // Walk the group's tensors; for the part of each tensor that falls in
+  // our owned ring chunk, step the optimizer and write the new parameter
+  // values into the buffer, which the all-gather will distribute.
+  std::size_t tensor_start = 0;
+  for (int t : plan_.group(g).tensors) {
+    auto& binding = bindings_[static_cast<std::size_t>(t)];
+    const std::size_t tensor_end = tensor_start + binding.values.size();
+    const std::size_t lo = std::max(own.begin, tensor_start);
+    const std::size_t hi = std::min(own.end, tensor_end);
+    if (lo < hi) {
+      const std::size_t in_tensor = lo - tensor_start;
+      const std::size_t len = hi - lo;
+      const std::span<float> values =
+          binding.values.subspan(in_tensor, len);
+      const std::span<const float> avg_grad(state.buffer.data() + lo, len);
+      sgd_->StepSlice(t, in_tensor, values, avg_grad);
+      std::copy(values.begin(), values.end(),
+                state.buffer.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+    tensor_start = tensor_end;
+  }
+}
+
+void DistOptim::LocalSgdStep() {
+  // Purely local update from the accumulated gradients...
+  for (int t = 0; t < spec_.num_tensors(); ++t) {
+    auto& binding = bindings_[static_cast<std::size_t>(t)];
+    sgd_->Step(t, binding.values, binding.grads);
+  }
+  // ... then, at round boundaries, all-reduce-average the parameters.
+  if (++local_step_ < options_.local_steps) return;
+  local_step_ = 0;
+  for (int g = 0; g < plan_.num_groups(); ++g) {
+    GroupState& state = groups_[static_cast<std::size_t>(g)];
+    std::size_t offset = 0;
+    for (int t : plan_.group(g).tensors) {
+      const auto& values = bindings_[static_cast<std::size_t>(t)].values;
+      std::copy(values.begin(), values.end(),
+                state.buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+      offset += values.size();
+    }
+    ++stats_.collectives;
+    state.handle = engine_->SubmitAllReduce(std::span<float>(state.buffer),
+                                            comm::ReduceOp::kAvg);
+    state.phase = GroupPhase::kRsPending;
+  }
+  for (int g = 0; g < plan_.num_groups(); ++g) {
+    GroupState& state = groups_[static_cast<std::size_t>(g)];
+    TimedWait(state.handle, &stats_.step_wait_s);
+    std::size_t offset = 0;
+    for (int t : plan_.group(g).tensors) {
+      auto& values = bindings_[static_cast<std::size_t>(t)].values;
+      std::copy(state.buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                state.buffer.begin() +
+                    static_cast<std::ptrdiff_t>(offset + values.size()),
+                values.begin());
+      offset += values.size();
+    }
+    state.phase = GroupPhase::kIdle;
+    state.tensors_ready = 0;
+  }
+}
+
+comm::CollectiveHandle DistOptim::SubmitGather(GroupState& state) {
+  ++stats_.collectives;
+  switch (options_.algorithm) {
+    case comm::Algorithm::kHierarchical:
+      return engine_->SubmitHierarchicalAllGather(
+          std::span<float>(state.buffer), options_.ranks_per_node);
+    case comm::Algorithm::kRecursiveHalvingDoubling:
+      return engine_->SubmitRecursiveDoublingAllGather(
+          std::span<float>(state.buffer));
+    default:
+      return engine_->SubmitAllGather(std::span<float>(state.buffer));
+  }
+}
+
+void DistOptim::LaunchGroup(int g) {
+  GroupState& state = groups_[static_cast<std::size_t>(g)];
+  PackGroup(g);
+  ++stats_.collectives;
+  switch (options_.mode) {
+    case ScheduleMode::kDeAR:
+    case ScheduleMode::kZeRO:
+      switch (options_.algorithm) {
+        case comm::Algorithm::kHierarchical:
+          state.handle = engine_->SubmitHierarchicalReduceScatter(
+              std::span<float>(state.buffer), options_.ranks_per_node,
+              comm::ReduceOp::kAvg);
+          break;
+        case comm::Algorithm::kRecursiveHalvingDoubling:
+          state.handle = engine_->SubmitRecursiveHalvingReduceScatter(
+              std::span<float>(state.buffer), comm::ReduceOp::kAvg);
+          break;
+        default:
+          state.handle = engine_->SubmitReduceScatter(
+              std::span<float>(state.buffer), comm::ReduceOp::kAvg);
+      }
+      state.phase = GroupPhase::kRsPending;
+      break;
+    case ScheduleMode::kWFBP:
+    case ScheduleMode::kSequential:
+      state.handle = engine_->SubmitAllReduce(std::span<float>(state.buffer),
+                                              comm::ReduceOp::kAvg);
+      state.phase = GroupPhase::kRsPending;
+      break;
+    case ScheduleMode::kLocalSGD:
+      // Unreachable: kLocalSGD's hooks never launch gradient groups; its
+      // parameter averaging lives in LocalSgdStep().
+      DEAR_CHECK_MSG(false, "kLocalSGD does not launch gradient groups");
+      break;
+  }
+}
+
+void DistOptim::OnBackwardLayer(int layer) {
+  DEAR_CHECK(layer >= 0 && layer < spec_.num_layers());
+  // Local SGD never communicates gradients; parameters are averaged in
+  // Step() at round boundaries instead.
+  if (options_.mode == ScheduleMode::kLocalSGD) return;
+  // Mid-accumulation micro-steps only accumulate into binding.grads;
+  // communication waits for the window's final backward pass.
+  if (micro_step_ + 1 < options_.accumulation_steps) return;
+  const auto& layer_spec = spec_.layer(layer);
+  for (int t = layer_spec.first_tensor;
+       t < layer_spec.first_tensor + layer_spec.num_tensors; ++t) {
+    const int g = plan_.group_of_tensor(t);
+    GroupState& state = groups_[static_cast<std::size_t>(g)];
+    DEAR_CHECK_MSG(state.phase == GroupPhase::kIdle ||
+                       state.phase == GroupPhase::kFilling,
+                   "gradient became ready while its group was in flight — "
+                   "missing Synchronize()?");
+    state.phase = GroupPhase::kFilling;
+    ++state.tensors_ready;
+    if (state.tensors_ready ==
+            static_cast<int>(plan_.group(g).tensors.size()) &&
+        options_.mode != ScheduleMode::kSequential) {
+      LaunchGroup(g);
+    }
+  }
+}
+
+void DistOptim::Step() {
+  if (micro_step_ + 1 < options_.accumulation_steps) {
+    ++micro_step_;
+    return;  // accumulation continues; no communication, no update
+  }
+  micro_step_ = 0;
+  ++stats_.steps;
+  if (options_.mode == ScheduleMode::kLocalSGD) {
+    LocalSgdStep();
+    return;
+  }
+  switch (options_.mode) {
+    case ScheduleMode::kSequential: {
+      // Launch and drain everything; updates applied before returning.
+      for (int g = plan_.num_groups() - 1; g >= 0; --g) {
+        auto& state = groups_[static_cast<std::size_t>(g)];
+        DEAR_CHECK_MSG(state.phase == GroupPhase::kFilling &&
+                           state.tensors_ready ==
+                               static_cast<int>(plan_.group(g).tensors.size()),
+                       "Step() before backward completed");
+        LaunchGroup(g);
+      }
+      for (auto& state : groups_) {
+        TimedWait(state.handle, &stats_.step_wait_s);
+      }
+      for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
+      break;
+    }
+    case ScheduleMode::kWFBP: {
+      // WFBP's implicit barrier: wait for every all-reduce, then update.
+      for (auto& state : groups_) {
+        DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
+                       "Step() before backward completed");
+        TimedWait(state.handle, &stats_.step_wait_s);
+      }
+      for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
+      break;
+    }
+    case ScheduleMode::kDeAR:
+    case ScheduleMode::kZeRO: {
+      // End of BackPipe: synchronize all OP1 tasks (paper §III-B), then
+      // enqueue OP2 all-gathers in feed-forward order. No waiting after
+      // that — PreForward of the next iteration consumes them group by
+      // group. kZeRO additionally applies the sharded optimizer update
+      // between the two halves, so OP2 carries parameters.
+      for (auto& state : groups_) {
+        DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
+                       "Step() before backward completed");
+        TimedWait(state.handle, &stats_.step_wait_s);
+      }
+      for (int g = 0; g < plan_.num_groups(); ++g) {
+        auto& state = groups_[static_cast<std::size_t>(g)];
+        if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
+        state.handle = SubmitGather(state);
+        state.phase = GroupPhase::kAgPending;
+      }
+      break;
+    }
+    case ScheduleMode::kLocalSGD:
+      break;  // handled above, before the switch
+  }
+}
+
+void DistOptim::PreForward(int layer) {
+  DEAR_CHECK(layer >= 0 && layer < spec_.num_layers());
+  if (options_.mode != ScheduleMode::kDeAR &&
+      options_.mode != ScheduleMode::kZeRO)
+    return;
+  for (int g : plan_.groups_of_layer(layer)) {
+    GroupState& state = groups_[static_cast<std::size_t>(g)];
+    if (state.phase != GroupPhase::kAgPending) continue;  // first iteration
+    TimedWait(state.handle, &stats_.pre_forward_wait_s);
+    UnpackAndApply(g);
+  }
+}
+
+void DistOptim::Synchronize() {
+  for (int g = 0; g < plan_.num_groups(); ++g) {
+    GroupState& state = groups_[static_cast<std::size_t>(g)];
+    switch (state.phase) {
+      case GroupPhase::kIdle:
+        break;
+      case GroupPhase::kFilling:
+        DEAR_CHECK_MSG(false,
+                       "Synchronize() mid-backward: group " +
+                           std::to_string(g) + " partially filled");
+        break;
+      case GroupPhase::kRsPending:
+        // Backward finished but Step() not called yet. In the decoupled
+        // modes the buffer holds a scattered result, so complete the pair
+        // (kZeRO also applies its sharded update in between); in the
+        // all-reduce modes the data is already fully reduced.
+        TimedWait(state.handle, &stats_.synchronize_wait_s);
+        if (options_.mode == ScheduleMode::kDeAR ||
+            options_.mode == ScheduleMode::kZeRO) {
+          if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
+          state.handle = SubmitGather(state);
+          TimedWait(state.handle, &stats_.synchronize_wait_s);
+        }
+        UnpackAndApply(g);
+        break;
+      case GroupPhase::kAgPending:
+        TimedWait(state.handle, &stats_.synchronize_wait_s);
+        UnpackAndApply(g);
+        break;
+    }
+  }
+}
+
+void DistOptim::SetBufferBytes(std::size_t bytes) {
+  DEAR_CHECK(bytes > 0);
+  DEAR_CHECK_MSG(options_.mode != ScheduleMode::kZeRO ||
+                     options_.sgd.momentum == 0.0f,
+                 "re-bucketing moves slice ownership, which would orphan "
+                 "sharded momentum state");
+  for (const auto& state : groups_)
+    DEAR_CHECK_MSG(state.phase == GroupPhase::kIdle,
+                   "SetBufferBytes with outstanding communication");
+  options_.buffer_bytes = bytes;
+  RebuildPlan();
+}
+
+void DistOptim::BroadcastControl(std::span<float> data, comm::Rank root) {
+  WaitHandle(engine_->SubmitBroadcast(data, root));
+}
+
+}  // namespace dear::core

@@ -1,0 +1,184 @@
+// DistOptim — DeAR's public API (paper §V, Listing 1), for real execution
+// on the in-process cluster.
+//
+// Wraps a local SGD optimizer and takes over gradient aggregation:
+//
+//   dear::core::DistOptim optim(comm, spec, mlp.Bindings(), options);
+//   for each iteration:
+//     auto out = mlp.Forward(x, b, [&](int l) { optim.PreForward(l); });
+//     loss_grad = ...;
+//     mlp.Backward(loss_grad, b, [&](int l) { optim.OnBackwardLayer(l); });
+//     optim.Step();            // end of BackPipe; launches FeedPipe
+//   optim.Synchronize();       // before evaluation (Listing 1 line 12)
+//
+// In kDeAR mode, Step() synchronizes the reduce-scatters (OP1) and enqueues
+// the all-gathers (OP2) in feed-forward order; PreForward(l) waits only for
+// the group(s) covering layer l, copies the averaged gradients out, and
+// lazily applies that group's SGD update — so communication of iteration i
+// overlaps the feed-forward of iteration i+1, exactly the paper's FeedPipe.
+//
+// All ranks must drive the same sequence of hook calls (they do, since
+// replicas execute the same network) — this is the no-negotiation property
+// DeAR's design rests on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "comm/async.h"
+#include "comm/communicator.h"
+#include "fusion/plan.h"
+#include "model/model_spec.h"
+#include "train/mlp.h"
+#include "train/sgd.h"
+
+namespace dear::core {
+
+enum class ScheduleMode {
+  kDeAR,        // decoupled: RS in BackPipe, AG in FeedPipe
+  kWFBP,        // all-reduce per group as gradients become ready
+  kSequential,  // all-reduce everything after backward completes
+  /// ZeRO-1/FSDP-style sharded optimizer (paper §VII-B): after the
+  /// reduce-scatter, each rank applies the SGD update only to its owned
+  /// slice of the fused buffer, and the all-gather then distributes
+  /// *parameters* instead of gradients — same communication volume as
+  /// kDeAR, but optimizer state is touched by exactly one rank per element.
+  /// Requires the ring algorithm (slice ownership is ring-chunk ownership).
+  kZeRO,
+  /// Local SGD / periodic parameter averaging: every worker takes
+  /// `local_steps` purely local SGD steps, then parameters (not gradients)
+  /// are all-reduce-averaged. Cuts communication by local_steps x at the
+  /// cost of gradient staleness — the classic communication-REDUCTION
+  /// counterpoint to DeAR's communication-HIDING (related-work family of
+  /// the paper's §VII).
+  kLocalSGD,
+};
+
+/// Gradient compression applied to fused buffers before communication
+/// (the paper's stated future work, §VI-D). kFp16 quantizes every value
+/// through IEEE binary16 — on a real NIC this halves the bytes on the
+/// wire; here it reproduces the numerics so convergence effects are real.
+enum class Compression { kNone, kFp16 };
+
+struct DistOptimOptions {
+  ScheduleMode mode{ScheduleMode::kDeAR};
+  std::size_t buffer_bytes{64 * 1024};  // tensor-fusion buffer (knob x)
+  /// Gradient accumulation (PyTorch-DDP's no_sync pattern): gradients from
+  /// this many consecutive backward passes are summed locally; only the
+  /// last micro-step's Step() communicates and updates. The caller must
+  /// NOT ZeroGrad() between micro-steps.
+  int accumulation_steps{1};
+  /// kLocalSGD: local steps between parameter-averaging rounds.
+  int local_steps{4};
+  Compression compression{Compression::kNone};
+  /// Decoupled collective pair used by kDeAR: kRing (RS+AG) or
+  /// kHierarchical (intra-node reduce + leader ring, paper §VII-A); other
+  /// values are rejected. kZeRO supports kRing only.
+  comm::Algorithm algorithm{comm::Algorithm::kRing};
+  int ranks_per_node{1};  // for kHierarchical; must divide the world size
+  train::SgdOptions sgd;
+};
+
+class DistOptim {
+ public:
+  /// `bindings` must be index-aligned with spec.tensors(). The communicator
+  /// (and its hub) must outlive this object.
+  DistOptim(comm::Communicator comm, model::ModelSpec spec,
+            std::vector<train::ParamBinding> bindings,
+            DistOptimOptions options);
+  ~DistOptim();
+
+  DistOptim(const DistOptim&) = delete;
+  DistOptim& operator=(const DistOptim&) = delete;
+
+  /// FeedPipe hook: call before layer l's forward computation.
+  void PreForward(int layer);
+  /// BackPipe hook: call after layer l's gradients are computed.
+  void OnBackwardLayer(int layer);
+  /// End-of-iteration (the paper's optim.step()): closes BackPipe, applies
+  /// or schedules updates depending on mode.
+  void Step();
+  /// Drains all outstanding communication and applies every pending update
+  /// so parameters are globally consistent (call before evaluation).
+  void Synchronize();
+
+  /// Re-buckets tensor fusion with a new buffer size. Must be called with
+  /// no outstanding communication (right after Synchronize()) and with the
+  /// same value on every rank.
+  void SetBufferBytes(std::size_t bytes);
+  [[nodiscard]] std::size_t buffer_bytes() const noexcept {
+    return options_.buffer_bytes;
+  }
+
+  /// Control-plane broadcast through the comm stream (blocks until done).
+  /// Every rank must call it at the same point in the schedule.
+  void BroadcastControl(std::span<float> data, comm::Rank root);
+
+  [[nodiscard]] comm::Rank rank() const noexcept { return engine_->rank(); }
+  [[nodiscard]] int world_size() const noexcept { return engine_->size(); }
+  [[nodiscard]] const fusion::FusionPlan& plan() const noexcept {
+    return plan_;
+  }
+
+  /// Wall-clock accounting of where the compute thread blocked on
+  /// communication — the runtime's analog of Fig. 8's "non-overlapped
+  /// communication time".
+  struct Stats {
+    std::int64_t steps{0};            // completed Step() calls
+    std::int64_t collectives{0};      // collectives launched
+    double step_wait_s{0.0};          // blocked in Step() (OP1 sync)
+    double pre_forward_wait_s{0.0};   // blocked in PreForward (FeedPipe)
+    double synchronize_wait_s{0.0};   // blocked in Synchronize()
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void ResetStats() noexcept { stats_ = Stats{}; }
+
+  /// Micro-step position within the current accumulation window, in
+  /// [0, accumulation_steps); communication happens on the last one.
+  [[nodiscard]] int micro_step() const noexcept { return micro_step_; }
+
+ private:
+  enum class GroupPhase : std::uint8_t {
+    kIdle,        // nothing outstanding
+    kFilling,     // some gradients ready, communication not yet launched
+    kRsPending,   // reduce-scatter (or all-reduce) in flight
+    kAgPending,   // all-gather in flight (kDeAR only)
+  };
+  struct GroupState {
+    std::vector<float> buffer;
+    comm::CollectiveHandle handle;
+    GroupPhase phase{GroupPhase::kIdle};
+    int tensors_ready{0};
+  };
+
+  void RebuildPlan();
+  void PackGroup(int g);
+  void UnpackAndApply(int g);
+  void LaunchGroup(int g);
+  void WaitHandle(const comm::CollectiveHandle& handle) const;
+  /// kZeRO: updates the owned ring chunk of group g's parameters from the
+  /// reduce-scattered gradients and writes the fresh parameter values back
+  /// into the buffer for the parameter all-gather.
+  void ApplyShardedUpdate(int g);
+  /// Submits the OP2 collective (ring or hierarchical all-gather).
+  comm::CollectiveHandle SubmitGather(GroupState& state);
+  /// kLocalSGD: local update; parameter averaging at round boundaries.
+  void LocalSgdStep();
+
+  /// Waits on `handle`, charging the blocked wall time to `*bucket`.
+  void TimedWait(const comm::CollectiveHandle& handle, double* bucket);
+
+  model::ModelSpec spec_;
+  std::vector<train::ParamBinding> bindings_;
+  DistOptimOptions options_;
+  std::unique_ptr<comm::CommEngine> engine_;
+  std::unique_ptr<train::Sgd> sgd_;
+  fusion::FusionPlan plan_;
+  std::vector<GroupState> groups_;
+  Stats stats_;
+  int micro_step_{0};
+  int local_step_{0};  // kLocalSGD round position
+};
+
+}  // namespace dear::core

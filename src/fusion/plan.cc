@@ -1,0 +1,168 @@
+#include "fusion/plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/sim_time.h"
+
+namespace dear::fusion {
+
+FusionPlan::FusionPlan(const model::ModelSpec& model,
+                       std::vector<std::vector<int>> groups) {
+  const int num_tensors = model.num_tensors();
+  tensor_to_group_.assign(static_cast<std::size_t>(num_tensors), -1);
+  layer_to_groups_.assign(static_cast<std::size_t>(model.num_layers()), {});
+
+  int expected_next = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    DEAR_CHECK_MSG(!groups[g].empty(), "empty fusion group");
+    Group group;
+    group.tensors = std::move(groups[g]);
+    group.first_layer = model.tensor(group.tensors.front()).layer;
+    group.last_layer = group.first_layer;
+    for (int t : group.tensors) {
+      DEAR_CHECK_MSG(t == expected_next,
+                     "fusion groups must cover tensors contiguously");
+      ++expected_next;
+      const auto& spec = model.tensor(t);
+      group.bytes += spec.bytes();
+      group.first_layer = std::min(group.first_layer, spec.layer);
+      group.last_layer = std::max(group.last_layer, spec.layer);
+      tensor_to_group_[static_cast<std::size_t>(t)] = static_cast<int>(g);
+      auto& lg = layer_to_groups_[static_cast<std::size_t>(spec.layer)];
+      if (lg.empty() || lg.back() != static_cast<int>(g))
+        lg.push_back(static_cast<int>(g));
+    }
+    groups_.push_back(std::move(group));
+  }
+  DEAR_CHECK_MSG(expected_next == num_tensors,
+                 "fusion plan must cover every tensor");
+}
+
+std::size_t FusionPlan::max_group_bytes() const noexcept {
+  std::size_t m = 0;
+  for (const auto& g : groups_) m = std::max(m, g.bytes);
+  return m;
+}
+
+std::string FusionPlan::DebugString() const {
+  std::string s = std::to_string(groups_.size()) + " groups:";
+  for (const auto& g : groups_) {
+    s += " [" + std::to_string(g.tensors.front()) + ".." +
+         std::to_string(g.tensors.back()) + ":" + FormatBytes(g.bytes) + "]";
+  }
+  return s;
+}
+
+FusionPlan PerTensor(const model::ModelSpec& model) {
+  std::vector<std::vector<int>> groups;
+  groups.reserve(static_cast<std::size_t>(model.num_tensors()));
+  for (int t = 0; t < model.num_tensors(); ++t) groups.push_back({t});
+  return {model, std::move(groups)};
+}
+
+FusionPlan SingleGroup(const model::ModelSpec& model) {
+  std::vector<int> all(static_cast<std::size_t>(model.num_tensors()));
+  for (int t = 0; t < model.num_tensors(); ++t)
+    all[static_cast<std::size_t>(t)] = t;
+  return {model, {std::move(all)}};
+}
+
+FusionPlan ByBufferBytes(const model::ModelSpec& model,
+                         std::size_t buffer_bytes) {
+  DEAR_CHECK(buffer_bytes > 0);
+  // Fill in BP arrival order (descending tensor index), then reverse both
+  // the group list and each group's members to restore FF order.
+  std::vector<std::vector<int>> groups;
+  std::vector<int> current;
+  std::size_t current_bytes = 0;
+  for (int t = model.num_tensors() - 1; t >= 0; --t) {
+    const std::size_t b = model.tensor(t).bytes();
+    if (!current.empty() && current_bytes + b > buffer_bytes) {
+      std::reverse(current.begin(), current.end());
+      groups.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(t);
+    current_bytes += b;
+  }
+  if (!current.empty()) {
+    std::reverse(current.begin(), current.end());
+    groups.push_back(std::move(current));
+  }
+  std::reverse(groups.begin(), groups.end());
+  return {model, std::move(groups)};
+}
+
+FusionPlan ByLayerCount(const model::ModelSpec& model, int layers_per_group) {
+  DEAR_CHECK(layers_per_group >= 1);
+  // Group boundaries at every `layers_per_group` layers, counted from the
+  // output end (BP arrival order), so the first BP group is full-sized.
+  std::vector<std::vector<int>> groups;
+  std::vector<int> current;
+  int layers_in_current = 0;
+  int last_layer = -1;
+  for (int t = model.num_tensors() - 1; t >= 0; --t) {
+    const int layer = model.tensor(t).layer;
+    if (layer != last_layer) {
+      if (layers_in_current == layers_per_group) {
+        std::reverse(current.begin(), current.end());
+        groups.push_back(std::move(current));
+        current.clear();
+        layers_in_current = 0;
+      }
+      ++layers_in_current;
+      last_layer = layer;
+    }
+    current.push_back(t);
+  }
+  if (!current.empty()) {
+    std::reverse(current.begin(), current.end());
+    groups.push_back(std::move(current));
+  }
+  std::reverse(groups.begin(), groups.end());
+  return {model, std::move(groups)};
+}
+
+FusionPlan MergeGradientsWisely(const model::ModelSpec& model,
+                                double alpha_s, int world_size) {
+  // BP-readiness time of each tensor: the cumulative BP compute from the
+  // output end down to (and including) its owning layer.
+  const int num_layers = model.num_layers();
+  std::vector<SimTime> layer_ready(static_cast<std::size_t>(num_layers), 0);
+  SimTime acc = 0;
+  for (int l = num_layers - 1; l >= 0; --l) {
+    acc += model.layer(l).bp_time;
+    layer_ready[static_cast<std::size_t>(l)] = acc;
+  }
+
+  const SimTime startup = Seconds(alpha_s * std::max(0, world_size - 1));
+
+  std::vector<std::vector<int>> groups;
+  std::vector<int> current;
+  SimTime group_start_ready = 0;
+  for (int t = model.num_tensors() - 1; t >= 0; --t) {
+    const SimTime ready =
+        layer_ready[static_cast<std::size_t>(model.tensor(t).layer)];
+    if (current.empty()) {
+      group_start_ready = ready;
+    } else if (ready - group_start_ready > startup) {
+      // The wait this merge would add exceeds the startup it saves.
+      std::reverse(current.begin(), current.end());
+      groups.push_back(std::move(current));
+      current.clear();
+      group_start_ready = ready;
+    }
+    current.push_back(t);
+  }
+  if (!current.empty()) {
+    std::reverse(current.begin(), current.end());
+    groups.push_back(std::move(current));
+  }
+  std::reverse(groups.begin(), groups.end());
+  return {model, std::move(groups)};
+}
+
+}  // namespace dear::fusion

@@ -1,0 +1,86 @@
+#include "model/model_spec.h"
+
+#include "common/logging.h"
+
+namespace dear::model {
+
+int ModelSpec::AddLayer(const std::string& name,
+                        const std::vector<std::size_t>& tensor_elems) {
+  DEAR_CHECK_MSG(!tensor_elems.empty(), "layer must own at least one tensor");
+  LayerSpec layer;
+  layer.name = name;
+  layer.first_tensor = static_cast<int>(tensors_.size());
+  layer.num_tensors = static_cast<int>(tensor_elems.size());
+  const int layer_idx = static_cast<int>(layers_.size());
+  for (std::size_t i = 0; i < tensor_elems.size(); ++i) {
+    TensorSpec t;
+    t.name = name + "/t" + std::to_string(i);
+    t.elems = tensor_elems[i];
+    t.layer = layer_idx;
+    tensors_.push_back(std::move(t));
+  }
+  layers_.push_back(std::move(layer));
+  return layer_idx;
+}
+
+std::size_t ModelSpec::total_params() const noexcept {
+  std::size_t total = 0;
+  for (const auto& t : tensors_) total += t.elems;
+  return total;
+}
+
+SimTime ModelSpec::total_ff_time() const noexcept {
+  SimTime total = 0;
+  for (const auto& l : layers_) total += l.ff_time;
+  return total;
+}
+
+SimTime ModelSpec::total_bp_time() const noexcept {
+  SimTime total = 0;
+  for (const auto& l : layers_) total += l.bp_time;
+  return total;
+}
+
+void ModelSpec::AssignComputeTimes(SimTime total_ff, double bp_over_ff,
+                                   std::size_t smoothing_elems) {
+  DEAR_CHECK(!layers_.empty());
+  double total_weight = 0.0;
+  std::vector<double> weights(layers_.size(), 0.0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::size_t params = 0;
+    const LayerSpec& l = layers_[i];
+    for (int t = l.first_tensor; t < l.first_tensor + l.num_tensors; ++t)
+      params += tensors_[static_cast<std::size_t>(t)].elems;
+    weights[i] = static_cast<double>(params + smoothing_elems);
+    total_weight += weights[i];
+  }
+  SimTime assigned = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    SimTime ff;
+    if (i + 1 == layers_.size()) {
+      ff = total_ff - assigned;  // absorb rounding so the total is exact
+    } else {
+      ff = static_cast<SimTime>(static_cast<double>(total_ff) * weights[i] /
+                                total_weight);
+    }
+    layers_[i].ff_time = ff;
+    layers_[i].bp_time =
+        static_cast<SimTime>(static_cast<double>(ff) * bp_over_ff);
+    assigned += ff;
+  }
+}
+
+ModelSpec ModelSpec::WithBatchSize(int new_bs) const {
+  DEAR_CHECK(new_bs > 0 && batch_size_ > 0);
+  ModelSpec copy = *this;
+  copy.batch_size_ = new_bs;
+  const double scale =
+      static_cast<double>(new_bs) / static_cast<double>(batch_size_);
+  for (auto& l : copy.layers_) {
+    l.ff_time = static_cast<SimTime>(static_cast<double>(l.ff_time) * scale);
+    l.bp_time = static_cast<SimTime>(static_cast<double>(l.bp_time) * scale);
+  }
+  return copy;
+}
+
+}  // namespace dear::model

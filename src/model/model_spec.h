@@ -1,0 +1,94 @@
+// DNN model descriptions: the unit of scheduling.
+//
+// A model is an ordered list of learnable layers (feed-forward order); each
+// layer owns one or more parameter tensors. PyTorch-style autograd fires one
+// hook per *tensor* as backpropagation walks layers in reverse, so tensors —
+// not layers — are the granularity at which gradients become ready and at
+// which fusion groups are formed (paper Table I distinguishes "# Layers"
+// from "# Tensors" for exactly this reason).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace dear::model {
+
+constexpr std::size_t kBytesPerElement = 4;  // fp32 gradients
+
+struct TensorSpec {
+  std::string name;
+  std::size_t elems{0};
+  int layer{0};  // owning layer index (FF order)
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return elems * kBytesPerElement;
+  }
+};
+
+struct LayerSpec {
+  std::string name;
+  SimTime ff_time{0};  // feed-forward compute duration
+  SimTime bp_time{0};  // backpropagation compute duration
+  int first_tensor{0};
+  int num_tensors{0};
+};
+
+class ModelSpec {
+ public:
+  ModelSpec(std::string name, int batch_size)
+      : name_(std::move(name)), batch_size_(batch_size) {}
+
+  /// Appends one layer owning tensors with the given element counts.
+  /// Returns the layer index.
+  int AddLayer(const std::string& name,
+               const std::vector<std::size_t>& tensor_elems);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int batch_size() const noexcept { return batch_size_; }
+  [[nodiscard]] int num_layers() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] int num_tensors() const noexcept {
+    return static_cast<int>(tensors_.size());
+  }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] const std::vector<TensorSpec>& tensors() const noexcept {
+    return tensors_;
+  }
+  [[nodiscard]] const LayerSpec& layer(int i) const { return layers_.at(i); }
+  [[nodiscard]] const TensorSpec& tensor(int i) const {
+    return tensors_.at(i);
+  }
+
+  [[nodiscard]] std::size_t total_params() const noexcept;
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_params() * kBytesPerElement;
+  }
+  [[nodiscard]] SimTime total_ff_time() const noexcept;
+  [[nodiscard]] SimTime total_bp_time() const noexcept;
+
+  /// Distributes a model-level compute budget across layers, proportional to
+  /// (layer params + smoothing) so tiny layers still pay kernel-launch-scale
+  /// time, with bp = bp_over_ff × ff per layer (the paper works with
+  /// bp ≈ 2 × ff, §VI-F). Exactly preserves Σ ff_l = total_ff.
+  void AssignComputeTimes(SimTime total_ff, double bp_over_ff = 2.0,
+                          std::size_t smoothing_elems = 20000);
+
+  /// Returns a copy with compute times scaled by new_bs / batch_size() —
+  /// compute scales with the local mini-batch while gradient sizes do not
+  /// (the mechanism behind Fig. 11's batch-size sweep).
+  [[nodiscard]] ModelSpec WithBatchSize(int new_bs) const;
+
+ private:
+  std::string name_;
+  int batch_size_;
+  std::vector<LayerSpec> layers_;
+  std::vector<TensorSpec> tensors_;
+};
+
+}  // namespace dear::model

@@ -1,0 +1,17 @@
+#include "model/profiles.h"
+
+#include "common/logging.h"
+
+namespace dear::model {
+
+ComputeProfile ProfileFor(const std::string& model_name) {
+  if (model_name == "resnet50") return {64, Milliseconds(73.3)};
+  if (model_name == "densenet201") return {32, Milliseconds(70.0)};
+  if (model_name == "inception_v4") return {64, Milliseconds(112.8)};
+  if (model_name == "bert_base") return {64, Milliseconds(93.6)};
+  if (model_name == "bert_large") return {32, Milliseconds(135.6)};
+  DEAR_CHECK_MSG(false, "no compute profile for model: " + model_name);
+  return {};
+}
+
+}  // namespace dear::model

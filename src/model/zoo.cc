@@ -1,0 +1,231 @@
+#include "model/zoo.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/profiles.h"
+
+namespace dear::model {
+namespace {
+
+void ApplyProfile(ModelSpec& m) {
+  const ComputeProfile prof = ProfileFor(m.name());
+  DEAR_CHECK(prof.batch_size == m.batch_size());
+  m.AssignComputeTimes(prof.total_ff, prof.bp_over_ff);
+}
+
+void AddConvBn(ModelSpec& m, const std::string& name, std::size_t k,
+               std::size_t c_in, std::size_t c_out) {
+  m.AddLayer(name + "/conv", {k * k * c_in * c_out});
+  m.AddLayer(name + "/bn", {c_out, c_out});
+}
+
+}  // namespace
+
+ModelSpec ResNet50() {
+  ModelSpec m("resnet50", 64);
+  AddConvBn(m, "stem", 7, 3, 64);
+
+  const int blocks[4] = {3, 4, 6, 3};
+  const std::size_t widths[4] = {64, 128, 256, 512};
+  std::size_t in = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::size_t w = widths[stage];
+    const std::size_t out = 4 * w;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string base =
+          "s" + std::to_string(stage) + "b" + std::to_string(b);
+      AddConvBn(m, base + "/1", 1, in, w);
+      AddConvBn(m, base + "/2", 3, w, w);
+      AddConvBn(m, base + "/3", 1, w, out);
+      if (b == 0) AddConvBn(m, base + "/ds", 1, in, out);
+      in = out;
+    }
+  }
+  m.AddLayer("fc", {2048 * 1000, 1000});
+  ApplyProfile(m);
+  return m;
+}
+
+ModelSpec DenseNet201() {
+  ModelSpec m("densenet201", 32);
+  AddConvBn(m, "stem", 7, 3, 64);
+
+  const int blocks[4] = {6, 12, 48, 32};
+  const std::size_t growth = 32;
+  const std::size_t bottleneck = 4 * growth;  // 128
+  std::size_t c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string base =
+          "d" + std::to_string(stage) + "l" + std::to_string(b);
+      m.AddLayer(base + "/bn1", {c, c});
+      m.AddLayer(base + "/conv1", {c * bottleneck});
+      m.AddLayer(base + "/bn2", {bottleneck, bottleneck});
+      m.AddLayer(base + "/conv2", {3 * 3 * bottleneck * growth});
+      c += growth;
+    }
+    if (stage < 3) {  // transition halves the channel count
+      const std::string base = "t" + std::to_string(stage);
+      m.AddLayer(base + "/bn", {c, c});
+      m.AddLayer(base + "/conv", {c * (c / 2)});
+      c /= 2;
+    }
+  }
+  m.AddLayer("final_bn", {c, c});
+  m.AddLayer("fc", {c * 1000, 1000});
+  ApplyProfile(m);
+  return m;
+}
+
+ModelSpec InceptionV4() {
+  // Synthetic-but-shaped (see zoo.h): 149 conv+bn pairs with channel widths
+  // ramping geometrically 32 -> 1536 as in the real network's stem ->
+  // Inception-C progression, conv parameter mass ~ c^2, rescaled so the
+  // total matches the published 42.7M; plus the 1536->1000 classifier.
+  ModelSpec m("inception_v4", 64);
+  constexpr int kConvs = 149;
+  constexpr std::size_t kTotalParams = 42700000;
+  const std::size_t fc_params = 1536 * 1000 + 1000;
+
+  double channels[kConvs];
+  double raw[kConvs];
+  double raw_sum = 0.0;
+  std::size_t bn_sum = 0;
+  for (int i = 0; i < kConvs; ++i) {
+    channels[i] = 32.0 * std::pow(1536.0 / 32.0, i / double(kConvs - 1));
+    raw[i] = channels[i] * channels[i];
+    raw_sum += raw[i];
+    bn_sum += 2 * static_cast<std::size_t>(channels[i]);
+  }
+  const double conv_budget =
+      static_cast<double>(kTotalParams - fc_params - bn_sum);
+
+  std::size_t assigned = 0;
+  for (int i = 0; i < kConvs; ++i) {
+    std::size_t p;
+    if (i + 1 == kConvs) {
+      p = kTotalParams - fc_params - bn_sum - assigned;
+    } else {
+      p = static_cast<std::size_t>(raw[i] / raw_sum * conv_budget);
+      if (p < 64) p = 64;
+    }
+    assigned += p;
+    const auto c = static_cast<std::size_t>(channels[i]);
+    m.AddLayer("conv" + std::to_string(i), {p});
+    m.AddLayer("bn" + std::to_string(i), {c, c});
+  }
+  m.AddLayer("fc", {1536 * 1000, 1000});
+  ApplyProfile(m);
+  return m;
+}
+
+namespace {
+
+ModelSpec BuildBert(const std::string& name, int batch_size,
+                    std::size_t hidden, int encoder_layers) {
+  constexpr std::size_t kVocab = 30522;
+  constexpr std::size_t kMaxPos = 512;
+  const std::size_t h = hidden;
+  const std::size_t ffn = 4 * h;
+
+  ModelSpec m(name, batch_size);
+  m.AddLayer("emb/word", {kVocab * h});
+  m.AddLayer("emb/pos", {kMaxPos * h});
+  m.AddLayer("emb/type", {2 * h});
+  m.AddLayer("emb/ln", {h, h});
+  for (int i = 0; i < encoder_layers; ++i) {
+    const std::string base = "enc" + std::to_string(i);
+    m.AddLayer(base + "/q", {h * h, h});
+    m.AddLayer(base + "/k", {h * h, h});
+    m.AddLayer(base + "/v", {h * h, h});
+    m.AddLayer(base + "/attn_out", {h * h, h});
+    m.AddLayer(base + "/attn_ln", {h, h});
+    m.AddLayer(base + "/ff1", {h * ffn, ffn});
+    m.AddLayer(base + "/ff2", {ffn * h, h});
+    m.AddLayer(base + "/ff_ln", {h, h});
+  }
+  m.AddLayer("pooler", {h * h, h});
+  m.AddLayer("mlm/dense", {h * h, h});
+  m.AddLayer("mlm/ln", {h, h});
+  m.AddLayer("mlm/decoder_bias", {kVocab});  // decoder weight tied to emb
+  m.AddLayer("nsp", {h * 2, 2});
+  ApplyProfile(m);
+  return m;
+}
+
+}  // namespace
+
+ModelSpec BertBase() { return BuildBert("bert_base", 64, 768, 12); }
+ModelSpec BertLarge() { return BuildBert("bert_large", 32, 1024, 24); }
+
+std::vector<ModelSpec> PaperModels() {
+  std::vector<ModelSpec> models;
+  models.push_back(ResNet50());
+  models.push_back(DenseNet201());
+  models.push_back(InceptionV4());
+  models.push_back(BertBase());
+  models.push_back(BertLarge());
+  return models;
+}
+
+ModelSpec ByName(const std::string& name) {
+  if (name == "resnet50") return ResNet50();
+  if (name == "densenet201") return DenseNet201();
+  if (name == "inception_v4") return InceptionV4();
+  if (name == "bert_base") return BertBase();
+  if (name == "bert_large") return BertLarge();
+  if (name == "vgg16") return Vgg16();
+  if (name == "alexnet") return AlexNet();
+  DEAR_CHECK_MSG(false, "unknown model: " + name);
+  return ModelSpec("invalid", 1);
+}
+
+ModelSpec Vgg16() {
+  ModelSpec m("vgg16", 32);
+  const std::size_t cfg[13] = {64,  64,  128, 128, 256, 256, 256,
+                               512, 512, 512, 512, 512, 512};
+  std::size_t c_in = 3;
+  for (int i = 0; i < 13; ++i) {
+    m.AddLayer("conv" + std::to_string(i), {3 * 3 * c_in * cfg[i], cfg[i]});
+    c_in = cfg[i];
+  }
+  m.AddLayer("fc1", {512ull * 7 * 7 * 4096, 4096});
+  m.AddLayer("fc2", {4096ull * 4096, 4096});
+  m.AddLayer("fc3", {4096ull * 1000, 1000});
+  m.AssignComputeTimes(Milliseconds(110.0));  // estimated 2080Ti @ BS 32
+  return m;
+}
+
+ModelSpec AlexNet() {
+  ModelSpec m("alexnet", 128);
+  m.AddLayer("conv0", {11ull * 11 * 3 * 64, 64});
+  m.AddLayer("conv1", {5ull * 5 * 64 * 192, 192});
+  m.AddLayer("conv2", {3ull * 3 * 192 * 384, 384});
+  m.AddLayer("conv3", {3ull * 3 * 384 * 256, 256});
+  m.AddLayer("conv4", {3ull * 3 * 256 * 256, 256});
+  m.AddLayer("fc1", {256ull * 6 * 6 * 4096, 4096});
+  m.AddLayer("fc2", {4096ull * 4096, 4096});
+  m.AddLayer("fc3", {4096ull * 1000, 1000});
+  m.AssignComputeTimes(Milliseconds(25.0));  // estimated 2080Ti @ BS 128
+  return m;
+}
+
+std::vector<ModelSpec> ExtensionModels() {
+  std::vector<ModelSpec> models;
+  models.push_back(Vgg16());
+  models.push_back(AlexNet());
+  return models;
+}
+
+ModelSpec UniformTestModel(int num_layers, std::size_t elems_per_layer,
+                           double ff_us_per_layer) {
+  ModelSpec m("uniform_test", 1);
+  for (int i = 0; i < num_layers; ++i)
+    m.AddLayer("layer" + std::to_string(i), {elems_per_layer});
+  m.AssignComputeTimes(Microseconds(ff_us_per_layer * num_layers),
+                       /*bp_over_ff=*/2.0, /*smoothing_elems=*/0);
+  return m;
+}
+
+}  // namespace dear::model

@@ -1,0 +1,48 @@
+// Model zoo: the five DNNs the paper evaluates (Table I), reconstructed
+// from their published architectures, plus small synthetic models for tests.
+//
+// ResNet-50, DenseNet-201, and the BERTs are exact reconstructions (layer
+// structure and per-tensor parameter shapes); Inception-v4 is
+// synthetic-but-shaped: correct layer/tensor counts and total parameters,
+// per-conv sizes interpolated geometrically (the full branch-by-branch
+// shape table adds nothing the scheduler can observe).
+//
+// Each returned spec already carries per-layer compute times from the
+// calibrated single-GPU profile (profiles.h); gradients are fp32.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model_spec.h"
+
+namespace dear::model {
+
+ModelSpec ResNet50();      // BS 64, 107 layers, 161 tensors, 25.6M params
+ModelSpec DenseNet201();   // BS 32, 402 layers, 604 tensors, 20.0M params
+ModelSpec InceptionV4();   // BS 64, 299 layers, 449 tensors, 42.7M params
+ModelSpec BertBase();      // BS 64, 105 layers, 206 tensors, 110.1M params
+ModelSpec BertLarge();     // BS 32, 201 layers, 398 tensors, 336.2M params
+
+/// All five, in the paper's Table I order.
+std::vector<ModelSpec> PaperModels();
+
+/// Lookup by the names above ("resnet50", "densenet201", "inception_v4",
+/// "bert_base", "bert_large"); CHECK-fails on unknown names.
+ModelSpec ByName(const std::string& name);
+
+/// Extension models beyond the paper's Table I — classic architectures
+/// with extreme parameter imbalance (fc-heavy), useful for stressing the
+/// fusion planner and the schedulers. Their compute profiles are estimated
+/// for the same GPU class (not Table-II-calibrated like the five above).
+ModelSpec Vgg16();    // BS 32, 16 layers, 32 tensors, 138.4M params
+ModelSpec AlexNet();  // BS 128, 8 layers, 16 tensors, 61.1M params
+std::vector<ModelSpec> ExtensionModels();
+
+/// Uniform toy model for unit tests: `num_layers` layers, one tensor of
+/// `elems_per_layer` elements each, `ff_us` microseconds of feed-forward
+/// compute per layer (bp = 2x ff).
+ModelSpec UniformTestModel(int num_layers, std::size_t elems_per_layer,
+                           double ff_us_per_layer = 100.0);
+
+}  // namespace dear::model

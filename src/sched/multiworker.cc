@@ -1,0 +1,255 @@
+#include "sched/multiworker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace dear::sched {
+namespace {
+
+using sim::Task;
+using sim::TaskGraph;
+using sim::TaskId;
+using sim::TaskKind;
+
+constexpr std::int16_t ComputeStream(int worker) {
+  return static_cast<std::int16_t>(2 * worker);
+}
+constexpr std::int16_t CommStream(int worker) {
+  return static_cast<std::int16_t>(2 * worker + 1);
+}
+
+class MultiWorkerBuilder {
+ public:
+  MultiWorkerBuilder(const model::ModelSpec& model, const ClusterSpec& cluster,
+                     const PolicyConfig& config,
+                     const MultiWorkerOptions& options)
+      : model_(model),
+        config_(config),
+        options_(options),
+        cost_(cluster.cost_model()),
+        workers_(cluster.world_size),
+        num_layers_(model.num_layers()),
+        rng_(options.seed) {}
+
+  TaskGraph Build() {
+    // gates[w] = per-layer comm gates for worker w's next-iteration FF;
+    // global_gates[w] = whole-model barrier gates.
+    std::vector<std::vector<std::vector<TaskId>>> layer_gates(
+        static_cast<std::size_t>(workers_));
+    std::vector<std::vector<TaskId>> global_gates(
+        static_cast<std::size_t>(workers_));
+    for (auto& g : layer_gates)
+      g.assign(static_cast<std::size_t>(num_layers_), {});
+
+    for (int iter = 0; iter < options_.iterations; ++iter)
+      BuildIteration(iter, layer_gates, global_gates);
+    return std::move(graph_);
+  }
+
+ private:
+  SimTime Jittered(SimTime base) {
+    if (options_.jitter_sigma <= 0.0) return base;
+    const double scale =
+        std::exp(options_.jitter_sigma * rng_.NextGaussian());
+    return static_cast<SimTime>(static_cast<double>(base) * scale);
+  }
+
+  void BuildIteration(
+      int iter, std::vector<std::vector<std::vector<TaskId>>>& layer_gates,
+      std::vector<std::vector<TaskId>>& global_gates) {
+    // Per-worker FF and BP chains.
+    std::vector<std::vector<TaskId>> ff(static_cast<std::size_t>(workers_)),
+        bp(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      auto& wff = ff[static_cast<std::size_t>(w)];
+      wff.resize(static_cast<std::size_t>(num_layers_));
+      for (int l = 0; l < num_layers_; ++l) {
+        Task t;
+        t.kind = TaskKind::kForward;
+        t.stream = ComputeStream(w);
+        t.duration = Jittered(model_.layer(l).ff_time);
+        t.iteration = iter;
+        t.layer = l;
+        if (l > 0) t.deps.push_back(wff[static_cast<std::size_t>(l - 1)]);
+        if (l == 0) {
+          auto& gg = global_gates[static_cast<std::size_t>(w)];
+          t.deps.insert(t.deps.end(), gg.begin(), gg.end());
+        }
+        auto& lg = layer_gates[static_cast<std::size_t>(w)]
+                              [static_cast<std::size_t>(l)];
+        t.deps.insert(t.deps.end(), lg.begin(), lg.end());
+        wff[static_cast<std::size_t>(l)] = graph_.Add(std::move(t));
+      }
+      auto& wbp = bp[static_cast<std::size_t>(w)];
+      wbp.resize(static_cast<std::size_t>(num_layers_));
+      for (int l = num_layers_ - 1; l >= 0; --l) {
+        Task t;
+        t.kind = TaskKind::kBackward;
+        t.stream = ComputeStream(w);
+        t.duration = Jittered(model_.layer(l).bp_time);
+        t.iteration = iter;
+        t.layer = l;
+        t.deps.push_back(l == num_layers_ - 1
+                             ? wff[static_cast<std::size_t>(l)]
+                             : wbp[static_cast<std::size_t>(l + 1)]);
+        wbp[static_cast<std::size_t>(l)] = graph_.Add(std::move(t));
+      }
+      global_gates[static_cast<std::size_t>(w)].clear();
+      for (auto& lg : layer_gates[static_cast<std::size_t>(w)]) lg.clear();
+    }
+
+    if (config_.kind == PolicyKind::kDeAR) {
+      BuildDeARComm(iter, bp, layer_gates);
+    } else {
+      BuildBarrierComm(iter, bp, global_gates);
+    }
+  }
+
+  // WFBP family: all-reduce per group; each worker's task starts once every
+  // worker's gating BP finished (the collective's entry barrier) and gates
+  // that worker's next FF_0.
+  void BuildBarrierComm(int iter, const std::vector<std::vector<TaskId>>& bp,
+                        std::vector<std::vector<TaskId>>& global_gates) {
+    const bool overlap_bp = config_.kind != PolicyKind::kSequential;
+    const bool negotiate = config_.kind == PolicyKind::kHorovod &&
+                           config_.charge_negotiation;
+    const auto& groups = config_.plan.groups();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const int ready_layer = overlap_bp ? groups[g].first_layer : 0;
+      for (int w = 0; w < workers_; ++w) {
+        Task t;
+        t.kind = TaskKind::kAllReduce;
+        t.stream = CommStream(w);
+        t.duration = cost_.RingAllReduce(groups[g].bytes);
+        if (negotiate) t.duration += cost_.NegotiationLatency();
+        t.iteration = iter;
+        t.group = static_cast<int>(g);
+        for (int peer = 0; peer < workers_; ++peer)
+          t.deps.push_back(bp[static_cast<std::size_t>(peer)]
+                             [static_cast<std::size_t>(ready_layer)]);
+        global_gates[static_cast<std::size_t>(w)].push_back(
+            graph_.Add(std::move(t)));
+      }
+    }
+  }
+
+  void BuildDeARComm(
+      int iter, const std::vector<std::vector<TaskId>>& bp,
+      std::vector<std::vector<std::vector<TaskId>>>& layer_gates) {
+    const auto& groups = config_.plan.groups();
+    // OP1: per-worker reduce-scatter tasks, entry-synchronized on all
+    // workers' producing BP.
+    std::vector<TaskId> all_rs;
+    std::vector<std::vector<TaskId>> rs(static_cast<std::size_t>(workers_));
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (int w = 0; w < workers_; ++w) {
+        Task t;
+        t.kind = TaskKind::kReduceScatter;
+        t.stream = CommStream(w);
+        t.duration = cost_.ReduceScatter(groups[g].bytes);
+        t.iteration = iter;
+        t.group = static_cast<int>(g);
+        for (int peer = 0; peer < workers_; ++peer)
+          t.deps.push_back(
+              bp[static_cast<std::size_t>(peer)]
+                [static_cast<std::size_t>(groups[g].first_layer)]);
+        const TaskId id = graph_.Add(std::move(t));
+        rs[static_cast<std::size_t>(w)].push_back(id);
+        all_rs.push_back(id);
+      }
+    }
+    // OP1 synchronization point (paper §III-B): one zero-duration task per
+    // worker depending on every reduce-scatter everywhere.
+    std::vector<TaskId> rs_done(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      Task t;
+      t.kind = TaskKind::kSync;
+      t.stream = CommStream(w);
+      t.duration = 0;
+      t.iteration = iter;
+      t.deps = all_rs;
+      rs_done[static_cast<std::size_t>(w)] = graph_.Add(std::move(t));
+    }
+    // OP2: all-gathers in FF order on each worker, gating its own FF.
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (int w = 0; w < workers_; ++w) {
+        Task t;
+        t.kind = TaskKind::kAllGather;
+        t.stream = CommStream(w);
+        t.duration = cost_.AllGather(groups[g].bytes);
+        t.iteration = iter;
+        t.group = static_cast<int>(g);
+        t.deps.push_back(rs_done[static_cast<std::size_t>(w)]);
+        const TaskId id = graph_.Add(std::move(t));
+        for (int l = groups[g].first_layer; l <= groups[g].last_layer; ++l)
+          layer_gates[static_cast<std::size_t>(w)]
+                     [static_cast<std::size_t>(l)].push_back(id);
+      }
+    }
+  }
+
+  const model::ModelSpec& model_;
+  const PolicyConfig& config_;
+  const MultiWorkerOptions& options_;
+  comm::CostModel cost_;
+  int workers_;
+  int num_layers_;
+  Rng rng_;
+  TaskGraph graph_;
+};
+
+}  // namespace
+
+RunResult EvaluateMultiWorker(const model::ModelSpec& model,
+                              const ClusterSpec& cluster,
+                              const PolicyConfig& config,
+                              const MultiWorkerOptions& options) {
+  DEAR_CHECK(options.iterations > options.warmup + 1);
+  DEAR_CHECK_MSG(config.kind != PolicyKind::kByteScheduler &&
+                     config.kind != PolicyKind::kZeRO,
+                 "ByteScheduler/ZeRO are not supported by the multi-worker "
+                 "model");
+  DEAR_CHECK_MSG(config.plan.num_groups() > 0, "policy requires a fusion plan");
+
+  MultiWorkerBuilder builder(model, cluster, config, options);
+  const sim::TaskGraph graph = builder.Build();
+  // Every stream is FIFO; there is no priority policy in this family.
+  auto sim = sim::Simulate(graph, {});
+  DEAR_CHECK_MSG(sim.ok(), sim.status().ToString());
+
+  std::vector<SimTime> iter_end(static_cast<std::size_t>(options.iterations),
+                                0);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto& task = graph.task(static_cast<sim::TaskId>(i));
+    if (task.iteration < 0) continue;
+    auto& end = iter_end[static_cast<std::size_t>(task.iteration)];
+    end = std::max(end, sim->timings[i].end);
+  }
+  SimTime total = 0;
+  int gaps = 0;
+  for (int i = options.warmup + 1; i < options.iterations; ++i) {
+    total += iter_end[static_cast<std::size_t>(i)] -
+             iter_end[static_cast<std::size_t>(i - 1)];
+    ++gaps;
+  }
+
+  RunResult result;
+  result.iter_time = total / gaps;
+  result.breakdown.ff = model.total_ff_time();
+  result.breakdown.bp = model.total_bp_time();
+  result.breakdown.comm_exposed = std::max<SimTime>(
+      0, result.iter_time - result.breakdown.ff - result.breakdown.bp);
+  result.throughput_samples_per_s = cluster.world_size * model.batch_size() /
+                                    ToSeconds(result.iter_time);
+  result.speedup_vs_single_gpu =
+      cluster.world_size *
+      ToSeconds(model.total_ff_time() + model.total_bp_time()) /
+      ToSeconds(result.iter_time);
+  return result;
+}
+
+}  // namespace dear::sched

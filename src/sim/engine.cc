@@ -1,0 +1,164 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dear::sim {
+namespace {
+
+// Key ordering ready tasks within one stream. `order` is the readiness
+// sequence for FIFO streams and unused for priority streams, where
+// insertion order (task id) breaks priority ties instead.
+struct ReadyKey {
+  double priority;
+  std::int64_t order;
+  TaskId id;
+};
+
+struct ReadyCompareFifo {
+  bool operator()(const ReadyKey& a, const ReadyKey& b) const {
+    if (a.order != b.order) return a.order > b.order;  // min-heap
+    return a.id > b.id;
+  }
+};
+
+struct ReadyComparePriority {
+  bool operator()(const ReadyKey& a, const ReadyKey& b) const {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.id > b.id;
+  }
+};
+
+struct StreamState {
+  StreamPolicy policy{StreamPolicy::kFifoByReady};
+  bool busy{false};
+  std::priority_queue<ReadyKey, std::vector<ReadyKey>, ReadyCompareFifo>
+      fifo_queue;
+  std::priority_queue<ReadyKey, std::vector<ReadyKey>, ReadyComparePriority>
+      prio_queue;
+
+  void Push(ReadyKey key) {
+    if (policy == StreamPolicy::kPriority)
+      prio_queue.push(key);
+    else
+      fifo_queue.push(key);
+  }
+  [[nodiscard]] bool HasReady() const {
+    return policy == StreamPolicy::kPriority ? !prio_queue.empty()
+                                             : !fifo_queue.empty();
+  }
+  TaskId Pop() {
+    TaskId id;
+    if (policy == StreamPolicy::kPriority) {
+      id = prio_queue.top().id;
+      prio_queue.pop();
+    } else {
+      id = fifo_queue.top().id;
+      fifo_queue.pop();
+    }
+    return id;
+  }
+};
+
+struct Completion {
+  SimTime time;
+  std::int64_t seq;
+  TaskId id;
+  // Min-heap on (time, seq) keeps the event order deterministic.
+  bool operator>(const Completion& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+StatusOr<SimResult> Simulate(
+    const TaskGraph& graph, const std::vector<StreamPolicy>& stream_policies) {
+  const std::size_t n = graph.size();
+
+  // Validate and build the reverse adjacency (dependents) once.
+  int max_stream = -1;
+  for (const Task& t : graph.tasks()) {
+    if (t.stream < 0) return Status::InvalidArgument("negative stream id");
+    max_stream = std::max(max_stream, static_cast<int>(t.stream));
+    if (t.duration < 0) return Status::InvalidArgument("negative duration");
+  }
+  std::vector<std::int32_t> indegree(n, 0);
+  std::vector<std::vector<TaskId>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (TaskId dep : graph.task(static_cast<TaskId>(i)).deps) {
+      if (dep < 0 || static_cast<std::size_t>(dep) >= n)
+        return Status::InvalidArgument("dangling dependency");
+      ++indegree[i];
+      dependents[static_cast<std::size_t>(dep)].push_back(
+          static_cast<TaskId>(i));
+    }
+  }
+
+  std::vector<StreamState> streams(static_cast<std::size_t>(max_stream + 1));
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    if (s < stream_policies.size()) streams[s].policy = stream_policies[s];
+
+  SimResult result;
+  result.timings.assign(n, TaskTiming{});
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      events;
+  std::int64_t event_seq = 0;
+  std::int64_t ready_seq = 0;
+  std::size_t executed = 0;
+
+  auto try_start = [&](std::int16_t stream_id, SimTime now) {
+    StreamState& s = streams[static_cast<std::size_t>(stream_id)];
+    if (s.busy || !s.HasReady()) return;
+    const TaskId id = s.Pop();
+    const Task& task = graph.task(id);
+    s.busy = true;
+    result.timings[static_cast<std::size_t>(id)] = {now, now + task.duration,
+                                                    true};
+    events.push({now + task.duration, event_seq++, id});
+  };
+
+  // Push a newly-ready task onto its stream's queue WITHOUT dispatching;
+  // dispatch happens only after every task readied by the same event has
+  // been pushed, so priority streams see the full candidate set.
+  std::vector<std::int16_t> touched_streams;
+  auto push_ready = [&](TaskId id) {
+    const Task& task = graph.task(id);
+    streams[static_cast<std::size_t>(task.stream)].Push(
+        {task.priority, ready_seq++, id});
+    touched_streams.push_back(task.stream);
+  };
+  auto dispatch_touched = [&](SimTime now) {
+    for (std::int16_t s : touched_streams) try_start(s, now);
+    touched_streams.clear();
+  };
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) push_ready(static_cast<TaskId>(i));
+  dispatch_touched(0);
+
+  while (!events.empty()) {
+    const Completion done = events.top();
+    events.pop();
+    ++executed;
+    result.makespan = std::max(result.makespan, done.time);
+    const Task& task = graph.task(done.id);
+    streams[static_cast<std::size_t>(task.stream)].busy = false;
+    for (TaskId dep : dependents[static_cast<std::size_t>(done.id)]) {
+      if (--indegree[static_cast<std::size_t>(dep)] == 0) push_ready(dep);
+    }
+    touched_streams.push_back(task.stream);
+    dispatch_touched(done.time);
+  }
+
+  if (executed != n)
+    return Status::FailedPrecondition(
+        "dependency cycle: " + std::to_string(n - executed) +
+        " tasks never became ready");
+  return result;
+}
+
+}  // namespace dear::sim

@@ -1,0 +1,36 @@
+// Discrete-event execution of a TaskGraph over a set of streams.
+//
+// Deterministic: identical inputs produce identical timings. Events are
+// ordered by (time, sequence); per-stream dispatch breaks ties by task
+// insertion order. Work-conserving: a stream never idles while one of its
+// tasks is ready.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "sim/task_graph.h"
+
+namespace dear::sim {
+
+struct TaskTiming {
+  SimTime start{0};
+  SimTime end{0};
+  bool executed{false};
+};
+
+struct SimResult {
+  std::vector<TaskTiming> timings;  // indexed by TaskId
+  SimTime makespan{0};
+};
+
+/// Runs the graph to completion. `stream_policies[s]` is the dispatch policy
+/// of stream s; streams not listed default to kFifoByReady.
+///
+/// Returns InvalidArgument on malformed graphs (dangling dependency, bad
+/// stream id) and FailedPrecondition if a dependency cycle leaves tasks
+/// unexecuted.
+StatusOr<SimResult> Simulate(const TaskGraph& graph,
+                             const std::vector<StreamPolicy>& stream_policies);
+
+}  // namespace dear::sim

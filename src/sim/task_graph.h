@@ -1,0 +1,74 @@
+// Task DAG consumed by the discrete-event engine.
+//
+// A task occupies one stream for `duration` simulated time once all of its
+// dependencies have completed. Streams serialize their tasks (CUDA/NCCL
+// stream semantics); the per-stream dispatch order is a property of the
+// stream (see StreamPolicy), which is how FIFO communication (WFBP, DeAR)
+// and priority-scheduled communication (ByteScheduler) are both expressed
+// on the same engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace dear::sim {
+
+using TaskId = std::int32_t;
+constexpr TaskId kInvalidTask = -1;
+
+enum class TaskKind : std::uint8_t {
+  kForward,
+  kBackward,
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kSync,   // zero-duration synchronization point
+  kOther,
+};
+
+enum class StreamPolicy : std::uint8_t {
+  /// Dispatch in readiness order (ties broken by insertion order) — models
+  /// a FIFO communication queue fed by hooks as gradients become ready.
+  kFifoByReady,
+  /// Dispatch the highest-priority ready task (lower value = higher
+  /// priority; ties broken by insertion order) — models ByteScheduler's
+  /// priority queue.
+  kPriority,
+};
+
+struct Task {
+  TaskKind kind{TaskKind::kOther};
+  std::int16_t stream{0};
+  SimTime duration{0};
+  double priority{0.0};   // meaningful on kPriority streams only
+  std::int32_t iteration{-1};  // attribution metadata
+  std::int32_t layer{-1};
+  std::int32_t group{-1};
+  std::vector<TaskId> deps;
+};
+
+class TaskGraph {
+ public:
+  TaskId Add(Task task) {
+    tasks_.push_back(std::move(task));
+    return static_cast<TaskId>(tasks_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const Task& task(TaskId id) const {
+    return tasks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] Task& task(TaskId id) {
+    return tasks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept {
+    return tasks_;
+  }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace dear::sim

@@ -1,0 +1,137 @@
+#include "train/data.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dear::train {
+
+Dataset Dataset::Shard(int rank, int world) const {
+  DEAR_CHECK(world >= 1 && rank >= 0 && rank < world);
+  Dataset shard;
+  shard.input_dim = input_dim;
+  shard.output_dim = output_dim;
+  for (int s = rank; s < num_samples; s += world) {
+    ++shard.num_samples;
+    shard.inputs.insert(shard.inputs.end(),
+                        inputs.begin() + static_cast<std::ptrdiff_t>(s) *
+                                             input_dim,
+                        inputs.begin() + static_cast<std::ptrdiff_t>(s + 1) *
+                                             input_dim);
+    shard.targets.insert(shard.targets.end(),
+                         targets.begin() + static_cast<std::ptrdiff_t>(s) *
+                                               output_dim,
+                         targets.begin() + static_cast<std::ptrdiff_t>(s + 1) *
+                                               output_dim);
+  }
+  return shard;
+}
+
+void Dataset::Batch(int begin, int batch, std::vector<float>* x,
+                    std::vector<float>* y) const {
+  DEAR_CHECK(begin >= 0 && begin + batch <= num_samples);
+  x->assign(inputs.begin() + static_cast<std::ptrdiff_t>(begin) * input_dim,
+            inputs.begin() +
+                static_cast<std::ptrdiff_t>(begin + batch) * input_dim);
+  y->assign(targets.begin() + static_cast<std::ptrdiff_t>(begin) * output_dim,
+            targets.begin() +
+                static_cast<std::ptrdiff_t>(begin + batch) * output_dim);
+}
+
+ClassificationDataset ClassificationDataset::Shard(int rank,
+                                                   int world) const {
+  DEAR_CHECK(world >= 1 && rank >= 0 && rank < world);
+  ClassificationDataset shard;
+  shard.input_dim = input_dim;
+  shard.num_classes = num_classes;
+  for (int s = rank; s < num_samples; s += world) {
+    ++shard.num_samples;
+    shard.inputs.insert(
+        shard.inputs.end(),
+        inputs.begin() + static_cast<std::ptrdiff_t>(s) * input_dim,
+        inputs.begin() + static_cast<std::ptrdiff_t>(s + 1) * input_dim);
+    shard.labels.push_back(labels[static_cast<std::size_t>(s)]);
+  }
+  return shard;
+}
+
+void ClassificationDataset::Batch(int begin, int batch, std::vector<float>* x,
+                                  std::vector<int>* y) const {
+  DEAR_CHECK(begin >= 0 && begin + batch <= num_samples);
+  x->assign(inputs.begin() + static_cast<std::ptrdiff_t>(begin) * input_dim,
+            inputs.begin() +
+                static_cast<std::ptrdiff_t>(begin + batch) * input_dim);
+  y->assign(labels.begin() + begin, labels.begin() + begin + batch);
+}
+
+ClassificationDataset MakeClassificationDataset(int num_samples,
+                                                int input_dim,
+                                                int num_classes,
+                                                std::uint64_t seed) {
+  DEAR_CHECK(num_classes >= 2);
+  Rng rng(seed);
+  // Class centers on a scaled random lattice, separated by ~2 units.
+  std::vector<float> centers(
+      static_cast<std::size_t>(num_classes) * input_dim);
+  for (auto& v : centers) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+
+  ClassificationDataset ds;
+  ds.num_samples = num_samples;
+  ds.input_dim = input_dim;
+  ds.num_classes = num_classes;
+  ds.inputs.resize(static_cast<std::size_t>(num_samples) * input_dim);
+  ds.labels.resize(static_cast<std::size_t>(num_samples));
+  for (int s = 0; s < num_samples; ++s) {
+    const int label = static_cast<int>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_classes)));
+    ds.labels[static_cast<std::size_t>(s)] = label;
+    const float* center =
+        centers.data() + static_cast<std::size_t>(label) * input_dim;
+    float* x = ds.inputs.data() + static_cast<std::size_t>(s) * input_dim;
+    for (int d = 0; d < input_dim; ++d)
+      x[d] = center[d] + 0.3f * static_cast<float>(rng.NextGaussian());
+  }
+  return ds;
+}
+
+Dataset MakeRegressionDataset(int num_samples, int input_dim, int output_dim,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.num_samples = num_samples;
+  ds.input_dim = input_dim;
+  ds.output_dim = output_dim;
+  ds.inputs.resize(static_cast<std::size_t>(num_samples) * input_dim);
+  for (auto& v : ds.inputs) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  // Fixed random teacher: tanh hidden layer of width 2*input_dim.
+  const int hidden = 2 * input_dim;
+  std::vector<float> w1(static_cast<std::size_t>(input_dim) * hidden);
+  std::vector<float> w2(static_cast<std::size_t>(hidden) * output_dim);
+  for (auto& v : w1) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : w2) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  ds.targets.resize(static_cast<std::size_t>(num_samples) * output_dim);
+  std::vector<float> h(static_cast<std::size_t>(hidden));
+  for (int s = 0; s < num_samples; ++s) {
+    const float* x = ds.inputs.data() + static_cast<std::size_t>(s) * input_dim;
+    for (int j = 0; j < hidden; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < input_dim; ++i)
+        acc += x[i] * w1[static_cast<std::size_t>(i) * hidden + j];
+      h[static_cast<std::size_t>(j)] = std::tanh(acc);
+    }
+    float* t = ds.targets.data() + static_cast<std::size_t>(s) * output_dim;
+    for (int k = 0; k < output_dim; ++k) {
+      float acc = 0.0f;
+      for (int j = 0; j < hidden; ++j)
+        acc += h[static_cast<std::size_t>(j)] *
+               w2[static_cast<std::size_t>(j) * output_dim + k];
+      t[k] = acc + 0.01f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return ds;
+}
+
+}  // namespace dear::train

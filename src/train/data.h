@@ -1,0 +1,57 @@
+// Synthetic dataset generation and sharding for data-parallel training.
+//
+// The paper trains on ImageNet/BERT corpora we do not have; for the real
+// runtime what matters is that every worker computes gradients on a
+// distinct shard of a common dataset and that the aggregated update matches
+// single-process training (DESIGN.md substitution table). A fixed seed
+// makes runs reproducible across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dear::train {
+
+struct Dataset {
+  int num_samples{0};
+  int input_dim{0};
+  int output_dim{0};
+  std::vector<float> inputs;   // num_samples x input_dim
+  std::vector<float> targets;  // num_samples x output_dim
+
+  /// Contiguous shard for `rank` of `world`: samples are dealt round-robin
+  /// so shards are equal-sized when world divides num_samples (callers
+  /// should keep it so; gradient averaging assumes equal shards).
+  [[nodiscard]] Dataset Shard(int rank, int world) const;
+
+  /// The batch [begin, begin+batch) flattened for Mlp::Forward.
+  void Batch(int begin, int batch, std::vector<float>* x,
+             std::vector<float>* y) const;
+};
+
+/// Noisy teacher: targets produced by a fixed random 2-layer network over
+/// uniform inputs — learnable but not trivially linear.
+Dataset MakeRegressionDataset(int num_samples, int input_dim, int output_dim,
+                              std::uint64_t seed);
+
+/// Labeled dataset for softmax classification.
+struct ClassificationDataset {
+  int num_samples{0};
+  int input_dim{0};
+  int num_classes{0};
+  std::vector<float> inputs;  // num_samples x input_dim
+  std::vector<int> labels;    // num_samples
+
+  [[nodiscard]] ClassificationDataset Shard(int rank, int world) const;
+  void Batch(int begin, int batch, std::vector<float>* x,
+             std::vector<int>* y) const;
+};
+
+/// Gaussian blobs: one cluster center per class, unit-ish separation —
+/// linearly separable enough that a small MLP reaches high accuracy fast.
+ClassificationDataset MakeClassificationDataset(int num_samples,
+                                                int input_dim,
+                                                int num_classes,
+                                                std::uint64_t seed);
+
+}  // namespace dear::train

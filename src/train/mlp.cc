@@ -1,0 +1,195 @@
+#include "train/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dear::train {
+
+void DenseLayer::Init(Rng& rng) {
+  w.assign(static_cast<std::size_t>(in) * out, 0.0f);
+  b.assign(static_cast<std::size_t>(out), 0.0f);
+  gw.assign(w.size(), 0.0f);
+  gb.assign(b.size(), 0.0f);
+  // Xavier-uniform initialization.
+  const float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+  for (auto& v : w)
+    v = static_cast<float>(rng.Uniform(-bound, bound));
+}
+
+std::vector<float> DenseLayer::Forward(std::span<const float> x, int batch) {
+  DEAR_CHECK(static_cast<int>(x.size()) == batch * in);
+  last_input.assign(x.begin(), x.end());
+  std::vector<float> y(static_cast<std::size_t>(batch) * out);
+  for (int n = 0; n < batch; ++n) {
+    const float* xr = x.data() + static_cast<std::size_t>(n) * in;
+    float* yr = y.data() + static_cast<std::size_t>(n) * out;
+    for (int j = 0; j < out; ++j) yr[j] = b[static_cast<std::size_t>(j)];
+    for (int i = 0; i < in; ++i) {
+      const float xi = xr[i];
+      if (xi == 0.0f) continue;
+      const float* wr = w.data() + static_cast<std::size_t>(i) * out;
+      for (int j = 0; j < out; ++j) yr[j] += xi * wr[j];
+    }
+  }
+  last_preact = y;
+  if (relu)
+    for (auto& v : y)
+      if (v < 0.0f) v = 0.0f;
+  return y;
+}
+
+std::vector<float> DenseLayer::Backward(std::span<const float> dy, int batch) {
+  DEAR_CHECK(static_cast<int>(dy.size()) == batch * out);
+  DEAR_CHECK_MSG(static_cast<int>(last_input.size()) == batch * in,
+                 "Backward without matching Forward");
+  std::vector<float> dpre(dy.begin(), dy.end());
+  if (relu) {
+    for (std::size_t i = 0; i < dpre.size(); ++i)
+      if (last_preact[i] <= 0.0f) dpre[i] = 0.0f;
+  }
+  std::vector<float> dx(static_cast<std::size_t>(batch) * in, 0.0f);
+  for (int n = 0; n < batch; ++n) {
+    const float* xr = last_input.data() + static_cast<std::size_t>(n) * in;
+    const float* dr = dpre.data() + static_cast<std::size_t>(n) * out;
+    float* dxr = dx.data() + static_cast<std::size_t>(n) * in;
+    for (int j = 0; j < out; ++j) gb[static_cast<std::size_t>(j)] += dr[j];
+    for (int i = 0; i < in; ++i) {
+      float* gwr = gw.data() + static_cast<std::size_t>(i) * out;
+      const float* wr = w.data() + static_cast<std::size_t>(i) * out;
+      const float xi = xr[i];
+      float acc = 0.0f;
+      for (int j = 0; j < out; ++j) {
+        gwr[j] += xi * dr[j];
+        acc += wr[j] * dr[j];
+      }
+      dxr[i] = acc;
+    }
+  }
+  return dx;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, std::uint64_t seed) {
+  DEAR_CHECK_MSG(dims.size() >= 2, "need at least input and output dims");
+  Rng rng(seed);
+  layers_.resize(dims.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].in = dims[l];
+    layers_[l].out = dims[l + 1];
+    layers_[l].relu = (l + 1 < layers_.size());
+    layers_[l].Init(rng);
+  }
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> x, int batch,
+                                const std::function<void(int)>& pre_layer) {
+  last_batch_ = batch;
+  std::vector<float> act(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (pre_layer) pre_layer(static_cast<int>(l));
+    act = layers_[l].Forward(act, batch);
+  }
+  return act;
+}
+
+void Mlp::Backward(std::span<const float> dy, int batch,
+                   const std::function<void(int)>& post_layer) {
+  DEAR_CHECK_MSG(batch == last_batch_, "Backward batch mismatch");
+  std::vector<float> grad(dy.begin(), dy.end());
+  for (int l = num_layers() - 1; l >= 0; --l) {
+    grad = layers_[static_cast<std::size_t>(l)].Backward(grad, batch);
+    if (post_layer) post_layer(l);
+  }
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0f);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0f);
+  }
+}
+
+float Mlp::MseLoss(std::span<const float> pred, std::span<const float> target,
+                   std::vector<float>* grad_out) {
+  DEAR_CHECK(pred.size() == target.size() && !pred.empty());
+  const auto n = static_cast<float>(pred.size());
+  float loss = 0.0f;
+  if (grad_out) grad_out->resize(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float diff = pred[i] - target[i];
+    loss += diff * diff;
+    if (grad_out) (*grad_out)[i] = 2.0f * diff / n;
+  }
+  return loss / n;
+}
+
+float Mlp::SoftmaxCrossEntropy(std::span<const float> logits,
+                               std::span<const int> labels, int classes,
+                               std::vector<float>* grad_out) {
+  DEAR_CHECK(classes > 0 &&
+             logits.size() == labels.size() * static_cast<std::size_t>(classes));
+  const auto batch = labels.size();
+  DEAR_CHECK(batch > 0);
+  if (grad_out) grad_out->assign(logits.size(), 0.0f);
+  float loss = 0.0f;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * static_cast<std::size_t>(classes);
+    // Stable softmax: subtract the row max before exponentiating.
+    float row_max = row[0];
+    for (int c = 1; c < classes; ++c) row_max = std::max(row_max, row[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < classes; ++c) denom += std::exp(row[c] - row_max);
+    const int label = labels[n];
+    DEAR_CHECK(label >= 0 && label < classes);
+    const float log_prob = row[label] - row_max - std::log(denom);
+    loss -= log_prob;
+    if (grad_out) {
+      float* g = grad_out->data() + n * static_cast<std::size_t>(classes);
+      for (int c = 0; c < classes; ++c) {
+        const float softmax = std::exp(row[c] - row_max) / denom;
+        g[c] = (softmax - (c == label ? 1.0f : 0.0f)) /
+               static_cast<float>(batch);
+      }
+    }
+  }
+  return loss / static_cast<float>(batch);
+}
+
+float Mlp::Accuracy(std::span<const float> logits, std::span<const int> labels,
+                    int classes) {
+  DEAR_CHECK(classes > 0 &&
+             logits.size() == labels.size() * static_cast<std::size_t>(classes));
+  if (labels.empty()) return 0.0f;
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < labels.size(); ++n) {
+    const float* row = logits.data() + n * static_cast<std::size_t>(classes);
+    int best = 0;
+    for (int c = 1; c < classes; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == labels[n]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+model::ModelSpec Mlp::Spec() const {
+  model::ModelSpec spec("mlp", 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    spec.AddLayer("dense" + std::to_string(l),
+                  {layers_[l].w.size(), layers_[l].b.size()});
+  }
+  spec.AssignComputeTimes(Microseconds(100.0 * layers_.size()));
+  return spec;
+}
+
+std::vector<ParamBinding> Mlp::Bindings() {
+  std::vector<ParamBinding> bindings;
+  bindings.reserve(layers_.size() * 2);
+  for (auto& layer : layers_) {
+    bindings.push_back({std::span<float>(layer.w), std::span<float>(layer.gw)});
+    bindings.push_back({std::span<float>(layer.b), std::span<float>(layer.gb)});
+  }
+  return bindings;
+}
+
+}  // namespace dear::train

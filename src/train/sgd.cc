@@ -1,0 +1,41 @@
+#include "train/sgd.h"
+
+#include "common/logging.h"
+
+namespace dear::train {
+
+Sgd::Sgd(const std::vector<std::size_t>& tensor_sizes, SgdOptions options)
+    : options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(tensor_sizes.size());
+    for (std::size_t n : tensor_sizes)
+      velocity_.emplace_back(n, 0.0f);
+  } else {
+    velocity_.resize(tensor_sizes.size());  // empty slots: no state needed
+  }
+}
+
+void Sgd::Step(int index, std::span<float> values,
+               std::span<const float> grads) {
+  StepSlice(index, 0, values, grads);
+}
+
+void Sgd::StepSlice(int index, std::size_t offset, std::span<float> values,
+                    std::span<const float> grads) {
+  DEAR_CHECK(values.size() == grads.size());
+  DEAR_CHECK(index >= 0 &&
+             static_cast<std::size_t>(index) < velocity_.size());
+  if (options_.momentum != 0.0f) {
+    auto& v = velocity_[static_cast<std::size_t>(index)];
+    DEAR_CHECK(offset + values.size() <= v.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      v[offset + i] = options_.momentum * v[offset + i] + grads[i];
+      values[i] -= options_.lr * v[offset + i];
+    }
+  } else {
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] -= options_.lr * grads[i];
+  }
+}
+
+}  // namespace dear::train

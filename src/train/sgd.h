@@ -1,0 +1,41 @@
+// Plain SGD with optional momentum, operating on externally owned spans so
+// the distributed optimizer can apply updates tensor-by-tensor (DeAR's
+// FeedPipe applies each group's update lazily right before that group's
+// first forward use).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dear::train {
+
+struct SgdOptions {
+  float lr{0.01f};
+  float momentum{0.0f};
+};
+
+class Sgd {
+ public:
+  /// `tensor_sizes[i]` is the element count of tensor i; momentum state is
+  /// allocated per tensor.
+  Sgd(const std::vector<std::size_t>& tensor_sizes, SgdOptions options);
+
+  /// Applies w -= lr * (momentum-corrected) grad to tensor `index`.
+  void Step(int index, std::span<float> values, std::span<const float> grads);
+
+  /// Applies the update to elements [offset, offset + values.size()) of
+  /// tensor `index` only — the sharded (ZeRO-style) optimizer step, where
+  /// each rank owns a contiguous slice of the flattened parameters. The
+  /// momentum state of the slice evolves independently, so correctness
+  /// requires each element to always be updated by the same owner.
+  void StepSlice(int index, std::size_t offset, std::span<float> values,
+                 std::span<const float> grads);
+
+  [[nodiscard]] const SgdOptions& options() const noexcept { return options_; }
+
+ private:
+  SgdOptions options_;
+  std::vector<std::vector<float>> velocity_;  // empty when momentum == 0
+};
+
+}  // namespace dear::train

@@ -1,0 +1,145 @@
+// CommEngine: background execution, ordering, overlap with compute, and
+// shutdown behavior.
+#include "comm/async.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/worker_group.h"
+#include "common/math_util.h"
+
+namespace dear::comm {
+namespace {
+
+TEST(CommEngineTest, AllReduceCompletesAndAverages) {
+  constexpr int kWorld = 4;
+  RunOnRanks(kWorld, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<float> data(10, static_cast<float>(comm.rank() + 1));
+    auto handle = engine.SubmitAllReduce(data, ReduceOp::kAvg);
+    ASSERT_TRUE(handle.Wait().ok());
+    for (float v : data) ASSERT_FLOAT_EQ(v, 2.5f);  // avg of 1..4
+  });
+}
+
+TEST(CommEngineTest, DecoupledPairMatchesAllReduce) {
+  constexpr int kWorld = 3;
+  RunOnRanks(kWorld, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<float> data(64, static_cast<float>(comm.rank()));
+    auto rs = engine.SubmitReduceScatter(data);
+    ASSERT_TRUE(rs.Wait().ok());
+    auto ag = engine.SubmitAllGather(data);
+    ASSERT_TRUE(ag.Wait().ok());
+    for (float v : data) ASSERT_FLOAT_EQ(v, 3.0f);  // 0+1+2
+  });
+}
+
+TEST(CommEngineTest, PipelinedSubmissionsExecuteInOrder) {
+  // Submit many collectives without waiting; results must all be correct —
+  // exercises the FIFO stream while the compute thread keeps working.
+  constexpr int kWorld = 3;
+  constexpr int kOps = 20;
+  RunOnRanks(kWorld, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<std::vector<float>> buffers(kOps);
+    std::vector<CollectiveHandle> handles(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      buffers[i].assign(16 + i, static_cast<float>(comm.rank() + i));
+      handles[i] = engine.SubmitAllReduce(buffers[i]);
+    }
+    for (int i = 0; i < kOps; ++i) {
+      ASSERT_TRUE(handles[i].Wait().ok());
+      const float want = static_cast<float>(3 * i + 0 + 1 + 2);
+      for (float v : buffers[i]) ASSERT_FLOAT_EQ(v, want);
+    }
+  });
+}
+
+TEST(CommEngineTest, BackPipeFeedPipeInterleaving) {
+  // DeAR's pattern: RS per group during BP, then AG per group in reverse
+  // order; the engine must keep both phases strictly FIFO.
+  constexpr int kWorld = 4;
+  constexpr int kGroups = 5;
+  RunOnRanks(kWorld, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<std::vector<float>> buffers(kGroups);
+    std::vector<CollectiveHandle> rs(kGroups), ag(kGroups);
+    // BackPipe: groups ready last-to-first.
+    for (int g = kGroups - 1; g >= 0; --g) {
+      buffers[g].assign(12, static_cast<float>(comm.rank() + 10 * g));
+      rs[g] = engine.SubmitReduceScatter(buffers[g], ReduceOp::kAvg);
+    }
+    for (auto& h : rs) ASSERT_TRUE(h.Wait().ok());
+    // FeedPipe: all-gathers first-to-last.
+    for (int g = 0; g < kGroups; ++g)
+      ag[g] = engine.SubmitAllGather(buffers[g]);
+    for (int g = 0; g < kGroups; ++g) {
+      ASSERT_TRUE(ag[g].Wait().ok());
+      const float want = 10.0f * g + 1.5f;  // avg of ranks 0..3 = 1.5
+      for (float v : buffers[g]) ASSERT_FLOAT_EQ(v, want);
+    }
+  });
+}
+
+TEST(CommEngineTest, BarrierSynchronizes) {
+  RunOnRanks(4, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    ASSERT_TRUE(engine.SubmitBarrier().Wait().ok());
+  });
+}
+
+TEST(CommEngineTest, BroadcastFromRoot) {
+  RunOnRanks(5, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<float> data(3, comm.rank() == 2 ? 42.0f : 0.0f);
+    ASSERT_TRUE(engine.SubmitBroadcast(data, /*root=*/2).Wait().ok());
+    for (float v : data) ASSERT_FLOAT_EQ(v, 42.0f);
+  });
+}
+
+TEST(CommEngineTest, HierarchicalDecoupledPair) {
+  constexpr int kWorld = 4;
+  RunOnRanks(kWorld, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<float> data(40, static_cast<float>(comm.rank() + 1));
+    auto rs = engine.SubmitHierarchicalReduceScatter(data, /*rpn=*/2,
+                                                     ReduceOp::kAvg);
+    ASSERT_TRUE(rs.Wait().ok());
+    auto ag = engine.SubmitHierarchicalAllGather(data, /*rpn=*/2);
+    ASSERT_TRUE(ag.Wait().ok());
+    for (float v : data) ASSERT_FLOAT_EQ(v, 2.5f);
+  });
+}
+
+TEST(CommEngineTest, SubmitAfterShutdownReturnsUnavailable) {
+  RunOnRanks(2, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    engine.Shutdown();
+    std::vector<float> data(4, 1.0f);
+    auto handle = engine.SubmitAllReduce(data);
+    EXPECT_EQ(handle.Wait().code(), StatusCode::kUnavailable);
+  });
+}
+
+TEST(CommEngineTest, DefaultHandleIsCompletedOk) {
+  CollectiveHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_TRUE(handle.Wait().ok());
+}
+
+TEST(CommEngineTest, WaitIsIdempotent) {
+  RunOnRanks(2, [&](Communicator& comm) {
+    CommEngine engine(comm);
+    std::vector<float> data(4, 1.0f);
+    auto handle = engine.SubmitAllReduce(data);
+    ASSERT_TRUE(handle.Wait().ok());
+    ASSERT_TRUE(handle.Wait().ok());
+    auto copy = handle;
+    ASSERT_TRUE(copy.Wait().ok());
+  });
+}
+
+}  // namespace
+}  // namespace dear::comm

@@ -1,0 +1,99 @@
+// Online BO tuner: window accounting, rank-agreement on the adopted buffer
+// size, and convergence toward the throughput-optimal configuration when
+// fed a synthetic throughput curve.
+#include "core/auto_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "comm/worker_group.h"
+#include "train/mlp.h"
+
+namespace dear::core {
+namespace {
+
+const std::vector<int> kDims{4, 8, 2};
+
+double SyntheticThroughput(double mb) {
+  // Unimodal curve peaking at 35 MB, like Fig. 3.
+  return 1000.0 - 0.5 * (mb - 35.0) * (mb - 35.0);
+}
+
+TEST(AutoTunerTest, NoRetuneBeforeWindowCloses) {
+  comm::RunOnRanks(2, [&](comm::Communicator& comm) {
+    train::Mlp mlp(kDims, 1);
+    DistOptim optim(comm, mlp.Spec(), mlp.Bindings(), {});
+    AutoTunerOptions opts;
+    opts.window_iters = 5;
+    AutoTuner tuner(&optim, opts);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_FALSE(tuner.OnIterationEnd(100.0));
+    EXPECT_TRUE(tuner.OnIterationEnd(100.0));  // 5th closes the window
+  });
+}
+
+TEST(AutoTunerTest, AllRanksAdoptTheSameBufferSize) {
+  std::mutex mu;
+  std::vector<std::size_t> adopted;
+  comm::RunOnRanks(4, [&](comm::Communicator& comm) {
+    train::Mlp mlp(kDims, 1);
+    DistOptim optim(comm, mlp.Spec(), mlp.Bindings(), {});
+    AutoTunerOptions opts;
+    opts.window_iters = 2;
+    AutoTuner tuner(&optim, opts);
+    for (int i = 0; i < 6; ++i) tuner.OnIterationEnd(50.0);
+    std::lock_guard<std::mutex> lock(mu);
+    adopted.push_back(optim.buffer_bytes());
+  });
+  ASSERT_EQ(adopted.size(), 4u);
+  EXPECT_EQ(adopted[1], adopted[0]);
+  EXPECT_EQ(adopted[2], adopted[0]);
+  EXPECT_EQ(adopted[3], adopted[0]);
+}
+
+TEST(AutoTunerTest, ConvergesNearSyntheticOptimum) {
+  comm::RunOnRanks(2, [&](comm::Communicator& comm) {
+    train::Mlp mlp(kDims, 1);
+    DistOptimOptions options;
+    options.buffer_bytes = 25u << 20;  // paper's 25 MB default start
+    DistOptim optim(comm, mlp.Spec(), mlp.Bindings(), options);
+    AutoTunerOptions opts;
+    opts.window_iters = 1;
+    opts.max_trials = 15;
+    AutoTuner tuner(&optim, opts);
+    while (!tuner.done()) {
+      const double mb =
+          static_cast<double>(optim.buffer_bytes()) / (1024.0 * 1024.0);
+      tuner.OnIterationEnd(SyntheticThroughput(mb));
+    }
+    if (comm.rank() == 0) {
+      EXPECT_NEAR(tuner.best_mb(), 35.0, 10.0);
+    }
+    // After max_trials the adopted size is the best observed one.
+    const double final_mb =
+        static_cast<double>(optim.buffer_bytes()) / (1024.0 * 1024.0);
+    EXPECT_NEAR(final_mb, 35.0, 10.0);
+  });
+}
+
+TEST(AutoTunerTest, StopsProposingWhenDone) {
+  comm::RunOnRanks(2, [&](comm::Communicator& comm) {
+    train::Mlp mlp(kDims, 1);
+    DistOptim optim(comm, mlp.Spec(), mlp.Bindings(), {});
+    AutoTunerOptions opts;
+    opts.window_iters = 1;
+    opts.max_trials = 3;
+    AutoTuner tuner(&optim, opts);
+    int retunes = 0;
+    for (int i = 0; i < 10; ++i)
+      if (tuner.OnIterationEnd(10.0)) ++retunes;
+    EXPECT_EQ(retunes, 3);
+    EXPECT_TRUE(tuner.done());
+    EXPECT_EQ(tuner.trials(), 3);
+  });
+}
+
+}  // namespace
+}  // namespace dear::core

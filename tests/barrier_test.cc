@@ -1,0 +1,77 @@
+#include "common/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dear {
+namespace {
+
+TEST(CyclicBarrierTest, SinglePartyNeverBlocks) {
+  CyclicBarrier barrier(1);
+  barrier.Wait();
+  barrier.Wait();
+}
+
+TEST(CyclicBarrierTest, AllThreadsObservePhaseTogether) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.Wait();
+        // After the barrier, all increments of this phase must be visible.
+        if (counter.load() < (phase + 1) * kThreads) violation = true;
+        barrier.Wait();  // keep phases separated
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation);
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+TEST(LatchTest, WaitReturnsAfterCountDown) {
+  Latch latch(3);
+  std::thread worker([&] {
+    latch.CountDown();
+    latch.CountDown();
+    latch.CountDown();
+  });
+  latch.Wait();  // must not hang
+  worker.join();
+}
+
+TEST(LatchTest, ExtraCountDownIsHarmless) {
+  Latch latch(1);
+  latch.CountDown();
+  latch.CountDown();
+  latch.Wait();
+}
+
+TEST(LatchTest, MultipleWaitersAllReleased) {
+  Latch latch(1);
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      latch.Wait();
+      released.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  latch.CountDown();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(released.load(), 4);
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,108 @@
+#include "common/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dear {
+namespace {
+
+TEST(ChannelTest, SendThenRecv) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.Send(7));
+  auto v = ch.Recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.Send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*ch.Recv(), i);
+}
+
+TEST(ChannelTest, TryRecvEmptyReturnsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.TryRecv().has_value());
+  ch.Send(1);
+  EXPECT_TRUE(ch.TryRecv().has_value());
+  EXPECT_FALSE(ch.TryRecv().has_value());
+}
+
+TEST(ChannelTest, SendAfterCloseFails) {
+  Channel<int> ch;
+  ch.Close();
+  EXPECT_FALSE(ch.Send(1));
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(ChannelTest, RecvDrainsAfterClose) {
+  Channel<int> ch;
+  ch.Send(1);
+  ch.Send(2);
+  ch.Close();
+  EXPECT_EQ(*ch.Recv(), 1);
+  EXPECT_EQ(*ch.Recv(), 2);
+  EXPECT_FALSE(ch.Recv().has_value());
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceiver) {
+  Channel<int> ch;
+  std::atomic<bool> woke{false};
+  std::thread receiver([&] {
+    const auto v = ch.Recv();
+    EXPECT_FALSE(v.has_value());
+    woke = true;
+  });
+  // Give the receiver a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.Close();
+  receiver.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(ChannelTest, BlockingRecvGetsLaterSend) {
+  Channel<int> ch;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.Send(99);
+  });
+  EXPECT_EQ(*ch.Recv(), 99);
+  sender.join();
+}
+
+TEST(ChannelTest, ManyProducersOneConsumerDeliversEverything) {
+  Channel<int> ch;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.Send(p * kPerProducer + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto v = ch.Recv();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_GE(*v, 0);
+    ASSERT_LT(*v, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(*v)]);
+    seen[static_cast<std::size_t>(*v)] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(ChannelTest, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch;
+  ch.Send(std::make_unique<int>(5));
+  auto v = ch.Recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,128 @@
+// dearsim CLI: subcommand routing, flag handling, and output contents.
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dear::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunDearsim(std::vector<const char*> args) {
+  args.insert(args.begin(), "dearsim");
+  std::ostringstream out, err;
+  const int code =
+      RunCli(static_cast<int>(args.size()), args.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoArgsPrintsUsageAndFails) {
+  const auto r = RunDearsim({});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownSubcommandFails) {
+  const auto r = RunDearsim({"frobnicate"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(CliTest, HelpShowsFlags) {
+  const auto r = RunDearsim({"simulate", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("--scheduler"), std::string::npos);
+}
+
+TEST(CliTest, ModelsListsZoo) {
+  const auto r = RunDearsim({"models"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"resnet50", "bert_large", "vgg16"})
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+}
+
+TEST(CliTest, SimulateReportsMetrics) {
+  const auto r = RunDearsim({"simulate", "--model=bert_base", "--gpus=16",
+                      "--network=10gbe", "--scheduler=dear"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("iteration time"), std::string::npos);
+  EXPECT_NE(r.out.find("throughput"), std::string::npos);
+  EXPECT_NE(r.out.find("speedup"), std::string::npos);
+}
+
+TEST(CliTest, SimulateGanttRendersStreams) {
+  const auto r = RunDearsim({"simulate", "--model=resnet50", "--gpus=8", "--gantt"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("stream 0 |"), std::string::npos);
+  EXPECT_NE(r.out.find("stream 1 |"), std::string::npos);
+}
+
+TEST(CliTest, SimulateEveryScheduler) {
+  for (const char* sched : {"sequential", "wfbp", "ddp", "horovod", "mg-wfbp",
+                            "bytescheduler", "dear", "zero"}) {
+    const auto r = RunDearsim({"simulate", "--model=alexnet", "--gpus=8",
+                        "--scheduler", sched});
+    EXPECT_EQ(r.code, 0) << sched << ": " << r.err;
+  }
+}
+
+TEST(CliTest, SimulateRejectsBadInputs) {
+  EXPECT_NE(RunDearsim({"simulate", "--model=notamodel"}).code, 0);
+  EXPECT_NE(RunDearsim({"simulate", "--network=carrierpigeon"}).code, 0);
+  EXPECT_NE(RunDearsim({"simulate", "--scheduler=yolo"}).code, 0);
+  EXPECT_NE(RunDearsim({"simulate", "--gpus=abc"}).code, 0);
+}
+
+TEST(CliTest, CompareListsEveryScheduler) {
+  const auto r = RunDearsim({"compare", "--model=bert_base", "--gpus=16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* sched : {"sequential", "wfbp", "bytescheduler", "horovod",
+                            "pytorch-ddp", "mg-wfbp", "zero", "dear"})
+    EXPECT_NE(r.out.find(sched), std::string::npos) << sched;
+}
+
+TEST(CliTest, CompareCsvIsMachineReadable) {
+  const auto r =
+      RunDearsim({"compare", "--model=alexnet", "--gpus=8", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scheduler,iter_ms,throughput,speedup,"),
+            std::string::npos);
+  // 8 schedulers + header = 9 lines.
+  EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 9);
+  EXPECT_EQ(r.out.find("|"), std::string::npos);  // no pretty-printing
+}
+
+TEST(CliTest, TunePrintsTrialsAndBest) {
+  const auto r = RunDearsim({"tune", "--model=densenet201", "--gpus=16",
+                      "--trials=5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trial"), std::string::npos);
+  EXPECT_NE(r.out.find("best:"), std::string::npos);
+}
+
+TEST(CliTest, SweepCoversClusterSizes) {
+  const auto r = RunDearsim({"sweep", "--model=resnet50", "--scheduler=dear"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("gpus"), std::string::npos);
+  EXPECT_NE(r.out.find("256"), std::string::npos);
+  EXPECT_NE(r.out.find("efficiency"), std::string::npos);
+}
+
+TEST(CliTest, BatchSizeOverrideChangesThroughput) {
+  const auto a = RunDearsim({"simulate", "--model=resnet50", "--gpus=4",
+                      "--batch-size=16"});
+  const auto b = RunDearsim({"simulate", "--model=resnet50", "--gpus=4",
+                      "--batch-size=64"});
+  EXPECT_EQ(a.code, 0);
+  EXPECT_EQ(b.code, 0);
+  EXPECT_NE(a.out, b.out);
+}
+
+}  // namespace
+}  // namespace dear::cli

@@ -1,0 +1,294 @@
+// The alpha-beta cost model: Eq. 3-5 identities, the paper's measured
+// anchor points, and qualitative properties (monotonicity, startup scaling)
+// the scheduling results depend on.
+#include "comm/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace dear::comm {
+namespace {
+
+TEST(CostModelTest, SingleWorkerIsFree) {
+  const CostModel cost(NetworkModel::TenGbE(), 1);
+  EXPECT_EQ(cost.RingAllReduce(MiB(10)), 0);
+  EXPECT_EQ(cost.ReduceScatter(MiB(10)), 0);
+  EXPECT_EQ(cost.AllGather(MiB(10)), 0);
+  EXPECT_EQ(cost.TreeAllReduce(MiB(10)), 0);
+}
+
+TEST(CostModelTest, DecouplingIsZeroOverhead) {
+  // The core DeAR property (paper §III-A, Fig. 5): t_rs + t_ag == t_ar.
+  for (int p : {2, 4, 16, 64, 128}) {
+    const CostModel cost(NetworkModel::TenGbE(), p);
+    for (std::size_t bytes : {KiB(1), KiB(100), MiB(1), MiB(25), MiB(100)}) {
+      const SimTime rs = cost.ReduceScatter(bytes);
+      const SimTime ag = cost.AllGather(bytes);
+      const SimTime ar = cost.RingAllReduce(bytes);
+      EXPECT_NEAR(static_cast<double>(rs + ag), static_cast<double>(ar), 2.0)
+          << "p=" << p << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(CostModelTest, RsAndAgHaveEqualCost) {
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  for (std::size_t bytes : {KiB(4), MiB(1), MiB(64)})
+    EXPECT_EQ(cost.ReduceScatter(bytes), cost.AllGather(bytes));
+}
+
+TEST(CostModelTest, PaperAnchor1MBAllReduce64Gpu10GbE) {
+  // §II-D: "all-reducing a 1MB message takes around 4.5ms" on 64 GPUs/10GbE.
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  const double ms = ToMilliseconds(cost.RingAllReduce(1000 * 1000));
+  EXPECT_NEAR(ms, 4.5, 0.45);
+}
+
+TEST(CostModelTest, PaperAnchor500KBAllReduce64Gpu10GbE) {
+  // §II-D: "all-reducing a 500KB message takes around 3.9ms".
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  const double ms = ToMilliseconds(cost.RingAllReduce(500 * 1000));
+  EXPECT_NEAR(ms, 3.9, 0.4);
+}
+
+TEST(CostModelTest, PartitioningAddsStartupOverhead) {
+  // §II-D's argument against tensor partitioning: two 500KB all-reduces
+  // cost more than one 1MB all-reduce.
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  EXPECT_GT(2 * cost.RingAllReduce(500 * 1000),
+            cost.RingAllReduce(1000 * 1000));
+}
+
+TEST(CostModelTest, FusionSavesStartup) {
+  // Dually: one fused message beats n separate messages of 1/n size.
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  const std::size_t total = MiB(25);
+  SimTime split = 0;
+  for (int i = 0; i < 10; ++i) split += cost.RingAllReduce(total / 10);
+  EXPECT_GT(split, cost.RingAllReduce(total));
+}
+
+TEST(CostModelTest, StartupScalesLinearlyWithWorkers) {
+  // Ring startup term is 2(P-1)alpha: latency-bound small messages scale
+  // linearly in P (the paper's motivation for fusion).
+  const CostModel c16(NetworkModel::TenGbE(), 16);
+  const CostModel c64(NetworkModel::TenGbE(), 64);
+  const double t16 = static_cast<double>(c16.RingAllReduce(64));
+  const double t64 = static_cast<double>(c64.RingAllReduce(64));
+  EXPECT_NEAR(t64 / t16, 63.0 / 15.0, 0.05);
+}
+
+TEST(CostModelTest, MonotoneInMessageSize) {
+  const CostModel cost(NetworkModel::HundredGbIB(), 64);
+  SimTime prev = -1;
+  for (std::size_t bytes = 1024; bytes <= MiB(128); bytes *= 2) {
+    const SimTime t = cost.RingAllReduce(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, IbIsFasterThanEthernetEverywhere) {
+  const CostModel eth(NetworkModel::TenGbE(), 64);
+  const CostModel ib(NetworkModel::HundredGbIB(), 64);
+  for (std::size_t bytes = 256; bytes <= MiB(256); bytes *= 4)
+    EXPECT_LT(ib.RingAllReduce(bytes), eth.RingAllReduce(bytes));
+}
+
+TEST(CostModelTest, TreeBeatsRingOnLatencyBoundMessages) {
+  // log(P) startup vs linear-in-P startup.
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  EXPECT_LT(cost.TreeAllReduce(256), cost.RingAllReduce(256));
+  // ...but loses at bandwidth-bound sizes (log P full-size transfers).
+  EXPECT_GT(cost.TreeAllReduce(MiB(100)), cost.RingAllReduce(MiB(100)));
+}
+
+TEST(CostModelTest, DoubleBinaryTreeHalvesTreeBandwidthTerm) {
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  const SimTime tree = cost.TreeAllReduce(MiB(64));
+  const SimTime dbt = cost.DoubleBinaryTreeAllReduce(MiB(64));
+  EXPECT_LT(dbt, tree);
+  EXPECT_GT(dbt, tree / 2 - Microseconds(1));
+}
+
+TEST(CostModelTest, HierarchicalReducesToRingForOneRankPerNode) {
+  const CostModel cost(NetworkModel::TenGbE(), 8);
+  // rpn=1: no intra phase; leader ring spans everyone.
+  EXPECT_EQ(cost.HierarchicalAllReduce(MiB(4), 1),
+            cost.RingAllReduce(MiB(4)));
+}
+
+TEST(CostModelTest, NegotiationLatencyIsLogP) {
+  const NetworkModel net = NetworkModel::TenGbE();
+  const CostModel c64(net, 64);
+  const CostModel c2(net, 2);
+  EXPECT_EQ(c64.NegotiationLatency(), Seconds(6 * net.alpha_s));
+  EXPECT_EQ(c2.NegotiationLatency(), Seconds(net.alpha_s));
+  EXPECT_EQ(CostModel(net, 1).NegotiationLatency(), 0);
+}
+
+TEST(CostModelTest, BandwidthBoundIsLowerBoundOnRing) {
+  for (int p : {2, 8, 64}) {
+    const CostModel cost(NetworkModel::TenGbE(), p);
+    for (std::size_t bytes : {KiB(10), MiB(1), MiB(100)}) {
+      EXPECT_LE(cost.AllReduceBandwidthBound(bytes),
+                cost.RingAllReduce(bytes));
+    }
+  }
+}
+
+TEST(CostModelTest, DispatchCoversEveryAlgorithm) {
+  const CostModel cost(NetworkModel::TenGbE(), 16);
+  EXPECT_EQ(cost.Dispatch(Algorithm::kRing, MiB(1)),
+            cost.RingAllReduce(MiB(1)));
+  EXPECT_EQ(cost.Dispatch(Algorithm::kReduceScatterAllGather, MiB(1)),
+            cost.RingAllReduce(MiB(1)));
+  EXPECT_EQ(cost.Dispatch(Algorithm::kTree, MiB(1)),
+            cost.TreeAllReduce(MiB(1)));
+  EXPECT_EQ(cost.Dispatch(Algorithm::kDoubleBinaryTree, MiB(1)),
+            cost.DoubleBinaryTreeAllReduce(MiB(1)));
+  EXPECT_EQ(cost.Dispatch(Algorithm::kHierarchical, MiB(1), 4),
+            cost.HierarchicalAllReduce(MiB(1), 4));
+}
+
+TEST(CostModelTest, AllDecouplingsAreZeroOverhead) {
+  // §VII-A: every supported algorithm splits into two halves whose costs
+  // sum exactly to the fused collective — the property that makes DeAR
+  // generalize beyond the ring.
+  for (int p : {4, 16, 64}) {
+    const CostModel cost(NetworkModel::TenGbE(), p);
+    for (std::size_t bytes : {KiB(64), MiB(4), MiB(64)}) {
+      EXPECT_NEAR(static_cast<double>(cost.TreeReduce(bytes) +
+                                      cost.TreeBroadcast(bytes)),
+                  static_cast<double>(cost.TreeAllReduce(bytes)), 2.0);
+      EXPECT_NEAR(static_cast<double>(cost.DoubleBinaryTreeReduce(bytes) +
+                                      cost.DoubleBinaryTreeBroadcast(bytes)),
+                  static_cast<double>(cost.DoubleBinaryTreeAllReduce(bytes)),
+                  2.0);
+      EXPECT_NEAR(
+          static_cast<double>(cost.HierarchicalReduceScatter(bytes, 4) +
+                              cost.HierarchicalAllGather(bytes, 4)),
+          static_cast<double>(cost.HierarchicalAllReduce(bytes, 4)), 2.0);
+    }
+  }
+}
+
+TEST(CostModelTest, RecursiveHalvingDoublingDominatesRingAndTree) {
+  // Rabenseifner has the ring's bandwidth term with the tree's startup:
+  // never worse than the ring; beats the tree at bandwidth-bound sizes.
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  for (std::size_t bytes = 256; bytes <= MiB(128); bytes *= 8) {
+    EXPECT_LE(cost.RecursiveHalvingDoublingAllReduce(bytes),
+              cost.RingAllReduce(bytes))
+        << bytes;
+  }
+  EXPECT_LT(cost.RecursiveHalvingDoublingAllReduce(MiB(64)),
+            cost.TreeAllReduce(MiB(64)));
+  // ... and its decoupling is free too.
+  for (std::size_t bytes : {KiB(64), MiB(16)}) {
+    EXPECT_NEAR(
+        static_cast<double>(cost.RecursiveHalvingReduceScatter(bytes) +
+                            cost.RecursiveDoublingAllGather(bytes)),
+        static_cast<double>(cost.RecursiveHalvingDoublingAllReduce(bytes)),
+        2.0);
+  }
+}
+
+TEST(CostModelTest, SegmentedAllReduceTradesStartupForGranularity) {
+  const CostModel cost(NetworkModel::TenGbE(), 64);
+  const std::size_t total = MiB(64);
+  // More segments -> more startups -> strictly more total time.
+  SimTime prev = cost.RingAllReduce(total);
+  for (std::size_t seg : {MiB(32), MiB(8), MiB(1)}) {
+    const SimTime t = cost.SegmentedRingAllReduce(total, seg);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Degenerate segment sizes fall back to the unsegmented cost.
+  EXPECT_EQ(cost.SegmentedRingAllReduce(total, 0), cost.RingAllReduce(total));
+  EXPECT_EQ(cost.SegmentedRingAllReduce(total, total * 2),
+            cost.RingAllReduce(total));
+}
+
+// Systematic grid: every algorithm, several world sizes and payloads, on
+// both paper networks — costs are positive, finite, monotone in payload,
+// and dispatch agrees with the direct call.
+struct GridCase {
+  comm::Algorithm algorithm;
+  int world;
+  bool ib;
+};
+
+class CostGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CostGrid, BasicProperties) {
+  const GridCase c = GetParam();
+  const CostModel cost(
+      c.ib ? NetworkModel::HundredGbIB() : NetworkModel::TenGbE(), c.world);
+  SimTime prev = -1;
+  for (std::size_t bytes = 64; bytes <= MiB(64); bytes *= 16) {
+    const SimTime t = cost.Dispatch(c.algorithm, bytes, /*ranks_per_node=*/4);
+    if (c.world == 1) {
+      EXPECT_EQ(t, 0);
+      continue;
+    }
+    EXPECT_GT(t, 0) << bytes;
+    EXPECT_GT(t, prev) << bytes;  // strictly monotone in payload
+    prev = t;
+    // Dispatch must match the direct call.
+    SimTime direct = 0;
+    switch (c.algorithm) {
+      case Algorithm::kRing:
+      case Algorithm::kReduceScatterAllGather:
+        direct = cost.RingAllReduce(bytes);
+        break;
+      case Algorithm::kTree:
+        direct = cost.TreeAllReduce(bytes);
+        break;
+      case Algorithm::kDoubleBinaryTree:
+        direct = cost.DoubleBinaryTreeAllReduce(bytes);
+        break;
+      case Algorithm::kHierarchical:
+        direct = cost.HierarchicalAllReduce(bytes, 4);
+        break;
+      case Algorithm::kRecursiveHalvingDoubling:
+        direct = cost.RecursiveHalvingDoublingAllReduce(bytes);
+        break;
+    }
+    EXPECT_EQ(t, direct) << bytes;
+  }
+}
+
+std::vector<GridCase> MakeCostGrid() {
+  std::vector<GridCase> grid;
+  for (auto alg :
+       {Algorithm::kRing, Algorithm::kTree, Algorithm::kDoubleBinaryTree,
+        Algorithm::kHierarchical, Algorithm::kRecursiveHalvingDoubling}) {
+    for (int world : {1, 4, 16, 64, 256}) {
+      for (bool ib : {false, true}) grid.push_back({alg, world, ib});
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostGrid, ::testing::ValuesIn(MakeCostGrid()),
+    [](const auto& info) {
+      std::string name{AlgorithmName(info.param.algorithm)};
+      for (char& c : name)
+        if (c == '-' || c == '+') c = '_';
+      return name + "_p" + std::to_string(info.param.world) +
+             (info.param.ib ? "_ib" : "_eth");
+    });
+
+TEST(CostModelTest, NetworkPresetsAreSane) {
+  const auto eth = NetworkModel::TenGbE();
+  EXPECT_NEAR(eth.bandwidth_bytes_per_s(), 1.25e9, 1e6);
+  const auto ib = NetworkModel::HundredGbIB();
+  EXPECT_GT(ib.bandwidth_bytes_per_s(), 4e9);
+  EXPECT_LT(ib.alpha_s, eth.alpha_s);
+}
+
+}  // namespace
+}  // namespace dear::comm

@@ -1,0 +1,126 @@
+#include "train/data.h"
+
+#include <gtest/gtest.h>
+
+namespace dear::train {
+namespace {
+
+TEST(DataTest, ShapesMatchRequest) {
+  const Dataset ds = MakeRegressionDataset(100, 6, 3, 42);
+  EXPECT_EQ(ds.num_samples, 100);
+  EXPECT_EQ(ds.inputs.size(), 600u);
+  EXPECT_EQ(ds.targets.size(), 300u);
+}
+
+TEST(DataTest, DeterministicPerSeed) {
+  const Dataset a = MakeRegressionDataset(10, 4, 2, 7);
+  const Dataset b = MakeRegressionDataset(10, 4, 2, 7);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.targets, b.targets);
+  const Dataset c = MakeRegressionDataset(10, 4, 2, 8);
+  EXPECT_NE(a.inputs, c.inputs);
+}
+
+TEST(DataTest, InputsBounded) {
+  const Dataset ds = MakeRegressionDataset(200, 5, 1, 3);
+  for (float v : ds.inputs) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(DataTest, TargetsAreNonTrivial) {
+  const Dataset ds = MakeRegressionDataset(200, 5, 2, 3);
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : ds.targets) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.1f);  // the teacher produces varied targets
+}
+
+TEST(DataTest, RoundRobinShardsPartitionSamples) {
+  const Dataset ds = MakeRegressionDataset(12, 2, 1, 5);
+  const int world = 3;
+  std::vector<Dataset> shards;
+  int total = 0;
+  for (int r = 0; r < world; ++r) {
+    shards.push_back(ds.Shard(r, world));
+    total += shards.back().num_samples;
+  }
+  EXPECT_EQ(total, ds.num_samples);
+  // Shard r's sample k is global sample k*world + r.
+  for (int r = 0; r < world; ++r) {
+    for (int k = 0; k < shards[static_cast<std::size_t>(r)].num_samples; ++k) {
+      const int global = k * world + r;
+      for (int d = 0; d < 2; ++d) {
+        EXPECT_EQ(shards[static_cast<std::size_t>(r)]
+                      .inputs[static_cast<std::size_t>(k * 2 + d)],
+                  ds.inputs[static_cast<std::size_t>(global * 2 + d)]);
+      }
+    }
+  }
+}
+
+TEST(DataTest, ShardOfOneIsIdentity) {
+  const Dataset ds = MakeRegressionDataset(7, 3, 2, 9);
+  const Dataset shard = ds.Shard(0, 1);
+  EXPECT_EQ(shard.inputs, ds.inputs);
+  EXPECT_EQ(shard.targets, ds.targets);
+}
+
+TEST(DataTest, UnevenShardSizes) {
+  const Dataset ds = MakeRegressionDataset(10, 1, 1, 9);
+  EXPECT_EQ(ds.Shard(0, 3).num_samples, 4);  // samples 0,3,6,9
+  EXPECT_EQ(ds.Shard(1, 3).num_samples, 3);
+  EXPECT_EQ(ds.Shard(2, 3).num_samples, 3);
+}
+
+TEST(ClassificationDataTest, ShapesAndLabelRange) {
+  const auto ds = MakeClassificationDataset(50, 3, 4, 9);
+  EXPECT_EQ(ds.inputs.size(), 150u);
+  EXPECT_EQ(ds.labels.size(), 50u);
+  for (int l : ds.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(ClassificationDataTest, AllClassesRepresented) {
+  const auto ds = MakeClassificationDataset(200, 3, 4, 9);
+  std::vector<int> counts(4, 0);
+  for (int l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (int c : counts) EXPECT_GT(c, 20);
+}
+
+TEST(ClassificationDataTest, ShardRoundRobin) {
+  const auto ds = MakeClassificationDataset(12, 2, 3, 9);
+  const auto shard = ds.Shard(1, 3);
+  EXPECT_EQ(shard.num_samples, 4);
+  for (int k = 0; k < 4; ++k)
+    EXPECT_EQ(shard.labels[static_cast<std::size_t>(k)],
+              ds.labels[static_cast<std::size_t>(k * 3 + 1)]);
+}
+
+TEST(ClassificationDataTest, BatchSlices) {
+  const auto ds = MakeClassificationDataset(10, 2, 2, 9);
+  std::vector<float> x;
+  std::vector<int> y;
+  ds.Batch(4, 3, &x, &y);
+  EXPECT_EQ(x.size(), 6u);
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], ds.labels[4]);
+}
+
+TEST(DataTest, BatchExtractsContiguousWindow) {
+  const Dataset ds = MakeRegressionDataset(10, 2, 1, 1);
+  std::vector<float> x, y;
+  ds.Batch(3, 2, &x, &y);
+  EXPECT_EQ(x.size(), 4u);
+  EXPECT_EQ(y.size(), 2u);
+  EXPECT_EQ(x[0], ds.inputs[6]);
+  EXPECT_EQ(y[0], ds.targets[3]);
+}
+
+}  // namespace
+}  // namespace dear::train

@@ -1,0 +1,105 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dear {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser p;
+  p.AddString("name", "default", "a string");
+  p.AddInt("count", 7, "an int");
+  p.AddDouble("rate", 1.5, "a double");
+  p.AddBool("verbose", false, "a bool");
+  return p;
+}
+
+Status ParseArgs(FlagParser& p, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return p.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApplyWithoutArgs) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {}).ok());
+  EXPECT_EQ(p.GetString("name"), "default");
+  EXPECT_EQ(p.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 1.5);
+  EXPECT_FALSE(p.GetBool("verbose"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(p, {"--name=hello", "--count=42", "--rate=0.25"}).ok());
+  EXPECT_EQ(p.GetString("name"), "hello");
+  EXPECT_EQ(p.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 0.25);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"--name", "world", "--count", "-3"}).ok());
+  EXPECT_EQ(p.GetString("name"), "world");
+  EXPECT_EQ(p.GetInt("count"), -3);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"--verbose"}).ok());
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BooleanWithExplicitValue) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"--verbose", "false"}).ok());
+  EXPECT_FALSE(p.GetBool("verbose"));
+  FlagParser q = MakeParser();
+  ASSERT_TRUE(ParseArgs(q, {"--verbose=true"}).ok());
+  EXPECT_TRUE(q.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"first", "--count=1", "second"}).ok());
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"--", "--count=9"}).ok());
+  EXPECT_EQ(p.GetInt("count"), 7);  // untouched
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"--count=9"}));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagParser p = MakeParser();
+  const Status st = ParseArgs(p, {"--nope=1"});
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--nope"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedValuesRejected) {
+  FlagParser p = MakeParser();
+  EXPECT_FALSE(ParseArgs(p, {"--count=abc"}).ok());
+  FlagParser q = MakeParser();
+  EXPECT_FALSE(ParseArgs(q, {"--rate=1.2.3"}).ok());
+  FlagParser r = MakeParser();
+  EXPECT_FALSE(ParseArgs(r, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueRejected) {
+  FlagParser p = MakeParser();
+  EXPECT_FALSE(ParseArgs(p, {"--count"}).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  const FlagParser p = MakeParser();
+  const std::string usage = p.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default 7"), std::string::npos);
+  EXPECT_NE(usage.find("a double"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,123 @@
+// Gaussian-process regression: linear-algebra kernels, interpolation and
+// uncertainty behavior, and robustness to degenerate inputs.
+#include "tune/gp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dear::tune {
+namespace {
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(CholeskyFactor(a, 2));
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[2], 1.0);
+  EXPECT_NEAR(a[3], std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);  // upper triangle zeroed
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a, 2));
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  // A x = b with A = [[4,2],[2,3]], x = [1,2] -> b = [8,8].
+  std::vector<double> a{4, 2, 2, 3};
+  ASSERT_TRUE(CholeskyFactor(a, 2));
+  const auto x = CholeskySolve(a, 2, {8, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, IdentityIsItsOwnFactor) {
+  std::vector<double> a{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  ASSERT_TRUE(CholeskyFactor(a, 3));
+  const auto x = CholeskySolve(a, 3, {3, 5, 7});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+TEST(GpTest, FitRejectsBadInput) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.fitted());
+}
+
+TEST(GpTest, InterpolatesObservationsWithSmallNoise) {
+  GpParams params;
+  params.length_scale = 0.5;
+  params.noise_variance = 1e-8;
+  GaussianProcess gp(params);
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 2.0, 5.0};
+  ASSERT_TRUE(gp.Fit(xs, ys).ok());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto pred = gp.Predict(xs[i]);
+    EXPECT_NEAR(pred.mean, ys[i], 1e-3);
+    EXPECT_LT(pred.stddev(), 0.05);
+  }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData) {
+  GpParams params;
+  params.length_scale = 0.3;
+  GaussianProcess gp(params);
+  ASSERT_TRUE(gp.Fit({0.0, 1.0}, {0.0, 1.0}).ok());
+  const double near = gp.Predict(0.5).variance;
+  const double far = gp.Predict(5.0).variance;
+  EXPECT_GT(far, near);
+}
+
+TEST(GpTest, RevertsToMeanFarFromData) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({0.0, 0.1}, {10.0, 12.0}).ok());
+  EXPECT_NEAR(gp.Predict(100.0).mean, 11.0, 0.1);  // prior = data mean
+}
+
+TEST(GpTest, SmoothPredictionBetweenPoints) {
+  GpParams params;
+  params.length_scale = 1.0;
+  params.noise_variance = 1e-6;
+  GaussianProcess gp(params);
+  ASSERT_TRUE(gp.Fit({0.0, 2.0}, {0.0, 2.0}).ok());
+  const double mid = gp.Predict(1.0).mean;
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 1.5);
+}
+
+TEST(GpTest, HandlesConstantTargets) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({0.0, 0.5, 1.0}, {7.0, 7.0, 7.0}).ok());
+  EXPECT_NEAR(gp.Predict(0.25).mean, 7.0, 1e-6);
+}
+
+TEST(GpTest, DuplicateInputsToleratedByNoise) {
+  GaussianProcess gp;  // default noise 1e-4 keeps K SPD
+  EXPECT_TRUE(gp.Fit({1.0, 1.0}, {2.0, 2.2}).ok());
+  EXPECT_NEAR(gp.Predict(1.0).mean, 2.1, 0.1);
+}
+
+TEST(GpTest, RefitReplacesPosterior) {
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit({0.0}, {1.0}).ok());
+  const double before = gp.Predict(0.0).mean;
+  ASSERT_TRUE(gp.Fit({0.0}, {5.0}).ok());
+  const double after = gp.Predict(0.0).mean;
+  EXPECT_NEAR(before, 1.0, 0.2);
+  EXPECT_NEAR(after, 5.0, 0.2);
+  EXPECT_EQ(gp.num_observations(), 1u);
+}
+
+TEST(GpDeathTest, PredictBeforeFit) {
+  GaussianProcess gp;
+  EXPECT_DEATH((void)gp.Predict(0.0), "Predict before Fit");
+}
+
+}  // namespace
+}  // namespace dear::tune

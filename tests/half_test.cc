@@ -1,0 +1,90 @@
+#include "common/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace dear {
+namespace {
+
+TEST(HalfTest, KnownValuesRoundTripExactly) {
+  // Values exactly representable in binary16.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f,
+                  6.103515625e-5f /* min normal */}) {
+    EXPECT_EQ(QuantizeFp16(v), v) << v;
+  }
+}
+
+TEST(HalfTest, KnownEncodings) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalf(1.0f), 0x3c00);
+  EXPECT_EQ(FloatToHalf(-2.0f), 0xc000);
+  EXPECT_EQ(FloatToHalf(65504.0f), 0x7bff);  // max finite half
+}
+
+TEST(HalfTest, OverflowGoesToInfinity) {
+  EXPECT_EQ(FloatToHalf(1e6f), 0x7c00);
+  EXPECT_EQ(FloatToHalf(-1e6f), 0xfc00);
+  EXPECT_TRUE(std::isinf(HalfToFloat(0x7c00)));
+}
+
+TEST(HalfTest, NanSurvives) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(nan))));
+}
+
+TEST(HalfTest, SubnormalsRepresented) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(QuantizeFp16(tiny), tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(QuantizeFp16(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(HalfTest, RelativeErrorBounded) {
+  // Normal range: round-to-nearest gives relative error <= 2^-11.
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<float>(rng.Uniform(-60000.0, 60000.0));
+    if (std::abs(v) < 6.2e-5f) continue;  // skip subnormal range
+    const float q = QuantizeFp16(v);
+    EXPECT_LE(std::abs(q - v), std::abs(v) * 0x1.0p-11f + 1e-12f) << v;
+  }
+}
+
+TEST(HalfTest, QuantizationIsMonotone) {
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    const auto b = static_cast<float>(rng.Uniform(-100.0, 100.0));
+    if (a <= b) {
+      EXPECT_LE(QuantizeFp16(a), QuantizeFp16(b));
+    } else {
+      EXPECT_GE(QuantizeFp16(a), QuantizeFp16(b));
+    }
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // ties go to even mantissa, i.e. 1.0.
+  EXPECT_EQ(QuantizeFp16(1.0f + 0x1.0p-11f), 1.0f);
+  // Slightly above the midpoint rounds up.
+  EXPECT_EQ(QuantizeFp16(1.0f + 0x1.2p-11f), 1.0f + 0x1.0p-10f);
+}
+
+TEST(HalfTest, IdempotentQuantization) {
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<float>(rng.Uniform(-1000.0, 1000.0));
+    const float once = QuantizeFp16(v);
+    EXPECT_EQ(QuantizeFp16(once), once);
+  }
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dear {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  DEAR_LOG(kDebug) << "suppressed " << 1 << 2.5 << "text";
+  DEAR_LOG(kInfo) << "also suppressed";
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  DEAR_LOG(kWarning) << "visible warning from logging_test (expected)";
+  SetLogLevel(prev);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DEAR_CHECK(1 == 2); }, "CHECK failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckMsgCarriesMessage) {
+  EXPECT_DEATH({ DEAR_CHECK_MSG(false, "custom context"); },
+               "custom context");
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  DEAR_CHECK(true);
+  DEAR_CHECK_MSG(2 + 2 == 4, "arithmetic broke");
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,82 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dear {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 1), 1u);
+  EXPECT_EQ(CeilDiv(5, 0), 0u);  // defined as 0, not UB
+}
+
+TEST(MathUtilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(AlignUp(9, 8), 16u);
+  EXPECT_EQ(AlignUp(13, 0), 13u);
+}
+
+TEST(MathUtilTest, ByteUnits) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(MiB(25), 25u * 1024 * 1024);
+}
+
+TEST(MathUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(MiB(25)), "25.0 MiB");
+  EXPECT_EQ(FormatBytes(MiB(2048)), "2.00 GiB");
+}
+
+TEST(ChunkRangeTest, EvenSplit) {
+  EXPECT_EQ(ChunkRange(12, 4, 0), (Range{0, 3}));
+  EXPECT_EQ(ChunkRange(12, 4, 1), (Range{3, 6}));
+  EXPECT_EQ(ChunkRange(12, 4, 3), (Range{9, 12}));
+}
+
+TEST(ChunkRangeTest, RemainderGoesToEarlyChunks) {
+  // 10 over 4: sizes 3,3,2,2.
+  EXPECT_EQ(ChunkRange(10, 4, 0).size(), 3u);
+  EXPECT_EQ(ChunkRange(10, 4, 1).size(), 3u);
+  EXPECT_EQ(ChunkRange(10, 4, 2).size(), 2u);
+  EXPECT_EQ(ChunkRange(10, 4, 3).size(), 2u);
+}
+
+TEST(ChunkRangeTest, ChunksTileTheRange) {
+  for (std::size_t total : {0u, 1u, 7u, 64u, 1000u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 8u, 17u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const Range r = ChunkRange(total, parts, i);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(prev_end, total);
+    }
+  }
+}
+
+TEST(ChunkRangeTest, MorePartsThanElements) {
+  // 2 elements over 5 parts: 1,1,0,0,0.
+  EXPECT_EQ(ChunkRange(2, 5, 0).size(), 1u);
+  EXPECT_EQ(ChunkRange(2, 5, 1).size(), 1u);
+  EXPECT_EQ(ChunkRange(2, 5, 2).size(), 0u);
+  EXPECT_EQ(ChunkRange(2, 5, 4).size(), 0u);
+}
+
+TEST(ChunkRangeTest, DegenerateInputs) {
+  EXPECT_EQ(ChunkRange(10, 0, 0).size(), 0u);
+  EXPECT_EQ(ChunkRange(10, 3, 7).size(), 0u);  // index out of range
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,75 @@
+#include "model/model_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace dear::model {
+namespace {
+
+ModelSpec TwoLayer() {
+  ModelSpec m("test", 8);
+  m.AddLayer("a", {100, 10});
+  m.AddLayer("b", {200});
+  return m;
+}
+
+TEST(ModelSpecTest, LayerAndTensorBookkeeping) {
+  const ModelSpec m = TwoLayer();
+  EXPECT_EQ(m.num_layers(), 2);
+  EXPECT_EQ(m.num_tensors(), 3);
+  EXPECT_EQ(m.layer(0).first_tensor, 0);
+  EXPECT_EQ(m.layer(0).num_tensors, 2);
+  EXPECT_EQ(m.layer(1).first_tensor, 2);
+  EXPECT_EQ(m.layer(1).num_tensors, 1);
+  EXPECT_EQ(m.tensor(0).layer, 0);
+  EXPECT_EQ(m.tensor(2).layer, 1);
+}
+
+TEST(ModelSpecTest, TotalsAndBytes) {
+  const ModelSpec m = TwoLayer();
+  EXPECT_EQ(m.total_params(), 310u);
+  EXPECT_EQ(m.total_bytes(), 1240u);  // fp32
+  EXPECT_EQ(m.tensor(0).bytes(), 400u);
+}
+
+TEST(ModelSpecTest, AssignComputeTimesPreservesTotal) {
+  ModelSpec m = TwoLayer();
+  m.AssignComputeTimes(Milliseconds(10.0), 2.0);
+  EXPECT_EQ(m.total_ff_time(), Milliseconds(10.0));
+  // bp = 2x ff per layer, so totals follow (up to per-layer rounding).
+  EXPECT_NEAR(static_cast<double>(m.total_bp_time()),
+              static_cast<double>(Milliseconds(20.0)), 10.0);
+}
+
+TEST(ModelSpecTest, ComputeTimeProportionalToParams) {
+  ModelSpec m("test", 1);
+  m.AddLayer("small", {100});
+  m.AddLayer("large", {10000});
+  m.AssignComputeTimes(Milliseconds(1.0), 2.0, /*smoothing_elems=*/0);
+  EXPECT_GT(m.layer(1).ff_time, 50 * m.layer(0).ff_time);
+}
+
+TEST(ModelSpecTest, SmoothingGivesTinyLayersTime) {
+  ModelSpec m("test", 1);
+  m.AddLayer("tiny", {2});
+  m.AddLayer("large", {1000000});
+  m.AssignComputeTimes(Milliseconds(1.0), 2.0, /*smoothing_elems=*/20000);
+  EXPECT_GT(m.layer(0).ff_time, Microseconds(5.0));
+}
+
+TEST(ModelSpecTest, WithBatchSizeScalesComputeNotParams) {
+  ModelSpec m = TwoLayer();
+  m.AssignComputeTimes(Milliseconds(8.0));
+  const ModelSpec half = m.WithBatchSize(4);
+  EXPECT_EQ(half.batch_size(), 4);
+  EXPECT_EQ(half.total_params(), m.total_params());
+  EXPECT_NEAR(static_cast<double>(half.total_ff_time()),
+              static_cast<double>(m.total_ff_time()) / 2.0, 5.0);
+}
+
+TEST(ModelSpecDeathTest, EmptyLayerRejected) {
+  ModelSpec m("test", 1);
+  EXPECT_DEATH(m.AddLayer("bad", {}), "at least one tensor");
+}
+
+}  // namespace
+}  // namespace dear::model

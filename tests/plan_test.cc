@@ -1,0 +1,241 @@
+// Fusion plans: partition validity (property checked over every generator
+// and model), bucketing semantics, and the MG-WFBP merge rule.
+#include "fusion/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "model/zoo.h"
+
+namespace dear::fusion {
+namespace {
+
+// Partition property: groups cover all tensors exactly once, contiguously
+// and in ascending order, with correct byte/layer metadata.
+void ExpectValidPartition(const model::ModelSpec& m, const FusionPlan& plan) {
+  int next = 0;
+  for (int g = 0; g < plan.num_groups(); ++g) {
+    const Group& group = plan.group(g);
+    ASSERT_FALSE(group.tensors.empty());
+    std::size_t bytes = 0;
+    int lo = m.num_layers(), hi = -1;
+    for (int t : group.tensors) {
+      ASSERT_EQ(t, next) << "group " << g;
+      ++next;
+      bytes += m.tensor(t).bytes();
+      lo = std::min(lo, m.tensor(t).layer);
+      hi = std::max(hi, m.tensor(t).layer);
+      EXPECT_EQ(plan.group_of_tensor(t), g);
+    }
+    EXPECT_EQ(group.bytes, bytes);
+    EXPECT_EQ(group.first_layer, lo);
+    EXPECT_EQ(group.last_layer, hi);
+  }
+  EXPECT_EQ(next, m.num_tensors());
+  // layer -> groups mapping is consistent.
+  for (int l = 0; l < m.num_layers(); ++l) {
+    for (int g : plan.groups_of_layer(l)) {
+      EXPECT_GE(plan.group(g).first_layer, 0);
+      EXPECT_LE(plan.group(g).first_layer, l);
+      EXPECT_GE(plan.group(g).last_layer, l);
+    }
+  }
+}
+
+TEST(PlanTest, PerTensorIsOneGroupEach) {
+  const auto m = model::UniformTestModel(4, 100);
+  const FusionPlan plan = PerTensor(m);
+  EXPECT_EQ(plan.num_groups(), 4);
+  ExpectValidPartition(m, plan);
+}
+
+TEST(PlanTest, SingleGroupHoldsEverything) {
+  const auto m = model::UniformTestModel(4, 100);
+  const FusionPlan plan = SingleGroup(m);
+  EXPECT_EQ(plan.num_groups(), 1);
+  EXPECT_EQ(plan.group(0).bytes, m.total_bytes());
+  ExpectValidPartition(m, plan);
+}
+
+TEST(PlanTest, ByBufferBytesRespectsLimit) {
+  const auto m = model::UniformTestModel(10, 100);  // 400 B per tensor
+  const FusionPlan plan = ByBufferBytes(m, 1000);   // fits 2 tensors
+  ExpectValidPartition(m, plan);
+  for (const auto& g : plan.groups()) EXPECT_LE(g.bytes, 1000u);
+  EXPECT_EQ(plan.num_groups(), 5);
+}
+
+TEST(PlanTest, ByBufferBytesOversizedTensorGetsOwnGroup) {
+  model::ModelSpec m("test", 1);
+  m.AddLayer("small", {10});
+  m.AddLayer("huge", {100000});
+  m.AddLayer("small2", {10});
+  m.AssignComputeTimes(Milliseconds(1.0));
+  const FusionPlan plan = ByBufferBytes(m, 1024);
+  ExpectValidPartition(m, plan);
+  // The huge tensor cannot share a group.
+  const int huge_group = plan.group_of_tensor(1);
+  EXPECT_EQ(plan.group(huge_group).tensors.size(), 1u);
+}
+
+TEST(PlanTest, ByBufferBytesFillsInBpOrder) {
+  // 5 tensors of 400 B, buffer 800 B: filling from the last tensor gives
+  // groups {0}, {1,2}, {3,4} — the leftover lands at the front (layer 0),
+  // as in DDP bucketing.
+  const auto m = model::UniformTestModel(5, 100);
+  const FusionPlan plan = ByBufferBytes(m, 800);
+  ASSERT_EQ(plan.num_groups(), 3);
+  EXPECT_EQ(plan.group(0).tensors, (std::vector<int>{0}));
+  EXPECT_EQ(plan.group(1).tensors, (std::vector<int>{1, 2}));
+  EXPECT_EQ(plan.group(2).tensors, (std::vector<int>{3, 4}));
+}
+
+TEST(PlanTest, HugeBufferCollapsesToSingleGroup) {
+  const auto m = model::UniformTestModel(7, 50);
+  const FusionPlan plan = ByBufferBytes(m, MiB(100));
+  EXPECT_EQ(plan.num_groups(), 1);
+}
+
+TEST(PlanTest, ByLayerCountGroupsLayers) {
+  const auto m = model::UniformTestModel(8, 100);
+  const FusionPlan plan = ByLayerCount(m, 4);  // DeAR-NL
+  ExpectValidPartition(m, plan);
+  EXPECT_EQ(plan.num_groups(), 2);
+  EXPECT_EQ(plan.group(0).tensors.size(), 4u);
+}
+
+TEST(PlanTest, ByLayerCountRemainderAtFront) {
+  // 10 layers in groups of 4, counted from the output end: 2 + 4 + 4.
+  const auto m = model::UniformTestModel(10, 100);
+  const FusionPlan plan = ByLayerCount(m, 4);
+  ExpectValidPartition(m, plan);
+  ASSERT_EQ(plan.num_groups(), 3);
+  EXPECT_EQ(plan.group(0).tensors.size(), 2u);
+  EXPECT_EQ(plan.group(1).tensors.size(), 4u);
+  EXPECT_EQ(plan.group(2).tensors.size(), 4u);
+}
+
+TEST(PlanTest, ByLayerCountHandlesMultiTensorLayers) {
+  model::ModelSpec m("test", 1);
+  for (int i = 0; i < 4; ++i)
+    m.AddLayer("l" + std::to_string(i), {10, 2});  // weight + bias
+  m.AssignComputeTimes(Milliseconds(1.0));
+  const FusionPlan plan = ByLayerCount(m, 2);
+  ExpectValidPartition(m, plan);
+  EXPECT_EQ(plan.num_groups(), 2);
+  EXPECT_EQ(plan.group(0).tensors.size(), 4u);  // 2 layers x 2 tensors
+}
+
+TEST(PlanTest, MergeGradientsWiselyZeroLatencyMeansNoFusion) {
+  // With alpha = 0 there is no startup to save, so nothing merges (beyond
+  // tensors that become ready simultaneously, i.e. same-layer tensors).
+  const auto m = model::UniformTestModel(6, 1000);
+  const FusionPlan plan = MergeGradientsWisely(m, 0.0, 64);
+  ExpectValidPartition(m, plan);
+  EXPECT_EQ(plan.num_groups(), 6);
+}
+
+TEST(PlanTest, MergeGradientsWiselyHugeLatencyMergesEverything) {
+  const auto m = model::UniformTestModel(6, 1000);
+  const FusionPlan plan = MergeGradientsWisely(m, 10.0, 64);  // 10 s startup
+  ExpectValidPartition(m, plan);
+  EXPECT_EQ(plan.num_groups(), 1);
+}
+
+TEST(PlanTest, MergeGradientsWiselyIntermediateLatency) {
+  // Each layer's BP takes 200us (uniform model, bp = 2 x 100us ff).
+  // Startup (P-1) * alpha = 63 * 8us ~= 504us: merges spans of ~3 layers.
+  const auto m = model::UniformTestModel(12, 1000);
+  const FusionPlan plan = MergeGradientsWisely(m, 8e-6, 64);
+  ExpectValidPartition(m, plan);
+  EXPECT_GT(plan.num_groups(), 1);
+  EXPECT_LT(plan.num_groups(), 12);
+}
+
+TEST(PlanTest, AllGeneratorsValidOnPaperModels) {
+  for (const auto& m : model::PaperModels()) {
+    ExpectValidPartition(m, PerTensor(m));
+    ExpectValidPartition(m, SingleGroup(m));
+    ExpectValidPartition(m, ByBufferBytes(m, MiB(25)));
+    ExpectValidPartition(m, ByBufferBytes(m, MiB(1)));
+    ExpectValidPartition(m, ByLayerCount(m, 4));
+    ExpectValidPartition(m, MergeGradientsWisely(m, 23.5e-6, 64));
+  }
+}
+
+TEST(PlanTest, BufferSizeMonotonicallyCoarsens) {
+  const auto m = model::BertBase();
+  int prev = m.num_tensors() + 1;
+  for (std::size_t mb : {1u, 5u, 25u, 100u, 400u}) {
+    const int n = ByBufferBytes(m, MiB(mb)).num_groups();
+    EXPECT_LE(n, prev) << mb << " MiB";
+    prev = n;
+  }
+  EXPECT_EQ(ByBufferBytes(m, MiB(500)).num_groups(), 1);
+}
+
+TEST(PlanTest, MaxGroupBytes) {
+  const auto m = model::UniformTestModel(5, 100);
+  EXPECT_EQ(ByBufferBytes(m, 800).max_group_bytes(), 800u);
+  EXPECT_EQ(SingleGroup(m).max_group_bytes(), m.total_bytes());
+}
+
+TEST(PlanTest, DebugStringMentionsGroups) {
+  const auto m = model::UniformTestModel(4, 100);
+  const std::string s = ByBufferBytes(m, 800).DebugString();
+  EXPECT_NE(s.find("groups:"), std::string::npos);
+}
+
+// Property fuzz: every generator must produce a valid partition on
+// randomized model shapes (random layer counts, tensors per layer, and
+// heavily skewed tensor sizes).
+class RandomModelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModelFuzz, AllGeneratorsValid) {
+  std::uint64_t state = GetParam() * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  model::ModelSpec m("fuzz", 1);
+  const int layers = 1 + static_cast<int>(next() % 40);
+  for (int l = 0; l < layers; ++l) {
+    std::vector<std::size_t> tensors;
+    const int nt = 1 + static_cast<int>(next() % 3);
+    for (int t = 0; t < nt; ++t) {
+      // Log-uniform-ish sizes from 1 element to ~4M elements.
+      const std::size_t magnitude = next() % 23;
+      tensors.push_back((static_cast<std::size_t>(1) << magnitude) +
+                        next() % 7);
+    }
+    m.AddLayer("l" + std::to_string(l), tensors);
+  }
+  m.AssignComputeTimes(Milliseconds(5.0));
+
+  auto check = [&](const FusionPlan& plan) { ExpectValidPartition(m, plan); };
+  check(PerTensor(m));
+  check(SingleGroup(m));
+  for (std::size_t buf : {1u, 4097u, 1u << 20, 64u << 20})
+    check(ByBufferBytes(m, buf));
+  for (int n : {1, 3, 7}) check(ByLayerCount(m, n));
+  for (double alpha : {0.0, 1e-5, 1e-3})
+    check(MergeGradientsWisely(m, alpha, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(PlanDeathTest, NonContiguousGroupsRejected) {
+  const auto m = model::UniformTestModel(3, 100);
+  EXPECT_DEATH(FusionPlan(m, {{0}, {2}, {1}}), "contiguously");
+}
+
+TEST(PlanDeathTest, IncompleteCoverRejected) {
+  const auto m = model::UniformTestModel(3, 100);
+  EXPECT_DEATH(FusionPlan(m, {{0}, {1}}), "every tensor");
+}
+
+}  // namespace
+}  // namespace dear::fusion

@@ -1,0 +1,73 @@
+#include "train/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dear::train {
+namespace {
+
+TEST(SgdTest, PlainStepDescendsAlongGradient) {
+  Sgd sgd({3}, {.lr = 0.1f, .momentum = 0.0f});
+  std::vector<float> w{1.0f, 2.0f, 3.0f};
+  const std::vector<float> g{1.0f, -1.0f, 0.0f};
+  sgd.Step(0, w, g);
+  EXPECT_FLOAT_EQ(w[0], 0.9f);
+  EXPECT_FLOAT_EQ(w[1], 2.1f);
+  EXPECT_FLOAT_EQ(w[2], 3.0f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Sgd sgd({1}, {.lr = 1.0f, .momentum = 0.5f});
+  std::vector<float> w{0.0f};
+  const std::vector<float> g{1.0f};
+  sgd.Step(0, w, g);  // v=1, w=-1
+  EXPECT_FLOAT_EQ(w[0], -1.0f);
+  sgd.Step(0, w, g);  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(w[0], -2.5f);
+  sgd.Step(0, w, g);  // v=1.75, w=-4.25
+  EXPECT_FLOAT_EQ(w[0], -4.25f);
+}
+
+TEST(SgdTest, MomentumStatePerTensor) {
+  Sgd sgd({1, 1}, {.lr = 1.0f, .momentum = 0.9f});
+  std::vector<float> w0{0.0f}, w1{0.0f};
+  const std::vector<float> g{1.0f};
+  sgd.Step(0, w0, g);
+  sgd.Step(0, w0, g);
+  sgd.Step(1, w1, g);  // tensor 1's velocity must start fresh
+  EXPECT_FLOAT_EQ(w1[0], -1.0f);
+  EXPECT_FLOAT_EQ(w0[0], -2.9f);
+}
+
+TEST(SgdTest, ZeroGradientLeavesParamsUntouchedWithoutMomentum) {
+  Sgd sgd({2}, {.lr = 0.5f, .momentum = 0.0f});
+  std::vector<float> w{1.0f, -1.0f};
+  sgd.Step(0, w, std::vector<float>{0.0f, 0.0f});
+  EXPECT_FLOAT_EQ(w[0], 1.0f);
+  EXPECT_FLOAT_EQ(w[1], -1.0f);
+}
+
+TEST(SgdTest, MomentumCarriesThroughZeroGradient) {
+  Sgd sgd({1}, {.lr = 1.0f, .momentum = 0.5f});
+  std::vector<float> w{0.0f};
+  sgd.Step(0, w, std::vector<float>{1.0f});   // v=1
+  sgd.Step(0, w, std::vector<float>{0.0f});   // v=0.5
+  EXPECT_FLOAT_EQ(w[0], -1.5f);
+}
+
+TEST(SgdDeathTest, SizeMismatchRejected) {
+  Sgd sgd({2}, {});
+  std::vector<float> w{1.0f, 2.0f};
+  const std::vector<float> g{1.0f};
+  EXPECT_DEATH(sgd.Step(0, w, g), "CHECK");
+}
+
+TEST(SgdDeathTest, BadIndexRejected) {
+  Sgd sgd({2}, {});
+  std::vector<float> w{1.0f, 2.0f};
+  EXPECT_DEATH(sgd.Step(5, w, w), "CHECK");
+}
+
+}  // namespace
+}  // namespace dear::train

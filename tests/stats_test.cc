@@ -1,0 +1,86 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dear {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStatTest, KnownMeanAndVariance) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + i % 3);
+  EXPECT_NEAR(s.mean(), 1e9 + 1.0 - 1.0 / 3.0 + 1.0 / 3.0, 1.0);
+  EXPECT_LT(s.variance(), 1.0);
+  EXPECT_GT(s.variance(), 0.1);
+}
+
+TEST(PercentileTest, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(PercentileTest, MedianInterpolatesEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(PercentileTest, ExtremesClampToMinMax) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 9.0);
+}
+
+TEST(PercentileTest, QuartileInterpolation) {
+  // Sorted: 10 20 30 40; p25 -> idx 0.75 -> 17.5.
+  EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 25.0), 17.5);
+}
+
+TEST(BatchStatsTest, MeanAndStdDev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_NEAR(StdDev(v), std::sqrt(2.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,87 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dear {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad size");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad size");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Internal("a"), Status::Internal("b"));
+  EXPECT_FALSE(Status::Internal("a") == Status::Aborted("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("hello"));
+  EXPECT_EQ(v->size(), 5u);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return Status::Aborted("inner"); };
+  auto outer = [&]() -> Status {
+    DEAR_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPassesOk) {
+  auto outer = []() -> Status {
+    DEAR_RETURN_IF_ERROR(Status::Ok());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dear

@@ -1,0 +1,180 @@
+// Timeline analysis: interval algebra, utilization/critical-path
+// extraction, the exposed-communication computation, and Gantt rendering.
+#include "analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/plan.h"
+#include "model/zoo.h"
+#include "sched/policies.h"
+#include "sched/runner.h"
+
+namespace dear::analysis {
+namespace {
+
+using sim::Simulate;
+using sim::Task;
+using sim::TaskGraph;
+using sim::TaskId;
+using sim::TaskKind;
+
+Task MakeTask(std::int16_t stream, SimTime dur, std::vector<TaskId> deps = {},
+              TaskKind kind = TaskKind::kOther) {
+  Task t;
+  t.stream = stream;
+  t.duration = dur;
+  t.deps = std::move(deps);
+  t.kind = kind;
+  return t;
+}
+
+TEST(IntervalTest, BusyIntervalsMergeAdjacentTasks) {
+  TaskGraph g;
+  const TaskId a = g.Add(MakeTask(0, 10));
+  g.Add(MakeTask(0, 20, {a}));  // back-to-back on the same stream
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const auto busy = BusyIntervals(g, *r, 0);
+  ASSERT_EQ(busy.size(), 1u);
+  EXPECT_EQ(busy[0], (Interval{0, 30}));
+}
+
+TEST(IntervalTest, GapsAreSeparateIntervals) {
+  TaskGraph g;
+  const TaskId gate = g.Add(MakeTask(1, 50));
+  g.Add(MakeTask(0, 10));
+  g.Add(MakeTask(0, 10, {gate}));  // starts at 50 after an idle gap
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const auto busy = BusyIntervals(g, *r, 0);
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_EQ(busy[0], (Interval{0, 10}));
+  EXPECT_EQ(busy[1], (Interval{50, 60}));
+}
+
+TEST(IntervalTest, ZeroDurationTasksIgnored) {
+  TaskGraph g;
+  g.Add(MakeTask(0, 0));
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(BusyIntervals(g, *r, 0).empty());
+}
+
+TEST(SubtractCoverTest, FullCoverGivesZero) {
+  EXPECT_EQ(SubtractCover({{10, 20}}, {{0, 100}}), 0);
+}
+
+TEST(SubtractCoverTest, NoCoverGivesFullLength) {
+  EXPECT_EQ(SubtractCover({{10, 20}, {30, 45}}, {}), 25);
+}
+
+TEST(SubtractCoverTest, PartialOverlaps) {
+  // a = [0,10); cover = [3,5) and [8,20): exposed = [0,3) + [5,8) = 6.
+  EXPECT_EQ(SubtractCover({{0, 10}}, {{3, 5}, {8, 20}}), 6);
+}
+
+TEST(SubtractCoverTest, CoverSpanningMultipleIntervals) {
+  EXPECT_EQ(SubtractCover({{0, 10}, {20, 30}}, {{5, 25}}), 10);
+}
+
+TEST(AnalyzeTest, ChainIsDependencyBound) {
+  TaskGraph g;
+  const TaskId a = g.Add(MakeTask(0, 10));
+  const TaskId b = g.Add(MakeTask(1, 20, {a}));
+  g.Add(MakeTask(0, 30, {b}));
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const auto analysis = Analyze(g, *r);
+  EXPECT_EQ(analysis.makespan, 60);
+  EXPECT_EQ(analysis.critical_path, 60);
+  EXPECT_TRUE(analysis.dependency_bound());
+  EXPECT_EQ(analysis.critical_tasks.size(), 3u);
+  EXPECT_EQ(analysis.critical_tasks.front(), a);
+}
+
+TEST(AnalyzeTest, SerializationExceedsCriticalPath) {
+  TaskGraph g;
+  g.Add(MakeTask(0, 10));
+  g.Add(MakeTask(0, 10));  // independent but same stream
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const auto analysis = Analyze(g, *r);
+  EXPECT_EQ(analysis.makespan, 20);
+  EXPECT_EQ(analysis.critical_path, 10);
+  EXPECT_FALSE(analysis.dependency_bound());
+}
+
+TEST(AnalyzeTest, UtilizationFractions) {
+  TaskGraph g;
+  g.Add(MakeTask(0, 40));
+  g.Add(MakeTask(1, 10));
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const auto analysis = Analyze(g, *r);
+  ASSERT_EQ(analysis.streams.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.streams[0].fraction_of_makespan, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.streams[1].fraction_of_makespan, 0.25);
+}
+
+TEST(AnalyzeTest, ExposedCommMatchesRunnerBreakdown) {
+  // The interval-algebra computation of exposed communication must agree
+  // with EvaluatePolicy's iteration-time arithmetic on a steady iteration.
+  const auto m = model::UniformTestModel(6, 400000);
+  sched::ClusterSpec cluster;
+  cluster.world_size = 8;
+  sched::PolicyConfig cfg;
+  cfg.kind = sched::PolicyKind::kDeAR;
+  cfg.plan = fusion::PerTensor(m);
+  const auto built = sched::BuildTaskGraph(m, cluster, cfg, 8);
+  auto r = Simulate(built.graph, built.stream_policies);
+  ASSERT_TRUE(r.ok());
+
+  const auto comm = BusyIntervals(built.graph, *r, sched::kCommStream);
+  const auto compute = BusyIntervals(built.graph, *r, sched::kComputeStream);
+  const SimTime exposed_total = SubtractCover(comm, compute);
+
+  const auto run = sched::EvaluatePolicy(m, cluster, cfg);
+  // Per-iteration exposure times the iteration count should be close to
+  // the whole-run exposure (warmup effects allow slack).
+  const double per_iter = static_cast<double>(run.breakdown.comm_exposed);
+  EXPECT_NEAR(static_cast<double>(exposed_total) / 8.0, per_iter,
+              0.25 * per_iter + 1e5);
+}
+
+TEST(GanttTest, RendersRowsPerStream) {
+  TaskGraph g;
+  const TaskId f = g.Add(MakeTask(0, 50, {}, TaskKind::kForward));
+  g.Add(MakeTask(1, 25, {f}, TaskKind::kReduceScatter));
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const std::string gantt = RenderAsciiGantt(g, *r, 20);
+  // Stream 0: first ~2/3 forward, then idle. Stream 1: idle then RS.
+  EXPECT_NE(gantt.find("stream 0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("stream 1 |"), std::string::npos);
+  EXPECT_NE(gantt.find('F'), std::string::npos);
+  EXPECT_NE(gantt.find('R'), std::string::npos);
+  EXPECT_NE(gantt.find('.'), std::string::npos);
+  // Two lines, each 20 buckets wide plus decorations.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 2);
+}
+
+TEST(GanttTest, EmptyTimeline) {
+  TaskGraph g;
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RenderAsciiGantt(g, *r), "(empty timeline)\n");
+}
+
+TEST(GanttTest, BucketMajorityKindWins) {
+  TaskGraph g;
+  const TaskId f = g.Add(MakeTask(0, 99, {}, TaskKind::kForward));
+  g.Add(MakeTask(0, 1, {f}, TaskKind::kBackward));
+  auto r = Simulate(g, {});
+  ASSERT_TRUE(r.ok());
+  const std::string gantt = RenderAsciiGantt(g, *r, 10);
+  // Forward dominates every bucket; the 1-unit backward is absorbed.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), 'F'), 10);
+}
+
+}  // namespace
+}  // namespace dear::analysis

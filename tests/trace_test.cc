@@ -1,0 +1,90 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace dear {
+namespace {
+
+TEST(TraceTest, EmptyRecorderEmitsEmptyArray) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.ToJson(), "[\n]\n");
+}
+
+TEST(TraceTest, RecordsCompleteEvents) {
+  TraceRecorder rec;
+  rec.Record({"ff_0", "compute", 0, 0, Microseconds(10), Microseconds(5)});
+  ASSERT_EQ(rec.size(), 1u);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"name\":\"ff_0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5.000"), std::string::npos);
+}
+
+TEST(TraceTest, EscapesSpecialCharacters) {
+  TraceRecorder rec;
+  rec.Record({"a\"b\\c\nd", "cat", 0, 0, 0, 0});
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentRecordingIsSafe) {
+  TraceRecorder rec;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < 100; ++i)
+        rec.Record({"evt", "cat", t, 0, i, 1});
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.size(), 400u);
+}
+
+TEST(TraceTest, WriteFileRoundTrips) {
+  TraceRecorder rec;
+  rec.Record({"x", "y", 1, 2, Microseconds(3), Microseconds(4)});
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(rec.WriteFile(path));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, rec.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, WriteFileFailsOnBadPath) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.WriteFile("/nonexistent_dir_zzz/trace.json"));
+}
+
+TEST(TraceTest, ClearEmpties) {
+  TraceRecorder rec;
+  rec.Record({"x", "y", 0, 0, 0, 0});
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SimTimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(Microseconds(1.0), 1000);
+  EXPECT_EQ(Milliseconds(1.0), 1000000);
+  EXPECT_EQ(Seconds(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(4.5)), 4.5);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(7.25)), 7.25);
+}
+
+TEST(SimTimeTest, RoundsToNearestNanosecond) {
+  EXPECT_EQ(Nanoseconds(1.4), 1);
+  EXPECT_EQ(Nanoseconds(1.6), 2);
+  EXPECT_EQ(Nanoseconds(-1.6), -2);
+}
+
+}  // namespace
+}  // namespace dear

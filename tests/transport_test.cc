@@ -1,0 +1,88 @@
+#include "comm/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dear::comm {
+namespace {
+
+TEST(TransportTest, PointToPointDelivery) {
+  TransportHub hub(2);
+  hub.Send(0, 1, {42, {1.0f, 2.0f}});
+  auto msg = hub.Recv(0, 1, 42);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload, (std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(TransportTest, ChannelsAreDirectional) {
+  TransportHub hub(2);
+  hub.Send(0, 1, {1, {5.0f}});
+  hub.Send(1, 0, {2, {7.0f}});
+  auto a = hub.Recv(0, 1, 1);
+  auto b = hub.Recv(1, 0, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->payload[0], 5.0f);
+  EXPECT_EQ(b->payload[0], 7.0f);
+}
+
+TEST(TransportTest, TagMismatchReturnsInternal) {
+  TransportHub hub(2);
+  hub.Send(0, 1, {10, {}});
+  auto msg = hub.Recv(0, 1, 11);
+  ASSERT_FALSE(msg.ok());
+  EXPECT_EQ(msg.status().code(), StatusCode::kInternal);
+}
+
+TEST(TransportTest, FifoPerDirectedPair) {
+  TransportHub hub(2);
+  for (std::uint32_t i = 0; i < 16; ++i)
+    hub.Send(0, 1, {i, {static_cast<float>(i)}});
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    auto msg = hub.Recv(0, 1, i);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->payload[0], static_cast<float>(i));
+  }
+}
+
+TEST(TransportTest, ShutdownUnblocksReceiver) {
+  TransportHub hub(2);
+  std::thread receiver([&] {
+    auto msg = hub.Recv(0, 1, 0);
+    EXPECT_FALSE(msg.ok());
+    EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  hub.Shutdown();
+  receiver.join();
+}
+
+TEST(TransportTest, SendAfterShutdownFails) {
+  TransportHub hub(2);
+  hub.Shutdown();
+  EXPECT_FALSE(hub.Send(0, 1, {0, {}}));
+}
+
+TEST(TransportTest, SelfChannelWorks) {
+  TransportHub hub(1);
+  hub.Send(0, 0, {3, {9.0f}});
+  auto msg = hub.Recv(0, 0, 3);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload[0], 9.0f);
+}
+
+TEST(TransportTest, CrossThreadBlockingDelivery) {
+  TransportHub hub(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    hub.Send(1, 0, {77, {3.5f}});
+  });
+  auto msg = hub.Recv(1, 0, 77);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->payload[0], 3.5f);
+  sender.join();
+}
+
+}  // namespace
+}  // namespace dear::comm

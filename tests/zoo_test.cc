@@ -1,0 +1,163 @@
+// The model zoo must reproduce the paper's Table I exactly: layer counts,
+// tensor counts, parameter counts (to the published 0.1M precision), and
+// per-GPU batch sizes — plus the calibrated compute profiles.
+#include "model/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "model/profiles.h"
+
+namespace dear::model {
+namespace {
+
+struct TableRow {
+  const char* name;
+  int batch;
+  int layers;
+  int tensors;
+  double params_m;  // millions, as published
+};
+
+class TableOne : public ::testing::TestWithParam<TableRow> {};
+
+TEST_P(TableOne, MatchesPaper) {
+  const TableRow row = GetParam();
+  const ModelSpec m = ByName(row.name);
+  EXPECT_EQ(m.name(), row.name);
+  EXPECT_EQ(m.batch_size(), row.batch);
+  EXPECT_EQ(m.num_layers(), row.layers);
+  EXPECT_EQ(m.num_tensors(), row.tensors);
+  // Published numbers are rounded to 0.1M.
+  EXPECT_NEAR(static_cast<double>(m.total_params()) / 1e6, row.params_m, 0.06)
+      << m.total_params();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, TableOne,
+    ::testing::Values(TableRow{"resnet50", 64, 107, 161, 25.6},
+                      TableRow{"densenet201", 32, 402, 604, 20.0},
+                      TableRow{"inception_v4", 64, 299, 449, 42.7},
+                      TableRow{"bert_base", 64, 105, 206, 110.1},
+                      TableRow{"bert_large", 32, 201, 398, 336.2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ZooTest, PaperModelsReturnsAllFiveInOrder) {
+  const auto models = PaperModels();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[0].name(), "resnet50");
+  EXPECT_EQ(models[4].name(), "bert_large");
+}
+
+TEST(ZooTest, ComputeProfilesApplied) {
+  for (const auto& m : PaperModels()) {
+    const ComputeProfile prof = ProfileFor(m.name());
+    EXPECT_EQ(m.total_ff_time(), prof.total_ff) << m.name();
+    // bp ~= 2 ff (per-layer rounding can drift by < #layers ns each).
+    EXPECT_NEAR(static_cast<double>(m.total_bp_time()),
+                2.0 * static_cast<double>(m.total_ff_time()),
+                static_cast<double>(m.num_layers()) * 2.0)
+        << m.name();
+  }
+}
+
+TEST(ZooTest, EveryLayerHasPositiveComputeTime) {
+  for (const auto& m : PaperModels()) {
+    for (const auto& layer : m.layers()) {
+      EXPECT_GT(layer.ff_time, 0) << m.name() << " " << layer.name;
+      EXPECT_GT(layer.bp_time, 0) << m.name() << " " << layer.name;
+    }
+  }
+}
+
+TEST(ZooTest, TensorsBelongToMonotonicLayers) {
+  for (const auto& m : PaperModels()) {
+    int prev = 0;
+    for (const auto& t : m.tensors()) {
+      EXPECT_GE(t.layer, prev);
+      EXPECT_LE(t.layer, prev + 1);
+      prev = t.layer;
+      EXPECT_GT(t.elems, 0u);
+    }
+  }
+}
+
+TEST(ZooTest, CnnParamsAreDepthSkewed) {
+  // ResNet-50's late tensors dwarf the early convs — the imbalance that
+  // makes DeAR-NL perform poorly on CNNs (§VI-G).
+  const ModelSpec m = ResNet50();
+  std::size_t first_quarter = 0, last_quarter = 0;
+  const int q = m.num_tensors() / 4;
+  for (int t = 0; t < q; ++t) first_quarter += m.tensor(t).elems;
+  for (int t = m.num_tensors() - q; t < m.num_tensors(); ++t)
+    last_quarter += m.tensor(t).elems;
+  EXPECT_GT(last_quarter, 5 * first_quarter);
+}
+
+TEST(ZooTest, BertParamsAreBalancedAcrossEncoders) {
+  // BERT's per-encoder-layer parameter mass is uniform (§VI-G's reason
+  // DeAR-NL works on BERT): compare two mid-network encoder blocks.
+  const ModelSpec m = BertBase();
+  auto layer_params = [&](int layer) {
+    std::size_t sum = 0;
+    for (const auto& t : m.tensors())
+      if (t.layer == layer) sum += t.elems;
+    return sum;
+  };
+  // Layers 4..11 are enc0's 8 layers; 12..19 enc1's.
+  std::size_t enc0 = 0, enc1 = 0;
+  for (int l = 4; l < 12; ++l) enc0 += layer_params(l);
+  for (int l = 12; l < 20; ++l) enc1 += layer_params(l);
+  EXPECT_EQ(enc0, enc1);
+}
+
+TEST(ZooTest, ResNetKnownTensorShapes) {
+  const ModelSpec m = ResNet50();
+  EXPECT_EQ(m.tensor(0).elems, 7u * 7 * 3 * 64);                 // stem conv
+  EXPECT_EQ(m.tensor(m.num_tensors() - 2).elems, 2048u * 1000);  // fc w
+  EXPECT_EQ(m.tensor(m.num_tensors() - 1).elems, 1000u);         // fc b
+}
+
+TEST(ZooTest, BertLargeHiddenDimension) {
+  const ModelSpec m = BertLarge();
+  EXPECT_EQ(m.tensor(0).elems, 30522u * 1024);  // word embedding
+}
+
+TEST(ZooTest, ExtensionModelShapes) {
+  const ModelSpec vgg = Vgg16();
+  EXPECT_EQ(vgg.num_layers(), 16);
+  EXPECT_EQ(vgg.num_tensors(), 32);
+  EXPECT_NEAR(static_cast<double>(vgg.total_params()) / 1e6, 138.36, 0.1);
+  const ModelSpec alex = AlexNet();
+  EXPECT_EQ(alex.num_layers(), 8);
+  EXPECT_EQ(alex.num_tensors(), 16);
+  EXPECT_NEAR(static_cast<double>(alex.total_params()) / 1e6, 61.1, 0.1);
+  EXPECT_EQ(ExtensionModels().size(), 2u);
+  EXPECT_EQ(ByName("vgg16").name(), "vgg16");
+  EXPECT_EQ(ByName("alexnet").name(), "alexnet");
+}
+
+TEST(ZooTest, VggIsExtremelyFcHeavy) {
+  // fc1 alone holds >70% of VGG-16's parameters — the pathological fusion
+  // case (one giant tensor arrives first in backpropagation).
+  const ModelSpec m = Vgg16();
+  std::size_t fc1 = 0;
+  for (const auto& t : m.tensors())
+    if (t.elems > fc1) fc1 = t.elems;
+  EXPECT_GT(fc1, static_cast<std::size_t>(0.7 * m.total_params()));
+}
+
+TEST(ZooDeathTest, UnknownNameRejected) {
+  EXPECT_DEATH(ByName("not_a_model"), "unknown model");
+  EXPECT_DEATH(ProfileFor("not_a_model"), "no compute profile");
+}
+
+TEST(ZooTest, UniformTestModelShape) {
+  const ModelSpec m = UniformTestModel(5, 1000, 50.0);
+  EXPECT_EQ(m.num_layers(), 5);
+  EXPECT_EQ(m.num_tensors(), 5);
+  EXPECT_EQ(m.total_params(), 5000u);
+  EXPECT_EQ(m.total_ff_time(), Microseconds(250.0));
+}
+
+}  // namespace
+}  // namespace dear::model

@@ -1,0 +1,9 @@
+// dearsim — CLI over the cluster simulator, tuner, and model zoo.
+// See src/cli/cli.h for subcommands; try: dearsim simulate --gantt
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return dear::cli::RunCli(argc, argv, std::cout, std::cerr);
+}
