@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_compression.cc" "bench/CMakeFiles/ablation_compression.dir/ablation_compression.cc.o" "gcc" "bench/CMakeFiles/ablation_compression.dir/ablation_compression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dear_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/dear_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/dear_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dear_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dear_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dear_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

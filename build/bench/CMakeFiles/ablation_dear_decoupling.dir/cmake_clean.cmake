@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dear_decoupling.dir/ablation_dear_decoupling.cc.o"
+  "CMakeFiles/ablation_dear_decoupling.dir/ablation_dear_decoupling.cc.o.d"
+  "ablation_dear_decoupling"
+  "ablation_dear_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dear_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_negotiation.dir/ablation_negotiation.cc.o"
+  "CMakeFiles/ablation_negotiation.dir/ablation_negotiation.cc.o.d"
+  "ablation_negotiation"
+  "ablation_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

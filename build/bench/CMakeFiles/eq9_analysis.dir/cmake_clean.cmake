@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq9_analysis.dir/eq9_analysis.cc.o"
+  "CMakeFiles/eq9_analysis.dir/eq9_analysis.cc.o.d"
+  "eq9_analysis"
+  "eq9_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq9_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

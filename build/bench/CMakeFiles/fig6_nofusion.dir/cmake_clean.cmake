@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_nofusion.dir/fig6_nofusion.cc.o"
+  "CMakeFiles/fig6_nofusion.dir/fig6_nofusion.cc.o.d"
+  "fig6_nofusion"
+  "fig6_nofusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nofusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

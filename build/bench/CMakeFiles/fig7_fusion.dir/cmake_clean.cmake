@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fusion.dir/fig7_fusion.cc.o"
+  "CMakeFiles/fig7_fusion.dir/fig7_fusion.cc.o.d"
+  "fig7_fusion"
+  "fig7_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

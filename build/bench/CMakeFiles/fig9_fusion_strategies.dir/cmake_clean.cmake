@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fusion_strategies.dir/fig9_fusion_strategies.cc.o"
+  "CMakeFiles/fig9_fusion_strategies.dir/fig9_fusion_strategies.cc.o.d"
+  "fig9_fusion_strategies"
+  "fig9_fusion_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fusion_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_collectives.dir/microbench_collectives.cc.o"
+  "CMakeFiles/microbench_collectives.dir/microbench_collectives.cc.o.d"
+  "microbench_collectives"
+  "microbench_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_zero.dir/related_zero.cc.o"
+  "CMakeFiles/related_zero.dir/related_zero.cc.o.d"
+  "related_zero"
+  "related_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_max_speedup.dir/table2_max_speedup.cc.o"
+  "CMakeFiles/table2_max_speedup.dir/table2_max_speedup.cc.o.d"
+  "table2_max_speedup"
+  "table2_max_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_max_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_fusion.dir/autotune_fusion.cpp.o"
+  "CMakeFiles/autotune_fusion.dir/autotune_fusion.cpp.o.d"
+  "autotune_fusion"
+  "autotune_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_zoo.dir/collective_zoo.cpp.o"
+  "CMakeFiles/collective_zoo.dir/collective_zoo.cpp.o.d"
+  "collective_zoo"
+  "collective_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_study.dir/straggler_study.cpp.o"
+  "CMakeFiles/straggler_study.dir/straggler_study.cpp.o.d"
+  "straggler_study"
+  "straggler_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("comm")
+subdirs("model")
+subdirs("sim")
+subdirs("analysis")
+subdirs("fusion")
+subdirs("sched")
+subdirs("tune")
+subdirs("train")
+subdirs("core")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_analysis.dir/timeline.cc.o"
+  "CMakeFiles/dear_analysis.dir/timeline.cc.o.d"
+  "libdear_analysis.a"
+  "libdear_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

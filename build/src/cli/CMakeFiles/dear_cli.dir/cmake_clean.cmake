@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_cli.dir/cli.cc.o"
+  "CMakeFiles/dear_cli.dir/cli.cc.o.d"
+  "libdear_cli.a"
+  "libdear_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_comm.dir/async.cc.o"
+  "CMakeFiles/dear_comm.dir/async.cc.o.d"
+  "CMakeFiles/dear_comm.dir/collectives.cc.o"
+  "CMakeFiles/dear_comm.dir/collectives.cc.o.d"
+  "CMakeFiles/dear_comm.dir/cost_model.cc.o"
+  "CMakeFiles/dear_comm.dir/cost_model.cc.o.d"
+  "CMakeFiles/dear_comm.dir/transport.cc.o"
+  "CMakeFiles/dear_comm.dir/transport.cc.o.d"
+  "libdear_comm.a"
+  "libdear_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_common.dir/flags.cc.o"
+  "CMakeFiles/dear_common.dir/flags.cc.o.d"
+  "CMakeFiles/dear_common.dir/logging.cc.o"
+  "CMakeFiles/dear_common.dir/logging.cc.o.d"
+  "CMakeFiles/dear_common.dir/math_util.cc.o"
+  "CMakeFiles/dear_common.dir/math_util.cc.o.d"
+  "CMakeFiles/dear_common.dir/rng.cc.o"
+  "CMakeFiles/dear_common.dir/rng.cc.o.d"
+  "CMakeFiles/dear_common.dir/stats.cc.o"
+  "CMakeFiles/dear_common.dir/stats.cc.o.d"
+  "CMakeFiles/dear_common.dir/status.cc.o"
+  "CMakeFiles/dear_common.dir/status.cc.o.d"
+  "CMakeFiles/dear_common.dir/trace.cc.o"
+  "CMakeFiles/dear_common.dir/trace.cc.o.d"
+  "libdear_common.a"
+  "libdear_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_tuner.cc" "src/core/CMakeFiles/dear_core.dir/auto_tuner.cc.o" "gcc" "src/core/CMakeFiles/dear_core.dir/auto_tuner.cc.o.d"
+  "/root/repo/src/core/dist_optim.cc" "src/core/CMakeFiles/dear_core.dir/dist_optim.cc.o" "gcc" "src/core/CMakeFiles/dear_core.dir/dist_optim.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/dear_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/dear_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dear_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dear_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/dear_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dear_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/dear_tune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

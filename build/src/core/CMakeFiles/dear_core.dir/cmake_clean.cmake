@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_core.dir/auto_tuner.cc.o"
+  "CMakeFiles/dear_core.dir/auto_tuner.cc.o.d"
+  "CMakeFiles/dear_core.dir/dist_optim.cc.o"
+  "CMakeFiles/dear_core.dir/dist_optim.cc.o.d"
+  "CMakeFiles/dear_core.dir/trainer.cc.o"
+  "CMakeFiles/dear_core.dir/trainer.cc.o.d"
+  "libdear_core.a"
+  "libdear_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

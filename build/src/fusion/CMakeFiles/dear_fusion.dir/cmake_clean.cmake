@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_fusion.dir/plan.cc.o"
+  "CMakeFiles/dear_fusion.dir/plan.cc.o.d"
+  "libdear_fusion.a"
+  "libdear_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_model.dir/model_spec.cc.o"
+  "CMakeFiles/dear_model.dir/model_spec.cc.o.d"
+  "CMakeFiles/dear_model.dir/profiles.cc.o"
+  "CMakeFiles/dear_model.dir/profiles.cc.o.d"
+  "CMakeFiles/dear_model.dir/zoo.cc.o"
+  "CMakeFiles/dear_model.dir/zoo.cc.o.d"
+  "libdear_model.a"
+  "libdear_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

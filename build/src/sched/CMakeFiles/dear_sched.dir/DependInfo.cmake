@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/multiworker.cc" "src/sched/CMakeFiles/dear_sched.dir/multiworker.cc.o" "gcc" "src/sched/CMakeFiles/dear_sched.dir/multiworker.cc.o.d"
+  "/root/repo/src/sched/policies.cc" "src/sched/CMakeFiles/dear_sched.dir/policies.cc.o" "gcc" "src/sched/CMakeFiles/dear_sched.dir/policies.cc.o.d"
+  "/root/repo/src/sched/runner.cc" "src/sched/CMakeFiles/dear_sched.dir/runner.cc.o" "gcc" "src/sched/CMakeFiles/dear_sched.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dear_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dear_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/dear_fusion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_sched.dir/multiworker.cc.o"
+  "CMakeFiles/dear_sched.dir/multiworker.cc.o.d"
+  "CMakeFiles/dear_sched.dir/policies.cc.o"
+  "CMakeFiles/dear_sched.dir/policies.cc.o.d"
+  "CMakeFiles/dear_sched.dir/runner.cc.o"
+  "CMakeFiles/dear_sched.dir/runner.cc.o.d"
+  "libdear_sched.a"
+  "libdear_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_sim.dir/engine.cc.o"
+  "CMakeFiles/dear_sim.dir/engine.cc.o.d"
+  "libdear_sim.a"
+  "libdear_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

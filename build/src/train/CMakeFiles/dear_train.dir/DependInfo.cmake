@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/data.cc" "src/train/CMakeFiles/dear_train.dir/data.cc.o" "gcc" "src/train/CMakeFiles/dear_train.dir/data.cc.o.d"
+  "/root/repo/src/train/mlp.cc" "src/train/CMakeFiles/dear_train.dir/mlp.cc.o" "gcc" "src/train/CMakeFiles/dear_train.dir/mlp.cc.o.d"
+  "/root/repo/src/train/sgd.cc" "src/train/CMakeFiles/dear_train.dir/sgd.cc.o" "gcc" "src/train/CMakeFiles/dear_train.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dear_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dear_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

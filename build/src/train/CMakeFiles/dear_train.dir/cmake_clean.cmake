@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_train.dir/data.cc.o"
+  "CMakeFiles/dear_train.dir/data.cc.o.d"
+  "CMakeFiles/dear_train.dir/mlp.cc.o"
+  "CMakeFiles/dear_train.dir/mlp.cc.o.d"
+  "CMakeFiles/dear_train.dir/sgd.cc.o"
+  "CMakeFiles/dear_train.dir/sgd.cc.o.d"
+  "libdear_train.a"
+  "libdear_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

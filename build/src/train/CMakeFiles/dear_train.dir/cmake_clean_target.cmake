@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdear_train.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dear_tune.dir/gp.cc.o"
+  "CMakeFiles/dear_tune.dir/gp.cc.o.d"
+  "CMakeFiles/dear_tune.dir/search.cc.o"
+  "CMakeFiles/dear_tune.dir/search.cc.o.d"
+  "libdear_tune.a"
+  "libdear_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dear_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_tuner_test.dir/auto_tuner_test.cc.o"
+  "CMakeFiles/auto_tuner_test.dir/auto_tuner_test.cc.o.d"
+  "auto_tuner_test"
+  "auto_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_optim_test.dir/dist_optim_test.cc.o"
+  "CMakeFiles/dist_optim_test.dir/dist_optim_test.cc.o.d"
+  "dist_optim_test"
+  "dist_optim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

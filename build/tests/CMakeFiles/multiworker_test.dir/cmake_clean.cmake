@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiworker_test.dir/multiworker_test.cc.o"
+  "CMakeFiles/multiworker_test.dir/multiworker_test.cc.o.d"
+  "multiworker_test"
+  "multiworker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiworker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgd_test.dir/sgd_test.cc.o"
+  "CMakeFiles/sgd_test.dir/sgd_test.cc.o.d"
+  "sgd_test"
+  "sgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dearsim.cc" "tools/CMakeFiles/dearsim.dir/dearsim.cc.o" "gcc" "tools/CMakeFiles/dearsim.dir/dearsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/dear_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dear_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dear_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dear_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dear_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/dear_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dear_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tune/CMakeFiles/dear_tune.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dear_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dearsim.dir/dearsim.cc.o"
+  "CMakeFiles/dearsim.dir/dearsim.cc.o.d"
+  "dearsim"
+  "dearsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dearsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
