@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
 #include "sched/runner.h"
@@ -62,6 +63,18 @@ inline std::size_t TuneBufferBytes(const model::ModelSpec& m,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a one-line percentile summary of repeated measurements using the
+/// shared common/stats.h Histogram (same machinery as the telemetry
+/// registry, so bench tables and `dearsim profile` report identically).
+inline void PrintLatencySummary(const std::string& label,
+                                const std::vector<double>& seconds) {
+  Histogram h(Histogram::ExponentialEdges(1e-7, 2.0, 30));
+  for (double s : seconds) h.Add(s);
+  std::printf("%-24s n=%-5zu p50=%8.3f ms  p95=%8.3f ms  p99=%8.3f ms\n",
+              label.c_str(), h.count(), h.Quantile(0.5) * 1e3,
+              h.Quantile(0.95) * 1e3, h.Quantile(0.99) * 1e3);
 }
 
 inline void PrintRule(int width = 78) {

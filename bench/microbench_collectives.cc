@@ -9,9 +9,12 @@
 
 #include "comm/collectives.h"
 #include "comm/worker_group.h"
+#include "core/trainer.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
 #include "sched/runner.h"
+#include "telemetry/telemetry.h"
+#include "train/data.h"
 #include "tune/gp.h"
 
 namespace {
@@ -58,6 +61,27 @@ void BM_TreeAllReduceThreaded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeAllReduceThreaded)->Arg(1024)->Arg(65536);
+
+// Telemetry overhead on the real runtime: Arg(0) = hooks compiled in but
+// session disabled (one relaxed atomic load per hook), Arg(1) = full
+// recording. The README §Observability overhead note cites the delta.
+void BM_TrainDistributedTelemetry(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const std::vector<int> dims{16, 64, 64, 8};
+  const auto data = train::MakeRegressionDataset(64, 16, 8, /*seed=*/21);
+  core::DistOptimOptions options;
+  options.mode = core::ScheduleMode::kDeAR;
+  options.buffer_bytes = 4096;
+  auto& rt = telemetry::Runtime::Get();
+  for (auto _ : state) {
+    if (enabled) rt.Enable(4);
+    core::TrainDistributed(dims, 1, data, /*iterations=*/4, /*batch=*/8, 4,
+                           options);
+    rt.Disable();
+  }
+}
+BENCHMARK(BM_TrainDistributedTelemetry)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulateDeARIteration(benchmark::State& state) {
   const auto m = model::ByName("resnet50");

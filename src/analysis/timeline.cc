@@ -33,6 +33,26 @@ std::vector<Interval> BusyIntervals(const sim::TaskGraph& graph,
   return merged;
 }
 
+std::vector<Interval> MergedIntervals(const std::vector<TraceEvent>& events,
+                                      std::int64_t pid, std::int64_t tid) {
+  std::vector<Interval> raw;
+  for (const TraceEvent& ev : events) {
+    if (ev.pid != pid || ev.tid != tid || ev.duration <= 0) continue;
+    raw.push_back({ev.start, ev.start + ev.duration});
+  }
+  std::sort(raw.begin(), raw.end(), [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin;
+  });
+  std::vector<Interval> merged;
+  for (const Interval& iv : raw) {
+    if (!merged.empty() && iv.begin <= merged.back().end)
+      merged.back().end = std::max(merged.back().end, iv.end);
+    else
+      merged.push_back(iv);
+  }
+  return merged;
+}
+
 SimTime SubtractCover(const std::vector<Interval>& a,
                       const std::vector<Interval>& b) {
   SimTime exposed = 0;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "sim/engine.h"
 #include "sim/task_graph.h"
 
@@ -25,6 +26,14 @@ struct Interval {
 std::vector<Interval> BusyIntervals(const sim::TaskGraph& graph,
                                     const sim::SimResult& result,
                                     std::int16_t stream);
+
+/// Merged, sorted busy intervals of one (pid, tid) lane of a recorded
+/// trace (zero-duration events are skipped). This is the real-runtime
+/// analog of BusyIntervals: pid = worker rank, tid = compute/comm lane,
+/// so SubtractCover over (comm lane, compute lane) yields the exposed
+/// communication time of an actual threaded run.
+std::vector<Interval> MergedIntervals(const std::vector<TraceEvent>& events,
+                                      std::int64_t pid, std::int64_t tid);
 
 /// Total time covered by `a` but not by `b` (both must be merged+sorted,
 /// as produced by BusyIntervals). This is the "exposed communication"

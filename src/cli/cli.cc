@@ -1,20 +1,27 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <iomanip>
+#include <map>
 
 #include "analysis/timeline.h"
 #include "common/flags.h"
+#include "core/trainer.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
 #include "sched/runner.h"
 #include "sim/engine.h"
+#include "telemetry/telemetry.h"
+#include "train/data.h"
 #include "tune/search.h"
 
 namespace dear::cli {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dearsim <models|simulate|compare|tune|sweep> [flags]\n"
+    "usage: dearsim <models|simulate|compare|tune|sweep|profile> [flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
 StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
@@ -242,6 +249,192 @@ int CmdCompare(FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+StatusOr<core::ScheduleMode> RuntimeScheduleByName(const std::string& name) {
+  if (name == "dear") return core::ScheduleMode::kDeAR;
+  if (name == "wfbp") return core::ScheduleMode::kWFBP;
+  if (name == "sequential") return core::ScheduleMode::kSequential;
+  if (name == "zero") return core::ScheduleMode::kZeRO;
+  if (name == "localsgd") return core::ScheduleMode::kLocalSGD;
+  return Status::InvalidArgument(
+      "unknown schedule '" + name +
+      "' (expected dear, wfbp, sequential, zero, or localsgd)");
+}
+
+/// A small MLP whose layer count scales with the zoo model so the profile
+/// run exercises realistic per-layer hook traffic while staying fast on a
+/// laptop: the zoo entries describe GPU networks (25M..334M params) the
+/// in-process runtime cannot train at full size.
+std::vector<int> ProxyDims(const model::ModelSpec& m) {
+  const int layers = std::clamp(m.num_layers() / 16, 3, 8);
+  const double budget =
+      std::min(static_cast<double>(m.total_params()), 150000.0);
+  const int width = std::clamp(
+      static_cast<int>(std::sqrt(budget / layers)), 16, 256);
+  std::vector<int> dims;
+  dims.push_back(32);
+  for (int l = 0; l < layers; ++l) dims.push_back(width);
+  dims.push_back(8);
+  return dims;
+}
+
+void PrintQuantiles(std::ostream& out, const Histogram& h, double scale) {
+  out << std::fixed << std::setprecision(3) << std::setw(10)
+      << h.Quantile(0.5) * scale << std::setw(10) << h.Quantile(0.95) * scale
+      << std::setw(10) << h.Quantile(0.99) * scale;
+}
+
+int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string model_name = flags.GetString("model");
+  if (!KnownModel(model_name)) {
+    err << "unknown model '" << model_name << "'; run 'dearsim models'\n";
+    return 1;
+  }
+  auto mode = RuntimeScheduleByName(flags.GetString("schedule"));
+  if (!mode.ok()) {
+    err << mode.status().ToString() << "\n";
+    return 1;
+  }
+  const int world = flags.GetInt("world");
+  const int iters = flags.GetInt("iters");
+  if (world < 2 || iters < 1) {
+    err << "profile needs --world >= 2 and --iters >= 1\n";
+    return 1;
+  }
+  const int batch = flags.GetInt("batch-size") > 0 ? flags.GetInt("batch-size")
+                                                   : 8;
+
+  const auto m = model::ByName(model_name);
+  const std::vector<int> dims = ProxyDims(m);
+  const auto data = train::MakeRegressionDataset(
+      world * batch * 4, dims.front(), dims.back(), /*seed=*/42);
+
+  core::DistOptimOptions options;
+  options.mode = *mode;
+  options.buffer_bytes = static_cast<std::size_t>(
+      std::max(1, flags.GetInt("buffer-kb")) * 1024);
+
+  auto& rt = telemetry::Runtime::Get();
+  rt.Enable(world);
+  core::TrainDistributed(dims, /*model_seed=*/7, data, iters, batch, world,
+                         options);
+  rt.Disable();
+
+  out << "profile: " << model_name << " proxy (";
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    out << (i ? "x" : "") << dims[i];
+  out << "), world=" << world << ", schedule=" << flags.GetString("schedule")
+      << ", iters=" << iters << ", batch=" << batch
+      << ", buffer=" << options.buffer_bytes / 1024 << "KB\n\n";
+
+  const auto events = rt.trace().Events();
+  out << "rank   sent(KB)   recv(KB)  msgs   iter_ms(p50/p95/p99)"
+      << "   exposed_ms  exposed%\n";
+  for (int r = 0; r < world; ++r) {
+    auto* reg = rt.rank_metrics(r);
+    if (!reg) continue;
+    const auto comm_busy =
+        analysis::MergedIntervals(events, r, telemetry::kCommLane);
+    const auto compute_busy =
+        analysis::MergedIntervals(events, r, telemetry::kComputeLane);
+    const SimTime exposed_ns =
+        analysis::SubtractCover(comm_busy, compute_busy);
+    SimTime comm_ns = 0;
+    for (const auto& iv : comm_busy) comm_ns += iv.length();
+
+    std::int64_t sent = 0, recv = 0, msgs = 0;
+    for (const auto& [name, v] : reg->Counters()) {
+      if (name == "comm.bytes_sent") sent = v;
+      if (name == "comm.bytes_received") recv = v;
+      if (name == "comm.messages_sent") msgs += v;
+    }
+    out << std::setw(4) << r << std::fixed << std::setprecision(1)
+        << std::setw(11) << sent / 1024.0 << std::setw(11) << recv / 1024.0
+        << std::setw(6) << msgs;
+    bool printed_iter = false;
+    for (const auto& [name, h] : reg->Histograms()) {
+      if (name == "optim.iteration.seconds") {
+        out << "  ";
+        PrintQuantiles(out, h, 1e3);
+        printed_iter = true;
+      }
+    }
+    if (!printed_iter) out << std::setw(32) << "-";
+    out << std::fixed << std::setprecision(3) << std::setw(13)
+        << static_cast<double>(exposed_ns) * 1e-6 << std::setw(9)
+        << std::setprecision(1)
+        << (comm_ns > 0 ? 100.0 * static_cast<double>(exposed_ns) /
+                              static_cast<double>(comm_ns)
+                        : 0.0)
+        << "%\n";
+  }
+
+  out << "\nper-collective latency, rank 0 (ms):\n"
+      << "kind                   calls   p50       p95       p99\n";
+  if (auto* reg0 = rt.rank_metrics(0)) {
+    std::map<std::string, std::int64_t> calls;
+    for (const auto& [name, v] : reg0->Counters()) {
+      const std::string prefix = "comm.", suffix = ".calls";
+      if (name.size() > prefix.size() + suffix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0 &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        calls[name.substr(prefix.size(),
+                          name.size() - prefix.size() - suffix.size())] = v;
+      }
+    }
+    for (const auto& [name, h] : reg0->Histograms()) {
+      const std::string prefix = "comm.", suffix = ".seconds";
+      if (name.size() <= prefix.size() + suffix.size() ||
+          name.compare(0, prefix.size(), prefix) != 0 ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0)
+        continue;
+      const std::string kind = name.substr(
+          prefix.size(), name.size() - prefix.size() - suffix.size());
+      out << std::left << std::setw(22) << kind << std::right << std::setw(6)
+          << calls[kind];
+      PrintQuantiles(out, h, 1e3);
+      out << "\n";
+    }
+  }
+
+  const std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) {
+    if (!rt.trace().WriteFile(trace_out)) {
+      err << "failed to write trace to '" << trace_out << "'\n";
+      return 1;
+    }
+    out << "\nwrote Chrome trace (" << rt.trace().size() << " events) to "
+        << trace_out << "\n";
+  }
+  const std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    std::string json = "{";
+    for (int r = 0; r < world; ++r) {
+      if (auto* reg = rt.rank_metrics(r)) {
+        if (r) json += ",";
+        json += "\"rank" + std::to_string(r) + "\":" + reg->ToJson();
+      }
+    }
+    json += ",\"global\":" + rt.global_metrics().ToJson() + "}";
+    std::ofstream file(metrics_out, std::ios::binary);
+    file << json;
+    if (!file) {
+      err << "failed to write metrics to '" << metrics_out << "'\n";
+      return 1;
+    }
+    out << "wrote metrics JSON to " << metrics_out << "\n";
+  }
+  if (flags.GetBool("prometheus")) {
+    out << "\n";
+    for (int r = 0; r < world; ++r) {
+      if (auto* reg = rt.rank_metrics(r))
+        out << reg->ToPrometheus("rank=\"" + std::to_string(r) + "\"");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(int argc, const char* const* argv, std::ostream& out,
@@ -263,6 +456,14 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddInt("trials", 15, "tuning trials");
   flags.AddBool("gantt", false, "print an ASCII Gantt of the schedule");
   flags.AddBool("csv", false, "emit CSV instead of aligned text (compare)");
+  flags.AddInt("world", 4, "worker count for the real runtime (profile)");
+  flags.AddInt("iters", 8, "training iterations (profile)");
+  flags.AddString("schedule", "dear",
+                  "runtime schedule: dear|wfbp|sequential|zero|localsgd");
+  flags.AddInt("buffer-kb", 64, "runtime fusion buffer in KB (profile)");
+  flags.AddString("trace-out", "", "write Chrome trace JSON here (profile)");
+  flags.AddString("metrics-out", "", "write metrics JSON here (profile)");
+  flags.AddBool("prometheus", false, "also print Prometheus text (profile)");
   flags.AddBool("help", false, "show flags");
 
   const Status st = flags.Parse(argc - 1, argv + 1);
@@ -280,6 +481,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "compare") return CmdCompare(flags, out, err);
   if (cmd == "tune") return CmdTune(flags, out, err);
   if (cmd == "sweep") return CmdSweep(flags, out, err);
+  if (cmd == "profile") return CmdProfile(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;
 }

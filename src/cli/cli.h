@@ -10,6 +10,12 @@
 //                                        BO-tune the fusion buffer
 //   sweep    [--model --network --scheduler --buffer-mb]
 //                                        scaling table over cluster sizes
+//   profile  [--model --world --iters --schedule --buffer-kb --trace-out
+//             --metrics-out --prometheus]
+//                                        run the REAL threaded runtime with
+//                                        telemetry on, print per-rank
+//                                        metrics + exposed-comm breakdown,
+//                                        optionally dump a Chrome trace
 #pragma once
 
 #include <ostream>

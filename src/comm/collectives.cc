@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "telemetry/telemetry.h"
 
 namespace dear::comm {
 namespace {
@@ -133,6 +134,7 @@ std::vector<Rank> AllRanks(int p) {
 
 Status RingReduceScatter(Communicator& comm, std::span<float> data,
                          ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
   Status st = internal::RingReduceScatterOver(comm, AllRanks(comm.size()),
                                               data, op, /*tag_base=*/0);
   if (!st.ok()) return st;
@@ -146,17 +148,20 @@ Status RingReduceScatter(Communicator& comm, std::span<float> data,
 }
 
 Status RingAllGather(Communicator& comm, std::span<float> data) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
   return internal::RingAllGatherOver(comm, AllRanks(comm.size()), data,
                                      /*tag_base=*/0);
 }
 
 Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RingReduceScatter(comm, data, op));
   return RingAllGather(comm, data);
 }
 
 Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
                   ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "reduce", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -188,6 +193,7 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
 }
 
 Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
+  telemetry::CollectiveTimer timer(comm.rank(), "broadcast", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -222,12 +228,14 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
 }
 
 Status TreeAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(TreeReduce(comm, data, /*root=*/0, op));
   return TreeBroadcast(comm, data, /*root=*/0);
 }
 
 Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
                                  ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   const int p = comm.size();
   const std::size_t half = data.size() / 2;
   auto a = data.subspan(0, half);
@@ -242,6 +250,7 @@ Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
 
 Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
                                  int ranks_per_node, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -290,6 +299,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
 
 Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
                              int ranks_per_node) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -337,6 +347,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
 
 Status HierarchicalAllReduce(Communicator& comm, std::span<float> data,
                              int ranks_per_node, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(
       HierarchicalReduceScatter(comm, data, ranks_per_node, op));
   return HierarchicalAllGather(comm, data, ranks_per_node);
@@ -378,6 +389,7 @@ bool IsPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
 
 Status RecursiveHalvingReduceScatter(Communicator& comm,
                                      std::span<float> data, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -416,6 +428,7 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
 }
 
 Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -447,11 +460,13 @@ Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
 
 Status RecursiveHalvingDoublingAllReduce(Communicator& comm,
                                          std::span<float> data, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RecursiveHalvingReduceScatter(comm, data, op));
   return RecursiveDoublingAllGather(comm, data);
 }
 
 Status Barrier(Communicator& comm) {
+  telemetry::CollectiveTimer timer(comm.rank(), "barrier", 0);
   const int p = comm.size();
   for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
     const Rank dst = (comm.rank() + dist) % p;
@@ -468,6 +483,7 @@ Status Barrier(Communicator& comm) {
 
 Status Gather(Communicator& comm, std::span<const float> data,
               std::vector<float>* out, Rank root) {
+  telemetry::CollectiveTimer timer(comm.rank(), "gather", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   const std::size_t n = data.size();
@@ -503,6 +519,7 @@ Status Gather(Communicator& comm, std::span<const float> data,
 
 Status Scatter(Communicator& comm, std::span<const float> in,
                std::vector<float>* out, Rank root) {
+  telemetry::CollectiveTimer timer(comm.rank(), "scatter", in.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   if (comm.rank() == root) {
@@ -531,6 +548,7 @@ Status Scatter(Communicator& comm, std::span<const float> in,
 }
 
 Status AllToAll(Communicator& comm, std::span<float> data) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_to_all", data.size());
   const int p = comm.size();
   if (data.size() % static_cast<std::size_t>(p) != 0)
     return Status::InvalidArgument(
@@ -562,6 +580,7 @@ Status AllToAll(Communicator& comm, std::span<float> data) {
 
 Status RingAllReduceSegmented(Communicator& comm, std::span<float> data,
                               std::size_t segment_bytes, ReduceOp op) {
+  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
   if (segment_bytes < sizeof(float))
     return Status::InvalidArgument("segment must hold at least one element");
   const std::size_t seg_elems = segment_bytes / sizeof(float);

@@ -1,6 +1,7 @@
 #include "comm/transport.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace dear::comm {
 
@@ -17,6 +18,7 @@ Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
 }
 
 bool TransportHub::Send(Rank src, Rank dst, Message msg) {
+  telemetry::OnMessageSent(src, msg.payload.size() * sizeof(float));
   return ChannelFor(src, dst).Send(std::move(msg));
 }
 
@@ -25,6 +27,7 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
   auto msg = ChannelFor(src, dst).Recv();
   if (!msg.has_value())
     return Status::Unavailable("transport shut down while receiving");
+  telemetry::OnMessageReceived(dst, msg->payload.size() * sizeof(float));
   if (msg->tag != expected_tag) {
     return Status::Internal("tag mismatch: expected " +
                             std::to_string(expected_tag) + " got " +

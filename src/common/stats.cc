@@ -24,6 +24,71 @@ double RunningStat::variance() const noexcept {
 
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
 
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i] <= edges_[i - 1]) {
+      // Tolerate sloppy edge lists rather than corrupting lookups.
+      edges_.resize(i);
+      break;
+    }
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::ExponentialEdges(double first, double factor,
+                                                int count) {
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  double e = first;
+  for (int i = 0; i < count; ++i) {
+    edges.push_back(e);
+    e *= factor;
+  }
+  return edges;
+}
+
+void Histogram::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+}
+
+void Histogram::Reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  n_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::Quantile(double q) const noexcept {
+  if (n_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(n_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      // Interpolate inside bucket b between its bounds, using the observed
+      // extremes for the open-ended first/last buckets.
+      const double lo = (b == 0) ? min_ : std::max(edges_[b - 1], min_);
+      const double hi = (b == edges_.size()) ? max_ : std::min(edges_[b], max_);
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dear {
@@ -25,6 +26,56 @@ class RunningStat {
   std::size_t n_{0};
   double mean_{0.0};
   double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Fixed-bucket histogram with percentile estimation, shared by the
+/// telemetry registry and the bench harness. `edges` are strictly
+/// increasing bucket upper bounds; a value x lands in the first bucket
+/// whose edge satisfies x <= edge, with an implicit overflow bucket past
+/// the last edge (so bucket_counts().size() == edges().size() + 1).
+/// Percentiles are estimated by linear interpolation inside the target
+/// bucket, clamped to the observed [min, max] — exact for empty and
+/// single-value histograms.
+class Histogram {
+ public:
+  /// Default: a single unbounded bucket (quantiles then interpolate over
+  /// the observed range only).
+  Histogram() : counts_(1, 0) {}
+  explicit Histogram(std::vector<double> edges);
+
+  /// Geometric edges {first, first*factor, ...}, `count` of them.
+  static std::vector<double> ExponentialEdges(double first, double factor,
+                                              int count);
+
+  void Add(double x) noexcept;
+  void Reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+
+  /// Estimated q-quantile, q in [0, 1]; 0 for an empty histogram. q <= 0
+  /// returns min(), q >= 1 returns max().
+  [[nodiscard]] double Quantile(double q) const noexcept;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;  // edges_.size() + 1 buckets
+  std::size_t n_{0};
+  double sum_{0.0};
   double min_{0.0};
   double max_{0.0};
 };

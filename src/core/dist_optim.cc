@@ -6,8 +6,18 @@
 #include "common/half.h"
 #include "common/math_util.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace dear::core {
+namespace {
+
+/// The calling rank's registry, or nullptr when telemetry is off.
+telemetry::MetricsRegistry* Registry(int rank) {
+  auto& rt = telemetry::Runtime::Get();
+  return rt.enabled() ? rt.rank_metrics(rank) : nullptr;
+}
+
+}  // namespace
 
 DistOptim::DistOptim(comm::Communicator comm, model::ModelSpec spec,
                      std::vector<train::ParamBinding> bindings,
@@ -67,6 +77,83 @@ void DistOptim::RebuildPlan() {
     groups_[static_cast<std::size_t>(g)].buffer.assign(
         plan_.group(g).bytes / model::kBytesPerElement, 0.0f);
   }
+  if (auto* reg = Registry(engine_->rank())) {
+    reg->GetGauge("optim.fusion.groups")
+        .Set(static_cast<double>(plan_.num_groups()));
+    reg->GetGauge("optim.fusion.buffer_bytes")
+        .Set(static_cast<double>(options_.buffer_bytes));
+    auto& group_bytes = reg->GetHistogram("optim.fusion.group_bytes");
+    for (int g = 0; g < plan_.num_groups(); ++g)
+      group_bytes.Observe(static_cast<double>(plan_.group(g).bytes));
+  }
+}
+
+void DistOptim::MarkGroupLaunched(GroupState& state) {
+  auto& rt = telemetry::Runtime::Get();
+  state.launch_ns = rt.enabled() ? rt.NowNs() : 0;
+}
+
+DistOptim::TelemetryCache* DistOptim::RefreshTelemetryCache() {
+  auto& rt = telemetry::Runtime::Get();
+  if (!rt.enabled()) return nullptr;
+  const std::uint64_t session = rt.session_id();
+  if (tcache_.session != session) {
+    auto* reg = rt.rank_metrics(engine_->rank());
+    if (!reg) return nullptr;
+    tcache_.rs_latency =
+        &reg->GetHistogram("optim.reduce_scatter.launch_to_complete_seconds");
+    tcache_.ag_latency =
+        &reg->GetHistogram("optim.all_gather.launch_to_complete_seconds");
+    tcache_.ar_latency =
+        &reg->GetHistogram("optim.all_reduce.launch_to_complete_seconds");
+    tcache_.iteration_seconds = &reg->GetHistogram("optim.iteration.seconds");
+    tcache_.steps = &reg->GetCounter("optim.steps");
+    tcache_.collectives = &reg->GetGauge("optim.collectives");
+    tcache_.step_wait = &reg->GetGauge("optim.step_wait_seconds_total");
+    tcache_.pre_forward_wait =
+        &reg->GetGauge("optim.pre_forward_wait_seconds_total");
+    tcache_.synchronize_wait =
+        &reg->GetGauge("optim.synchronize_wait_seconds_total");
+    tcache_.session = session;
+  }
+  return &tcache_;
+}
+
+void DistOptim::ObserveGroupDone(GroupState& state) {
+  auto& rt = telemetry::Runtime::Get();
+  if (!rt.enabled() || state.launch_ns == 0) return;
+  const double seconds =
+      static_cast<double>(rt.NowNs() - state.launch_ns) * 1e-9;
+  state.launch_ns = 0;
+  auto* cache = RefreshTelemetryCache();
+  if (!cache) return;
+  // Bucket by what the in-flight op was: OP1 of the decoupled pair, OP2,
+  // or a fused all-reduce (WFBP/sequential/local-SGD paths).
+  telemetry::HistogramMetric* latency = cache->ar_latency;
+  if (state.phase == GroupPhase::kAgPending) {
+    latency = cache->ag_latency;
+  } else if (options_.mode == ScheduleMode::kDeAR ||
+             options_.mode == ScheduleMode::kZeRO) {
+    latency = cache->rs_latency;
+  }
+  latency->Observe(seconds);
+}
+
+void DistOptim::ObserveStepEnd() {
+  auto& rt = telemetry::Runtime::Get();
+  if (!rt.enabled()) return;
+  const SimTime now = rt.NowNs();
+  if (auto* cache = RefreshTelemetryCache()) {
+    if (last_step_end_ns_ >= 0)
+      cache->iteration_seconds->Observe(
+          static_cast<double>(now - last_step_end_ns_) * 1e-9);
+    cache->steps->Add(1);
+    cache->collectives->Set(static_cast<double>(stats_.collectives));
+    cache->step_wait->Set(stats_.step_wait_s);
+    cache->pre_forward_wait->Set(stats_.pre_forward_wait_s);
+    cache->synchronize_wait->Set(stats_.synchronize_wait_s);
+  }
+  last_step_end_ns_ = now;
 }
 
 void DistOptim::WaitHandle(const comm::CollectiveHandle& handle) const {
@@ -182,10 +269,12 @@ void DistOptim::LocalSgdStep() {
     state.handle = engine_->SubmitAllReduce(std::span<float>(state.buffer),
                                             comm::ReduceOp::kAvg);
     state.phase = GroupPhase::kRsPending;
+    MarkGroupLaunched(state);
   }
   for (int g = 0; g < plan_.num_groups(); ++g) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     TimedWait(state.handle, &stats_.step_wait_s);
+    ObserveGroupDone(state);
     std::size_t offset = 0;
     for (int t : plan_.group(g).tensors) {
       auto& values = bindings_[static_cast<std::size_t>(t)].values;
@@ -249,6 +338,7 @@ void DistOptim::LaunchGroup(int g) {
       DEAR_CHECK_MSG(false, "kLocalSGD does not launch gradient groups");
       break;
   }
+  MarkGroupLaunched(state);
 }
 
 void DistOptim::OnBackwardLayer(int layer) {
@@ -287,6 +377,7 @@ void DistOptim::Step() {
   ++stats_.steps;
   if (options_.mode == ScheduleMode::kLocalSGD) {
     LocalSgdStep();
+    ObserveStepEnd();
     return;
   }
   switch (options_.mode) {
@@ -302,6 +393,7 @@ void DistOptim::Step() {
       }
       for (auto& state : groups_) {
         TimedWait(state.handle, &stats_.step_wait_s);
+        ObserveGroupDone(state);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
@@ -312,6 +404,7 @@ void DistOptim::Step() {
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
         TimedWait(state.handle, &stats_.step_wait_s);
+        ObserveGroupDone(state);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
@@ -327,18 +420,21 @@ void DistOptim::Step() {
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
         TimedWait(state.handle, &stats_.step_wait_s);
+        ObserveGroupDone(state);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
         auto& state = groups_[static_cast<std::size_t>(g)];
         if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
         state.handle = SubmitGather(state);
         state.phase = GroupPhase::kAgPending;
+        MarkGroupLaunched(state);
       }
       break;
     }
     case ScheduleMode::kLocalSGD:
       break;  // handled above, before the switch
   }
+  ObserveStepEnd();
 }
 
 void DistOptim::PreForward(int layer) {
@@ -350,6 +446,7 @@ void DistOptim::PreForward(int layer) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     if (state.phase != GroupPhase::kAgPending) continue;  // first iteration
     TimedWait(state.handle, &stats_.pre_forward_wait_s);
+    ObserveGroupDone(state);
     UnpackAndApply(g);
   }
 }
@@ -371,16 +468,21 @@ void DistOptim::Synchronize() {
         // (kZeRO also applies its sharded update in between); in the
         // all-reduce modes the data is already fully reduced.
         TimedWait(state.handle, &stats_.synchronize_wait_s);
+        ObserveGroupDone(state);
         if (options_.mode == ScheduleMode::kDeAR ||
             options_.mode == ScheduleMode::kZeRO) {
           if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
           state.handle = SubmitGather(state);
+          state.phase = GroupPhase::kAgPending;
+          MarkGroupLaunched(state);
           TimedWait(state.handle, &stats_.synchronize_wait_s);
+          ObserveGroupDone(state);
         }
         UnpackAndApply(g);
         break;
       case GroupPhase::kAgPending:
         TimedWait(state.handle, &stats_.synchronize_wait_s);
+        ObserveGroupDone(state);
         UnpackAndApply(g);
         break;
     }

@@ -23,15 +23,23 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "comm/async.h"
 #include "comm/communicator.h"
+#include "common/sim_time.h"
 #include "fusion/plan.h"
 #include "model/model_spec.h"
 #include "train/mlp.h"
 #include "train/sgd.h"
+
+namespace dear::telemetry {
+class Counter;
+class Gauge;
+class HistogramMetric;
+}  // namespace dear::telemetry
 
 namespace dear::core {
 
@@ -150,6 +158,7 @@ class DistOptim {
     comm::CollectiveHandle handle;
     GroupPhase phase{GroupPhase::kIdle};
     int tensors_ready{0};
+    SimTime launch_ns{0};  // telemetry: submit time of the in-flight op
   };
 
   void RebuildPlan();
@@ -169,6 +178,31 @@ class DistOptim {
   /// Waits on `handle`, charging the blocked wall time to `*bucket`.
   void TimedWait(const comm::CollectiveHandle& handle, double* bucket);
 
+  /// Telemetry: marks the in-flight collective of `state` as launched /
+  /// completed (launch->complete latency histograms, keyed by the phase).
+  /// No-ops when no telemetry session is enabled.
+  void MarkGroupLaunched(GroupState& state);
+  void ObserveGroupDone(GroupState& state);
+  /// Telemetry: per-iteration wall time + cumulative wait gauges.
+  void ObserveStepEnd();
+
+  /// Metric pointers resolved once per telemetry session so the per-group
+  /// observation path does no string-keyed lookups. Only touched by this
+  /// instance's compute thread. Returns nullptr when telemetry is off.
+  struct TelemetryCache {
+    std::uint64_t session{0};
+    telemetry::HistogramMetric* rs_latency{nullptr};
+    telemetry::HistogramMetric* ag_latency{nullptr};
+    telemetry::HistogramMetric* ar_latency{nullptr};
+    telemetry::HistogramMetric* iteration_seconds{nullptr};
+    telemetry::Counter* steps{nullptr};
+    telemetry::Gauge* collectives{nullptr};
+    telemetry::Gauge* step_wait{nullptr};
+    telemetry::Gauge* pre_forward_wait{nullptr};
+    telemetry::Gauge* synchronize_wait{nullptr};
+  };
+  TelemetryCache* RefreshTelemetryCache();
+
   model::ModelSpec spec_;
   std::vector<train::ParamBinding> bindings_;
   DistOptimOptions options_;
@@ -179,6 +213,8 @@ class DistOptim {
   Stats stats_;
   int micro_step_{0};
   int local_step_{0};  // kLocalSGD round position
+  SimTime last_step_end_ns_{-1};  // telemetry: previous Step() end
+  TelemetryCache tcache_;
 };
 
 }  // namespace dear::core

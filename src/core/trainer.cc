@@ -4,6 +4,7 @@
 
 #include "comm/worker_group.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace dear::core {
 
@@ -70,20 +71,46 @@ DistributedResult TrainDistributed(const std::vector<int>& dims,
     std::vector<float> local_losses;
     int cursor = 0;
     const int micro_batches = options.accumulation_steps;
+    const SimTime train_start_ns = telemetry::Runtime::Get().NowNs();
     for (int it = 0; it < iterations; ++it) {
       mlp.ZeroGrad();
       for (int micro = 0; micro < micro_batches; ++micro) {
         if (cursor + batch > shard.num_samples) cursor = 0;
         shard.Batch(cursor, batch, &x, &y);
         cursor += batch;
-        const auto pred =
-            mlp.Forward(x, batch, [&](int l) { optim.PreForward(l); });
-        local_losses.push_back(Mlp::MseLoss(pred, y, &grad));
-        mlp.Backward(grad, batch, [&](int l) { optim.OnBackwardLayer(l); });
+        {
+          // Compute-lane span (tid 0); the comm engine's collectives land
+          // on tid 1, so the trace shows BackPipe/FeedPipe overlap.
+          telemetry::ScopedSpan span(comm.rank(), telemetry::kComputeLane,
+                                     "forward", "compute");
+          const auto pred =
+              mlp.Forward(x, batch, [&](int l) { optim.PreForward(l); });
+          local_losses.push_back(Mlp::MseLoss(pred, y, &grad));
+        }
+        {
+          telemetry::ScopedSpan span(comm.rank(), telemetry::kComputeLane,
+                                     "backward", "compute");
+          mlp.Backward(grad, batch, [&](int l) { optim.OnBackwardLayer(l); });
+        }
         optim.Step();
       }
     }
     optim.Synchronize();
+    {
+      auto& rt = telemetry::Runtime::Get();
+      if (rt.enabled()) {
+        if (auto* reg = rt.rank_metrics(comm.rank())) {
+          const double elapsed_s =
+              static_cast<double>(rt.NowNs() - train_start_ns) * 1e-9;
+          const double samples = static_cast<double>(iterations) *
+                                 micro_batches * static_cast<double>(batch);
+          reg->GetGauge("train.elapsed_seconds").Set(elapsed_s);
+          if (elapsed_s > 0)
+            reg->GetGauge("train.samples_per_second")
+                .Set(samples / elapsed_s);
+        }
+      }
+    }
 
     std::vector<std::vector<float>> params;
     for (auto& layer : mlp.layers()) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace dear::cli {
@@ -112,6 +114,33 @@ TEST(CliTest, SweepCoversClusterSizes) {
   EXPECT_NE(r.out.find("gpus"), std::string::npos);
   EXPECT_NE(r.out.find("256"), std::string::npos);
   EXPECT_NE(r.out.find("efficiency"), std::string::npos);
+}
+
+TEST(CliTest, ProfileRunsRealRuntimeAndWritesTrace) {
+  const std::string trace_path = ::testing::TempDir() + "/cli_profile.json";
+  const std::string trace_flag = "--trace-out=" + trace_path;
+  const auto r =
+      RunDearsim({"profile", "--model=alexnet", "--world=2", "--iters=2",
+                  "--batch-size=4", trace_flag.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("rank"), std::string::npos);
+  EXPECT_NE(r.out.find("exposed"), std::string::npos);
+  EXPECT_NE(r.out.find("reduce_scatter"), std::string::npos);
+  EXPECT_NE(r.out.find("all_gather"), std::string::npos);
+
+  std::ifstream f(trace_path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliTest, ProfileRejectsBadInputs) {
+  EXPECT_NE(RunDearsim({"profile", "--schedule=warp"}).code, 0);
+  EXPECT_NE(RunDearsim({"profile", "--world=1"}).code, 0);
+  EXPECT_NE(RunDearsim({"profile", "--model=notamodel"}).code, 0);
 }
 
 TEST(CliTest, BatchSizeOverrideChangesThroughput) {

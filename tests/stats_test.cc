@@ -76,6 +76,92 @@ TEST(PercentileTest, QuartileInterpolation) {
   EXPECT_DOUBLE_EQ(Percentile({40.0, 10.0, 30.0, 20.0}, 25.0), 17.5);
 }
 
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.bucket_counts().size(), 3u);  // 2 edges + overflow
+}
+
+TEST(HistogramTest, SingleValueIsExactAtEveryQuantile) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(7.0);
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.0) << "q=" << q;
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
+TEST(HistogramTest, OutOfRangeLandsInOverflowBucket) {
+  Histogram h({1.0, 2.0});
+  h.Add(1000.0);
+  h.Add(-5.0);  // below the first edge -> first bucket
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  // Quantiles stay within the observed range despite unbounded buckets.
+  EXPECT_GE(h.Quantile(0.99), -5.0);
+  EXPECT_LE(h.Quantile(0.99), 1000.0);
+}
+
+TEST(HistogramTest, ValueOnEdgeGoesToLowerBucket) {
+  Histogram h({1.0, 2.0});
+  h.Add(1.0);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  h.Add(2.0);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+}
+
+TEST(HistogramTest, QuantilesOrderedOnUniformData) {
+  Histogram h(Histogram::ExponentialEdges(1.0, 2.0, 10));
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i % 500));
+  const double p50 = h.Quantile(0.5);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(HistogramTest, DefaultConstructedHasOneUnboundedBucket) {
+  Histogram h;
+  EXPECT_EQ(h.bucket_counts().size(), 1u);
+  h.Add(3.0);
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h({1.0});
+  h.Add(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_counts()[0], 0u);
+}
+
+TEST(HistogramTest, NonIncreasingEdgesAreTruncated) {
+  Histogram h({1.0, 3.0, 2.0});  // 2.0 <= 3.0: dropped, with everything after
+  EXPECT_EQ(h.edges().size(), 2u);
+  EXPECT_EQ(h.bucket_counts().size(), 3u);
+}
+
+TEST(HistogramTest, ExponentialEdgesAreGeometric) {
+  const auto edges = Histogram::ExponentialEdges(2.0, 10.0, 3);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(edges[0], 2.0);
+  EXPECT_DOUBLE_EQ(edges[1], 20.0);
+  EXPECT_DOUBLE_EQ(edges[2], 200.0);
+}
+
 TEST(BatchStatsTest, MeanAndStdDev) {
   const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(Mean(v), 3.0);

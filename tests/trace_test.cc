@@ -34,6 +34,22 @@ TEST(TraceTest, EscapesSpecialCharacters) {
   EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
 }
 
+TEST(TraceTest, EscapesControlCharactersAsUnicode) {
+  // Hostile names (tabs, carriage returns, bells, NULs embedded via
+  // std::string) must not produce invalid JSON.
+  TraceRecorder rec;
+  rec.Record({std::string("t\ta\rb\bc\fd\x01" "e\x1f") + std::string(1, '\0'),
+              "c\x02" "t", 0, 0, 0, 0});
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("t\\ta\\rb\\bc\\fd\\u0001e\\u001f\\u0000"),
+            std::string::npos);
+  EXPECT_NE(json.find("c\\u0002t"), std::string::npos);
+  // No raw control character may survive into the serialized output.
+  for (char c : json)
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control char " << static_cast<int>(c);
+}
+
 TEST(TraceTest, ConcurrentRecordingIsSafe) {
   TraceRecorder rec;
   std::vector<std::thread> threads;

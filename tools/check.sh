@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local check: plain build + ctest, then the same suite under
+# ThreadSanitizer (the runtime is aggressively threaded — one comm thread
+# per rank — so TSan is the check that matters most here).
+#
+#   tools/check.sh            # plain + tsan
+#   tools/check.sh --no-tsan  # plain only (e.g. TSan unsupported on host)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" >/dev/null
+ctest --test-dir build --output-on-failure
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== thread-sanitizer build =="
+  cmake -B build-tsan -S . -DDEAR_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs" >/dev/null
+  ctest --test-dir build-tsan --output-on-failure
+fi
+
+echo "OK"
