@@ -1,0 +1,499 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "telemetry/telemetry.h"
+
+namespace dear::check {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point since, Clock::time_point now) {
+  return std::chrono::duration<double>(now - since).count();
+}
+
+/// Depth of nested CollectiveGuard brackets on this thread. Only the
+/// outermost bracket reports, so composed collectives (the RS inside
+/// RingAllReduce, the leader ring inside the hierarchical pair) record one
+/// protocol-level ledger entry.
+thread_local int t_guard_depth = 0;
+
+}  // namespace
+
+Checker& Checker::Get() {
+  static Checker* instance = new Checker();  // leaked: outlives comm threads
+  return *instance;
+}
+
+void Checker::Enable(int world_size, CheckerOptions options) {
+  Disable();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options_ = options;
+    world_size_ = std::max(0, world_size);
+    const auto n = static_cast<std::size_t>(world_size_);
+    ledgers_.assign(n, {});
+    current_.assign(n, std::nullopt);
+    waiters_.assign(n, std::nullopt);
+    seq_arrivals_.clear();
+    group_phase_.assign(n, {});
+    fault_ = FaultSpec{};
+    fault_consumed_ = false;
+    trip_handler_ = nullptr;  // per-session: re-register after Enable()
+    report_.clear();
+    verified_ops_ = 0;
+    watchdog_stop_ = false;
+  }
+  sends_.store(0, std::memory_order_relaxed);
+  tripped_.store(false, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+  if (options.watchdog_timeout_s > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+void Checker::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Checker::SetTripHandler(std::function<void()> handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trip_handler_ = std::move(handler);
+}
+
+void Checker::ArmFault(const FaultSpec& fault) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_ = fault;
+  fault_consumed_ = false;
+}
+
+FaultKind Checker::ConsumeEngineFault(int rank, int op_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fault_consumed_ || fault_.kind == FaultKind::kNone) {
+    return FaultKind::kNone;
+  }
+  if (fault_.rank != rank || fault_.op_index != op_index) {
+    return FaultKind::kNone;
+  }
+  fault_consumed_ = true;
+  return fault_.kind;
+}
+
+void Checker::OnCollectiveBegin(int rank, std::string_view kind,
+                                std::size_t elems) {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= world_size_ ||
+        tripped_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    auto& ledger = ledgers_[static_cast<std::size_t>(rank)];
+    const int seq = static_cast<int>(ledger.size());
+    if (current_[static_cast<std::size_t>(rank)]) {
+      const Current& cur = *current_[static_cast<std::size_t>(rank)];
+      pending = TripLocked(
+          "duplicate participation: rank " + std::to_string(rank) +
+          " began " + std::string(kind) + " (op#" + std::to_string(seq) +
+          ") while its " + std::string(cur.kind) + " (op#" +
+          std::to_string(cur.seq) + ") is still in flight");
+    } else {
+      ledger.push_back(LedgerEntry{kind, elems});
+      current_[static_cast<std::size_t>(rank)] = Current{kind, elems, seq};
+      if (static_cast<std::size_t>(seq) >= seq_arrivals_.size()) {
+        seq_arrivals_.resize(static_cast<std::size_t>(seq) + 1, 0);
+      }
+      ++seq_arrivals_[static_cast<std::size_t>(seq)];
+      for (int r = 0; r < world_size_ && !pending; ++r) {
+        if (r == rank) continue;
+        const auto& other_ledger = ledgers_[static_cast<std::size_t>(r)];
+        if (other_ledger.size() <= static_cast<std::size_t>(seq)) continue;
+        const LedgerEntry& other = other_ledger[static_cast<std::size_t>(seq)];
+        if (other.kind != kind) {
+          pending = TripLocked(
+              "collective sequence mismatch at op#" + std::to_string(seq) +
+              ": rank " + std::to_string(rank) + " issued " +
+              std::string(kind) + " but rank " + std::to_string(r) +
+              " issued " + std::string(other.kind) +
+              " — first divergent rank: " + std::to_string(DivergentLocked(seq, rank)));
+        } else if (other.elems != elems) {
+          pending = TripLocked(
+              "collective size mismatch at op#" + std::to_string(seq) + " (" +
+              std::string(kind) + "): rank " + std::to_string(rank) + " has " +
+              std::to_string(elems) + " elems but rank " + std::to_string(r) +
+              " has " + std::to_string(other.elems) +
+              " — diverged re-bucketing? first divergent rank: " +
+              std::to_string(DivergentLocked(seq, rank)));
+        }
+      }
+      if (!pending && seq_arrivals_[static_cast<std::size_t>(seq)] ==
+                          world_size_) {
+        ++verified_ops_;
+      }
+    }
+  }
+  if (pending) pending();
+}
+
+void Checker::OnCollectiveEnd(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= world_size_) return;
+  current_[static_cast<std::size_t>(rank)].reset();
+}
+
+void Checker::OnRecvBlocked(int dst, int src, std::uint32_t expected_tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dst < 0 || dst >= world_size_) return;
+  waiters_[static_cast<std::size_t>(dst)] =
+      Waiter{src, expected_tag, Clock::now(), 0};
+}
+
+void Checker::OnRecvDone(int dst) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dst < 0 || dst >= world_size_) return;
+  waiters_[static_cast<std::size_t>(dst)].reset();
+}
+
+void Checker::OnGroupEvent(int rank, int group, GroupEvent event) {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= world_size_ || group < 0 ||
+        tripped_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    auto& phases = group_phase_[static_cast<std::size_t>(rank)];
+    if (static_cast<std::size_t>(group) >= phases.size()) {
+      phases.resize(static_cast<std::size_t>(group) + 1, GroupPhase::kIdle);
+    }
+    GroupPhase& phase = phases[static_cast<std::size_t>(group)];
+    const GroupPhase before = phase;
+    bool ok = false;
+    const char* violation = "schedule violation";
+    switch (event) {
+      case GroupEvent::kRsLaunch:
+        ok = before == GroupPhase::kIdle;
+        if (ok) phase = GroupPhase::kRsInFlight;
+        violation = "BackPipe violation: reduce-scatter relaunched";
+        break;
+      case GroupEvent::kRsComplete:
+        ok = before == GroupPhase::kRsInFlight;
+        if (ok) phase = GroupPhase::kRsDone;
+        violation = "BackPipe violation: reduce-scatter completed twice "
+                    "or without a launch";
+        break;
+      case GroupEvent::kAgLaunch:
+        ok = before == GroupPhase::kRsDone;
+        if (ok) phase = GroupPhase::kAgInFlight;
+        violation = "BackPipe/FeedPipe ordering violation: all-gather "
+                    "launched before its reduce-scatter completed "
+                    "(paper R2 dependency)";
+        break;
+      case GroupEvent::kAgComplete:
+        ok = before == GroupPhase::kAgInFlight;
+        if (ok) phase = GroupPhase::kAgDone;
+        violation = "FeedPipe violation: all-gather completed twice or "
+                    "without a launch";
+        break;
+      case GroupEvent::kUnpack:
+        // Valid from AgDone (decoupled pair) or RsDone (fused all-reduce /
+        // local-SGD path, where one collective plays both halves).
+        ok = before == GroupPhase::kAgDone || before == GroupPhase::kRsDone;
+        if (ok) phase = GroupPhase::kIdle;
+        violation = "FeedPipe violation: group consumed before its "
+                    "all-gather completed";
+        break;
+    }
+    if (!ok) {
+      pending = TripLocked(
+          std::string(violation) + " — rank " + std::to_string(rank) +
+          ", group " + std::to_string(group) + ", phase " +
+          std::string(PhaseName(before)));
+    }
+  }
+  if (pending) pending();
+}
+
+std::string_view Checker::PhaseName(GroupPhase phase) noexcept {
+  switch (phase) {
+    case GroupPhase::kIdle: return "idle";
+    case GroupPhase::kRsInFlight: return "rs-in-flight";
+    case GroupPhase::kRsDone: return "rs-done";
+    case GroupPhase::kAgInFlight: return "ag-in-flight";
+    case GroupPhase::kAgDone: return "ag-done";
+  }
+  return "?";
+}
+
+int Checker::DivergentLocked(int seq, int newcomer) const {
+  // Majority vote over the (kind, elems) recorded at `seq`: the divergent
+  // rank is the first whose entry disagrees with the most common one. A
+  // tied vote blames `newcomer` — the rank whose arrival exposed the
+  // divergence (e.g. two ranks in, one each way).
+  using Value = std::pair<std::string_view, std::size_t>;
+  std::map<Value, int> votes;
+  for (const auto& ledger : ledgers_) {
+    if (ledger.size() > static_cast<std::size_t>(seq)) {
+      const LedgerEntry& e = ledger[static_cast<std::size_t>(seq)];
+      ++votes[{e.kind, e.elems}];
+    }
+  }
+  int best = 0;
+  for (const auto& [value, count] : votes) best = std::max(best, count);
+  Value newcomer_value{};
+  if (newcomer >= 0 && newcomer < world_size_ &&
+      ledgers_[static_cast<std::size_t>(newcomer)].size() >
+          static_cast<std::size_t>(seq)) {
+    const LedgerEntry& e =
+        ledgers_[static_cast<std::size_t>(newcomer)][static_cast<std::size_t>(
+            seq)];
+    newcomer_value = {e.kind, e.elems};
+  }
+  Value majority{};
+  bool found = false;
+  for (const auto& [value, count] : votes) {
+    if (count == best && value != newcomer_value) {
+      majority = value;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // Every top-voted value is the newcomer's own — it is the majority.
+    for (const auto& [value, count] : votes) {
+      if (count == best) majority = value;
+    }
+  }
+  for (int r = 0; r < world_size_; ++r) {
+    const auto& ledger = ledgers_[static_cast<std::size_t>(r)];
+    if (ledger.size() <= static_cast<std::size_t>(seq)) continue;
+    const LedgerEntry& e = ledger[static_cast<std::size_t>(seq)];
+    if (Value{e.kind, e.elems} != majority) return r;
+  }
+  return -1;
+}
+
+std::function<void()> Checker::TripLocked(const std::string& verdict) {
+  if (tripped_.exchange(true, std::memory_order_acq_rel)) return {};
+  report_ = verdict + "\n" + DumpLocked();
+  DEAR_LOG(kError) << "dearcheck tripped: " << verdict;
+  return trip_handler_;
+}
+
+std::string Checker::DumpLocked() const {
+  const auto now = Clock::now();
+  std::size_t max_ledger = 0;
+  for (const auto& ledger : ledgers_) {
+    max_ledger = std::max(max_ledger, ledger.size());
+  }
+  // Span context: last comm-lane trace span per rank, when a telemetry
+  // session is live alongside the checker.
+  std::vector<std::string> last_span(static_cast<std::size_t>(world_size_));
+  telemetry::Runtime& rt = telemetry::Runtime::Get();
+  if (rt.enabled()) {
+    for (const TraceEvent& ev : rt.trace().Events()) {
+      if (ev.tid != telemetry::kCommLane) continue;
+      if (ev.pid < 0 || ev.pid >= world_size_) continue;
+      last_span[static_cast<std::size_t>(ev.pid)] = ev.name;
+    }
+  }
+  std::string out;
+  for (int r = 0; r < world_size_; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    out += "  rank " + std::to_string(r) + ": " +
+           std::to_string(ledgers_[idx].size()) + " ops recorded";
+    if (current_[idx]) {
+      out += ", in " + std::string(current_[idx]->kind) + " op#" +
+             std::to_string(current_[idx]->seq) + " (" +
+             std::to_string(current_[idx]->elems) + " elems)";
+    }
+    if (waiters_[idx]) {
+      const Waiter& w = *waiters_[idx];
+      out += ", blocked " +
+             std::to_string(
+                 static_cast<long long>(SecondsSince(w.since, now) * 1e3)) +
+             " ms on rank " + std::to_string(w.src) + " for [" +
+             comm::tags::Describe(w.tag) + "]";
+    } else if (!current_[idx] && ledgers_[idx].size() < max_ledger) {
+      out += ", idle — ledger ended early (missing participant?)";
+    }
+    if (!last_span[idx].empty()) {
+      out += ", last comm span: " + last_span[idx];
+    }
+    out += "\n";
+  }
+  out += "  transport sends so far: " +
+         std::to_string(sends_.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::function<void()> Checker::AnalyzeLocked(bool force) {
+  if (tripped_.load(std::memory_order_relaxed)) return {};
+  const auto now = Clock::now();
+  double oldest_age = -1.0;
+  int oldest_rank = -1;
+  for (int r = 0; r < world_size_; ++r) {
+    auto& slot = waiters_[static_cast<std::size_t>(r)];
+    if (!slot) continue;
+    if (!force) ++slot->ticks;
+    const double age = SecondsSince(slot->since, now);
+    if (age > oldest_age) {
+      oldest_age = age;
+      oldest_rank = r;
+    }
+  }
+  if (oldest_rank < 0) return {};
+
+  // Wait-for cycle detection, restricted to waiters that survived at least
+  // two watchdog passes (or all of them, under force): a waiter observed
+  // only once may be a transient registration racing an in-flight message.
+  auto stable = [&](int r) {
+    const auto& slot = waiters_[static_cast<std::size_t>(r)];
+    return slot && (force || slot->ticks >= 2);
+  };
+  for (int start = 0; start < world_size_; ++start) {
+    if (!stable(start)) continue;
+    std::string path = std::to_string(start);
+    int cur = waiters_[static_cast<std::size_t>(start)]->src;
+    int steps = 0;
+    while (cur >= 0 && cur < world_size_ && stable(cur) &&
+           steps++ <= world_size_) {
+      path += " -> " + std::to_string(cur);
+      if (cur == start) {
+        const Waiter& w = *waiters_[static_cast<std::size_t>(start)];
+        return TripLocked("deadlock: wait-for cycle " + path + " (rank " +
+                          std::to_string(start) + " expects [" +
+                          comm::tags::Describe(w.tag) + "] from rank " +
+                          std::to_string(w.src) + ")");
+      }
+      cur = waiters_[static_cast<std::size_t>(cur)]->src;
+    }
+  }
+
+  const double timeout = options_.watchdog_timeout_s;
+  if (!force && (timeout <= 0 || oldest_age < timeout)) return {};
+
+  // Timeout (or forced) diagnosis: name what the oldest waiter is stuck in
+  // and which ranks stopped participating.
+  const auto oidx = static_cast<std::size_t>(oldest_rank);
+  const Waiter& w = *waiters_[oidx];
+  std::string verdict = "watchdog timeout: rank " +
+                        std::to_string(oldest_rank) + " blocked " +
+                        std::to_string(static_cast<long long>(oldest_age * 1e3)) +
+                        " ms";
+  if (current_[oidx]) {
+    verdict += " in " + std::string(current_[oidx]->kind) + " op#" +
+               std::to_string(current_[oidx]->seq);
+  }
+  verdict += " waiting on rank " + std::to_string(w.src) + " for [" +
+             comm::tags::Describe(w.tag) + "]";
+  std::size_t max_ledger = 0;
+  for (const auto& ledger : ledgers_) {
+    max_ledger = std::max(max_ledger, ledger.size());
+  }
+  for (int r = 0; r < world_size_; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (!waiters_[idx] && !current_[idx] &&
+        ledgers_[idx].size() < max_ledger) {
+      verdict += "; rank " + std::to_string(r) +
+                 " is missing from op#" + std::to_string(ledgers_[idx].size()) +
+                 " onward (skipped collective?)";
+    }
+  }
+  return TripLocked(verdict);
+}
+
+void Checker::WatchdogLoop() {
+  std::function<void()> pending;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const double timeout = options_.watchdog_timeout_s;
+    const auto tick = std::chrono::microseconds(static_cast<std::int64_t>(
+        std::clamp(timeout / 4.0, 0.002, 0.25) * 1e6));
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, tick, [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+      if (tripped_.load(std::memory_order_relaxed)) continue;
+      pending = AnalyzeLocked(/*force=*/false);
+      if (pending) break;
+    }
+  }
+  if (pending) pending();
+  // Tripped: nothing left to analyze, but stay joinable until Disable().
+  std::unique_lock<std::mutex> lock(mutex_);
+  watchdog_cv_.wait(lock, [this] { return watchdog_stop_; });
+}
+
+void Checker::CheckNow() {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending = AnalyzeLocked(/*force=*/true);
+  }
+  if (pending) pending();
+}
+
+std::string Checker::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return report_;
+}
+
+std::string Checker::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return DumpLocked();
+}
+
+std::size_t Checker::blocked_waiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& slot : waiters_) {
+    if (slot) ++n;
+  }
+  return n;
+}
+
+std::int64_t Checker::verified_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return verified_ops_;
+}
+
+std::int64_t Checker::ledger_size(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= world_size_) return 0;
+  return static_cast<std::int64_t>(
+      ledgers_[static_cast<std::size_t>(rank)].size());
+}
+
+CollectiveGuard::CollectiveGuard(int rank, const char* kind,
+                                 std::size_t elems) noexcept
+    : active_(t_guard_depth++ == 0 && Checker::Get().enabled()),
+      rank_(rank) {
+  if (active_) Checker::Get().OnCollectiveBegin(rank, kind, elems);
+}
+
+CollectiveGuard::~CollectiveGuard() {
+  --t_guard_depth;
+  if (active_) Checker::Get().OnCollectiveEnd(rank_);
+}
+
+ScopedRecvWait::ScopedRecvWait(int dst, int src,
+                               std::uint32_t expected_tag) noexcept
+    : active_(Checker::Get().enabled()), dst_(dst) {
+  if (active_) Checker::Get().OnRecvBlocked(dst, src, expected_tag);
+}
+
+ScopedRecvWait::~ScopedRecvWait() {
+  if (active_) Checker::Get().OnRecvDone(dst_);
+}
+
+}  // namespace dear::check

@@ -1,0 +1,254 @@
+// dearcheck — collective-protocol verifier and deadlock diagnosis for the
+// threaded comm runtime.
+//
+// DeAR's correctness rests on every rank issuing the *same* sequence of
+// collectives with the *same* sizes (the no-negotiation SPMD contract,
+// paper §III-B), and on the FeedPipe dependency that group l's all-gather
+// completes before FF_l consumes it. A single divergent rank — wrong order,
+// wrong size, skipped or duplicated participation — deadlocks the ring
+// silently. The transport's per-message tag check catches pairing bugs
+// *inside* one collective; this subsystem catches divergence *between*
+// collectives, and turns the remaining hangs into attributed diagnoses:
+//
+//  1. Protocol verifier: begin/end hooks in src/comm/collectives.cc record
+//     a per-rank ledger of (kind, element count, sequence index). Because
+//     all ranks share one process, an online matcher compares each rank's
+//     ledger entry against the other ranks' entry at the same index the
+//     moment it is recorded, and trips on the first divergence — naming
+//     the divergent rank and operation instead of hanging.
+//  2. Deadlock detector: TransportHub::Recv registers a waiter (who is
+//     blocked, on whom, expecting which decoded tag) building a wait-for
+//     graph; a watchdog thread trips on stable cycles and on waiters
+//     exceeding the timeout, dumping a per-rank diagnosis — which
+//     collective, ring round, and chunk each rank is blocked in.
+//  3. Fault injection: CommEngine consults ConsumeEngineFault() per
+//     request, so tests can skip, shrink, or reorder one rank's collective
+//     and prove each detector class fires before ctest would hang.
+//
+// The checker follows the telemetry Runtime enable pattern: a process-wide
+// singleton whose hooks reduce to one relaxed atomic load when disabled
+// (the default), so they stay compiled into the hot paths. On detection
+// the checker "trips": it freezes a report and invokes the registered trip
+// handler (typically TransportHub::Shutdown) so every blocked rank is
+// released with Status::Unavailable instead of hanging forever.
+//
+// Enable()/Disable() must be called from a quiescent point (no in-flight
+// collectives), like telemetry::Runtime.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "comm/types.h"
+
+namespace dear::check {
+
+/// Injected divergence, applied by CommEngine to one rank's request stream.
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kSkip,     // drop the collective: complete its handle without running it
+  kShrink,   // run it on half the buffer: a size divergence
+  kReorder,  // defer it past the next request: a sequence divergence
+};
+
+struct FaultSpec {
+  int rank{-1};      // which rank's comm engine
+  int op_index{-1};  // 0-based request index on that engine
+  FaultKind kind{FaultKind::kNone};
+};
+
+struct CheckerOptions {
+  /// A Recv blocked longer than this trips the watchdog with a full
+  /// per-rank diagnosis. <= 0 disables the watchdog thread (the online
+  /// matcher still runs).
+  double watchdog_timeout_s{2.0};
+};
+
+class Checker {
+ public:
+  /// Process-wide instance (leaked, like telemetry::Runtime — it must
+  /// outlive every comm thread).
+  static Checker& Get();
+
+  /// Starts a checking session for `world_size` ranks: fresh ledgers,
+  /// fresh wait-for graph, un-tripped. Starts the watchdog thread if the
+  /// timeout is positive.
+  void Enable(int world_size, CheckerOptions options = {});
+  /// Stops checking (and the watchdog). The last session's report stays
+  /// readable until the next Enable().
+  void Disable();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  /// Invoked (once, on the detecting thread) when the checker trips.
+  /// Typically `[&hub] { hub.Shutdown(); }` so blocked ranks unwind with
+  /// Status::Unavailable instead of hanging.
+  void SetTripHandler(std::function<void()> handler);
+
+  /// Arms one injected fault for the next matching engine request.
+  void ArmFault(const FaultSpec& fault);
+
+  // ---- Hooks (call through the free helpers below; they are no-ops
+  // ---- unless a session is enabled) -------------------------------------
+
+  /// Protocol verifier: rank begins / ends a top-level collective.
+  void OnCollectiveBegin(int rank, std::string_view kind, std::size_t elems);
+  void OnCollectiveEnd(int rank);
+
+  /// Deadlock detector: rank `dst` blocks on / returns from a Recv.
+  void OnRecvBlocked(int dst, int src, std::uint32_t expected_tag);
+  void OnRecvDone(int dst);
+
+  /// Transport progress accounting (diagnosis context only).
+  void OnTransportSend() noexcept {
+    sends_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Fault interposition: CommEngine calls this once per dequeued request
+  /// with its 0-based index; an armed matching fault is consumed.
+  FaultKind ConsumeEngineFault(int rank, int op_index);
+
+  /// DistOptim schedule verifier: per-(rank, group) state machine over the
+  /// decoupled pair. kUnpack from a state other than RsDone/AgDone is a
+  /// FeedPipe violation; kAgLaunch before kRsComplete is a BackPipe one.
+  enum class GroupEvent : std::uint8_t {
+    kRsLaunch,    // OP1 (reduce-scatter or fused all-reduce) submitted
+    kRsComplete,  // OP1 handle waited
+    kAgLaunch,    // OP2 all-gather submitted
+    kAgComplete,  // OP2 handle waited
+    kUnpack,      // averaged gradients / gathered params consumed
+  };
+  void OnGroupEvent(int rank, int group, GroupEvent event);
+
+  // ---- Results -----------------------------------------------------------
+
+  /// True once any detector fired. First trip wins; later ones are ignored.
+  [[nodiscard]] bool tripped() const noexcept {
+    return tripped_.load(std::memory_order_acquire);
+  }
+  /// The frozen first-trip report: one-line verdict naming the divergent
+  /// rank and operation, followed by the per-rank diagnosis dump.
+  [[nodiscard]] std::string report() const;
+  /// Current per-rank diagnosis (ledger position, in-flight collective,
+  /// blocked-on edge with decoded tag) — callable any time.
+  [[nodiscard]] std::string Dump() const;
+
+  /// Runs one watchdog analysis pass synchronously, treating every waiter
+  /// as stable (tests and the CLI use this to avoid sleeping).
+  void CheckNow();
+
+  /// Number of currently registered blocked receivers (leak detector for
+  /// shutdown tests: must be 0 once all workers joined).
+  [[nodiscard]] std::size_t blocked_waiters() const;
+  /// Ledger entries whose (kind, size) matched across all ranks.
+  [[nodiscard]] std::int64_t verified_ops() const;
+  [[nodiscard]] std::int64_t ledger_size(int rank) const;
+
+ private:
+  Checker() = default;
+
+  struct LedgerEntry {
+    std::string_view kind;  // static-storage literals from the call sites
+    std::size_t elems;
+  };
+  struct Current {
+    std::string_view kind;
+    std::size_t elems{0};
+    int seq{-1};
+  };
+  struct Waiter {
+    int src{-1};
+    std::uint32_t tag{0};
+    std::chrono::steady_clock::time_point since{};
+    int ticks{0};  // watchdog passes this waiter has survived
+  };
+  enum class GroupPhase : std::uint8_t {
+    kIdle, kRsInFlight, kRsDone, kAgInFlight, kAgDone,
+  };
+
+  [[nodiscard]] static std::string_view PhaseName(GroupPhase phase) noexcept;
+  /// First rank whose ledger entry at `seq` disagrees with the majority.
+  [[nodiscard]] int DivergentLocked(int seq, int newcomer) const;
+  /// Composes the report, flips tripped_, and returns the handler to run
+  /// after the caller drops the lock (empty if already tripped).
+  [[nodiscard]] std::function<void()> TripLocked(const std::string& verdict);
+  [[nodiscard]] std::string DumpLocked() const;
+  /// One watchdog pass; `force` treats all waiters as stable and ignores
+  /// the timeout floor. Returns the handler to invoke, if it tripped.
+  [[nodiscard]] std::function<void()> AnalyzeLocked(bool force);
+  void WatchdogLoop();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> tripped_{false};
+  std::atomic<std::int64_t> sends_{0};
+
+  mutable std::mutex mutex_;
+  CheckerOptions options_;
+  int world_size_{0};
+  std::vector<std::vector<LedgerEntry>> ledgers_;
+  std::vector<std::optional<Current>> current_;
+  std::vector<std::optional<Waiter>> waiters_;
+  std::vector<int> seq_arrivals_;  // ranks that recorded entry #i so far
+  std::vector<std::vector<GroupPhase>> group_phase_;  // [rank][group]
+  FaultSpec fault_;
+  bool fault_consumed_{false};
+  std::function<void()> trip_handler_;
+  std::string report_;
+  std::int64_t verified_ops_{0};
+
+  std::thread watchdog_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_{false};
+};
+
+// ---- RAII hook guards (single relaxed load when checking is off) ---------
+
+/// Top-level collective bracket for the blocking collectives. Nested
+/// collectives (the RS inside RingAllReduce, the leader ring inside the
+/// hierarchical pair) are suppressed by a per-thread depth counter, so the
+/// ledger records exactly the protocol-level operation sequence.
+class CollectiveGuard {
+ public:
+  CollectiveGuard(int rank, const char* kind, std::size_t elems) noexcept;
+  ~CollectiveGuard();
+  CollectiveGuard(const CollectiveGuard&) = delete;
+  CollectiveGuard& operator=(const CollectiveGuard&) = delete;
+
+ private:
+  bool active_;
+  int rank_;
+};
+
+/// Wait-for-graph registration around a potentially blocking channel Recv.
+class ScopedRecvWait {
+ public:
+  ScopedRecvWait(int dst, int src, std::uint32_t expected_tag) noexcept;
+  ~ScopedRecvWait();
+  ScopedRecvWait(const ScopedRecvWait&) = delete;
+  ScopedRecvWait& operator=(const ScopedRecvWait&) = delete;
+
+ private:
+  bool active_;
+  int dst_;
+};
+
+/// Terse call-site helper for DistOptim's schedule hooks.
+inline void OnGroup(int rank, int group, Checker::GroupEvent event) {
+  Checker& checker = Checker::Get();
+  if (checker.enabled()) checker.OnGroupEvent(rank, group, event);
+}
+
+}  // namespace dear::check

@@ -7,6 +7,10 @@
 #include <map>
 
 #include "analysis/timeline.h"
+#include "check/checker.h"
+#include "comm/async.h"
+#include "comm/communicator.h"
+#include "comm/transport.h"
 #include "common/flags.h"
 #include "core/trainer.h"
 #include "fusion/plan.h"
@@ -21,7 +25,8 @@ namespace dear::cli {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dearsim <models|simulate|compare|tune|sweep|profile> [flags]\n"
+    "usage: dearsim <models|simulate|compare|tune|sweep|profile|check> "
+    "[flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
 StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
@@ -435,6 +440,121 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `dearsim check` — run the dearcheck protocol verifier.
+///
+/// Clean mode (default): trains the proxy model with the checker enabled
+/// and reports how many collective operations verified as identical across
+/// ranks (exit 1 if anything tripped). With --inject, deliberately breaks
+/// one rank's comm-engine stream (skip | shrink | reorder) on a synthetic
+/// schedule and prints the rank-attributed diagnosis the checker produces
+/// instead of hanging — exit 0 when the fault was caught.
+int CmdCheck(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const int world = flags.GetInt("world");
+  if (world < 2) {
+    err << "check needs --world >= 2\n";
+    return 1;
+  }
+  check::CheckerOptions copts;
+  copts.watchdog_timeout_s = std::max(1, flags.GetInt("timeout-ms")) * 1e-3;
+  auto& checker = check::Checker::Get();
+
+  const std::string inject = flags.GetString("inject");
+  if (inject == "none") {
+    const int iters = flags.GetInt("iters");
+    const int batch =
+        flags.GetInt("batch-size") > 0 ? flags.GetInt("batch-size") : 8;
+    auto mode = RuntimeScheduleByName(flags.GetString("schedule"));
+    if (!mode.ok()) {
+      err << mode.status().ToString() << "\n";
+      return 1;
+    }
+    const auto m = model::ByName(flags.GetString("model"));
+    const std::vector<int> dims = ProxyDims(m);
+    const auto data = train::MakeRegressionDataset(
+        world * batch * 4, dims.front(), dims.back(), /*seed=*/42);
+    core::DistOptimOptions options;
+    options.mode = *mode;
+    options.buffer_bytes = static_cast<std::size_t>(
+        std::max(1, flags.GetInt("buffer-kb")) * 1024);
+    checker.Enable(world, copts);
+    core::TrainDistributed(dims, /*model_seed=*/7, data, iters, batch, world,
+                           options);
+    const bool tripped = checker.tripped();
+    out << "dearcheck: schedule=" << flags.GetString("schedule")
+        << " world=" << world << " iters=" << iters << "\n"
+        << "  verified " << checker.verified_ops()
+        << " collective operations, "
+        << (tripped ? "TRIPPED" : "no divergence") << "\n";
+    for (int r = 0; r < world; ++r)
+      out << "  rank " << r << ": " << checker.ledger_size(r)
+          << " collectives recorded\n";
+    if (tripped) out << checker.report() << "\n";
+    checker.Disable();
+    return tripped ? 1 : 0;
+  }
+
+  check::FaultSpec fault;
+  fault.rank = flags.GetInt("inject-rank");
+  fault.op_index = flags.GetInt("inject-op");
+  if (inject == "skip") {
+    fault.kind = check::FaultKind::kSkip;
+  } else if (inject == "shrink") {
+    fault.kind = check::FaultKind::kShrink;
+  } else if (inject == "reorder") {
+    fault.kind = check::FaultKind::kReorder;
+  } else {
+    err << "unknown --inject '" << inject
+        << "' (expected none, skip, shrink, or reorder)\n";
+    return 1;
+  }
+  if (fault.rank < 0 || fault.rank >= world || fault.op_index < 0) {
+    err << "--inject-rank must be in [0, world) and --inject-op >= 0\n";
+    return 1;
+  }
+
+  out << "dearcheck: injecting '" << inject << "' at rank " << fault.rank
+      << " op#" << fault.op_index << " on a " << world
+      << "-rank reduce-scatter/all-gather schedule\n";
+  checker.Enable(world, copts);
+  checker.ArmFault(fault);
+  {
+    comm::TransportHub hub(world);
+    checker.SetTripHandler([&hub] { hub.Shutdown(); });
+    const std::size_t n = static_cast<std::size_t>(world) * 64;
+    std::vector<std::vector<float>> buffers(
+        static_cast<std::size_t>(world), std::vector<float>(n, 1.0f));
+    std::vector<std::unique_ptr<comm::CommEngine>> engines;
+    engines.reserve(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r)
+      engines.push_back(std::make_unique<comm::CommEngine>(
+          comm::Communicator(&hub, r)));
+    // The canonical DeAR iteration: OP1 reduce-scatter, then OP2
+    // all-gather, on every rank — distinct kinds back-to-back, so every
+    // fault class is observable.
+    std::vector<comm::CollectiveHandle> handles;
+    for (int r = 0; r < world; ++r) {
+      auto& engine = *engines[static_cast<std::size_t>(r)];
+      std::span<float> buf(buffers[static_cast<std::size_t>(r)]);
+      handles.push_back(engine.SubmitReduceScatter(buf, comm::ReduceOp::kAvg));
+      handles.push_back(engine.SubmitAllGather(buf));
+    }
+    for (auto& h : handles) {
+      // Unavailable is expected on ranks released by the trip handler.
+      const Status st = h.Wait();
+      (void)st;
+    }
+    for (auto& engine : engines) engine->Shutdown();
+    if (checker.tripped()) {
+      out << "diagnosis:\n" << checker.report() << "\n";
+    } else {
+      out << "fault was NOT detected\n" << checker.Dump() << "\n";
+    }
+    const bool caught = checker.tripped();
+    checker.Disable();
+    return caught ? 0 : 1;
+  }
+}
+
 }  // namespace
 
 int RunCli(int argc, const char* const* argv, std::ostream& out,
@@ -464,6 +584,11 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddString("trace-out", "", "write Chrome trace JSON here (profile)");
   flags.AddString("metrics-out", "", "write metrics JSON here (profile)");
   flags.AddBool("prometheus", false, "also print Prometheus text (profile)");
+  flags.AddString("inject", "none",
+                  "check: fault to inject (none|skip|shrink|reorder)");
+  flags.AddInt("inject-rank", 1, "check: rank whose engine misbehaves");
+  flags.AddInt("inject-op", 0, "check: 0-based request index to corrupt");
+  flags.AddInt("timeout-ms", 2000, "check: watchdog deadline for blocked Recv");
   flags.AddBool("help", false, "show flags");
 
   const Status st = flags.Parse(argc - 1, argv + 1);
@@ -482,6 +607,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "tune") return CmdTune(flags, out, err);
   if (cmd == "sweep") return CmdSweep(flags, out, err);
   if (cmd == "profile") return CmdProfile(flags, out, err);
+  if (cmd == "check") return CmdCheck(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;
 }

@@ -1,6 +1,9 @@
 #include "comm/async.h"
 
+#include <optional>
 #include <utility>
+
+#include "check/checker.h"
 
 namespace dear::comm {
 
@@ -71,40 +74,76 @@ CollectiveHandle CommEngine::SubmitRecursiveDoublingAllGather(
   return Submit(Kind::kRecursiveAg, data, ReduceOp::kSum);
 }
 
+Status CommEngine::Execute(const Request& req) {
+  switch (req.kind) {
+    case Kind::kReduceScatter:
+      return RingReduceScatter(comm_, req.data, req.op);
+    case Kind::kAllGather:
+      return RingAllGather(comm_, req.data);
+    case Kind::kAllReduce:
+      return RingAllReduce(comm_, req.data, req.op);
+    case Kind::kBarrier:
+      return Barrier(comm_);
+    case Kind::kBroadcast:
+      return TreeBroadcast(comm_, req.data, req.root);
+    case Kind::kHierReduceScatter:
+      return HierarchicalReduceScatter(comm_, req.data, req.root, req.op);
+    case Kind::kHierAllGather:
+      return HierarchicalAllGather(comm_, req.data, req.root);
+    case Kind::kRecursiveRs:
+      return RecursiveHalvingReduceScatter(comm_, req.data, req.op);
+    case Kind::kRecursiveAg:
+      return RecursiveDoublingAllGather(comm_, req.data);
+  }
+  return Status::InvalidArgument("unknown request kind");
+}
+
+void CommEngine::Complete(const Request& req, Status st) {
+  req.state->status = std::move(st);
+  req.state->done.CountDown();
+}
+
 void CommEngine::Loop() {
+  // Dequeue index on this engine, for matching dearcheck fault specs.
+  int op_index = 0;
+  // A kReorder fault holds one request here so it runs *after* the next
+  // one — the sequence divergence DeAR's no-negotiation contract forbids.
+  std::optional<Request> deferred;
   while (auto req = queue_.Recv()) {
-    Status st;
-    switch (req->kind) {
-      case Kind::kReduceScatter:
-        st = RingReduceScatter(comm_, req->data, req->op);
-        break;
-      case Kind::kAllGather:
-        st = RingAllGather(comm_, req->data);
-        break;
-      case Kind::kAllReduce:
-        st = RingAllReduce(comm_, req->data, req->op);
-        break;
-      case Kind::kBarrier:
-        st = Barrier(comm_);
-        break;
-      case Kind::kBroadcast:
-        st = TreeBroadcast(comm_, req->data, req->root);
-        break;
-      case Kind::kHierReduceScatter:
-        st = HierarchicalReduceScatter(comm_, req->data, req->root, req->op);
-        break;
-      case Kind::kHierAllGather:
-        st = HierarchicalAllGather(comm_, req->data, req->root);
-        break;
-      case Kind::kRecursiveRs:
-        st = RecursiveHalvingReduceScatter(comm_, req->data, req->op);
-        break;
-      case Kind::kRecursiveAg:
-        st = RecursiveDoublingAllGather(comm_, req->data);
-        break;
+    check::FaultKind fault = check::FaultKind::kNone;
+    check::Checker& checker = check::Checker::Get();
+    if (checker.enabled()) {
+      fault = checker.ConsumeEngineFault(comm_.rank(), op_index);
     }
-    req->state->status = std::move(st);
-    req->state->done.CountDown();
+    ++op_index;
+    switch (fault) {
+      case check::FaultKind::kNone:
+        Complete(*req, Execute(*req));
+        break;
+      case check::FaultKind::kSkip:
+        // Complete the handle without running the collective: this rank
+        // silently drops out of one operation.
+        Complete(*req, Status::Ok());
+        break;
+      case check::FaultKind::kShrink: {
+        Request shrunk = *req;
+        shrunk.data = shrunk.data.subspan(0, shrunk.data.size() / 2);
+        Complete(*req, Execute(shrunk));
+        break;
+      }
+      case check::FaultKind::kReorder:
+        deferred = std::move(*req);
+        continue;
+    }
+    if (deferred) {
+      Request held = std::move(*deferred);
+      deferred.reset();
+      Complete(held, Execute(held));
+    }
+  }
+  if (deferred) {
+    Complete(*deferred,
+             Status::Unavailable("comm engine shut down with request held"));
   }
 }
 

@@ -109,6 +109,9 @@ class CommEngine {
 
   CollectiveHandle Submit(Kind kind, std::span<float> data, ReduceOp op,
                           Rank root = 0);
+  /// Runs one request's collective synchronously on the loop thread.
+  Status Execute(const Request& req);
+  static void Complete(const Request& req, Status st);
   void Loop();
 
   Communicator comm_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "telemetry/telemetry.h"
@@ -9,29 +10,19 @@
 namespace dear::comm {
 namespace {
 
-// Tag layout: kind(8) | round(12) | extra(12). Collectives are serialized
-// per communicator, so tags only need to disambiguate within one call.
-enum TagKind : std::uint32_t {
-  kTagReduceScatter = 1,
-  kTagAllGather = 2,
-  kTagTreeReduce = 3,
-  kTagTreeBcast = 4,
-  kTagBarrier = 5,
-  kTagHierLeaderRs = 6,
-  kTagHierLeaderAg = 7,
-  kTagDbtA = 8,
-  kTagDbtB = 9,
-  kTagGather = 10,
-  kTagScatter = 11,
-  kTagAllToAll = 12,
-  kTagRecursiveRs = 13,
-  kTagRecursiveAg = 14,
-};
-
-constexpr std::uint32_t MakeTag(std::uint32_t kind, std::uint32_t round,
-                                std::uint32_t extra = 0) {
-  return (kind << 24) | ((round & 0xfffu) << 12) | (extra & 0xfffu);
-}
+using tags::MakeTag;
+using tags::kTagReduceScatter;
+using tags::kTagAllGather;
+using tags::kTagTreeReduce;
+using tags::kTagTreeBcast;
+using tags::kTagBarrier;
+using tags::kTagHierLeaderRs;
+using tags::kTagHierLeaderAg;
+using tags::kTagGather;
+using tags::kTagScatter;
+using tags::kTagAllToAll;
+using tags::kTagRecursiveRs;
+using tags::kTagRecursiveAg;
 
 void Accumulate(ReduceOp op, std::span<float> acc,
                 std::span<const float> incoming) {
@@ -59,7 +50,7 @@ namespace internal {
 Status RingReduceScatterOver(Communicator& comm,
                              const std::vector<Rank>& members,
                              std::span<float> data, ReduceOp op,
-                             std::uint32_t tag_base) {
+                             std::uint32_t tag_kind) {
   const int p = static_cast<int>(members.size());
   const int pos = PositionOf(members, comm.rank());
   DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
@@ -77,8 +68,7 @@ Status RingReduceScatterOver(Communicator& comm,
     const auto recv_chunk = static_cast<std::size_t>((pos - s - 2 + 2 * p) % p);
     const Range sr = ChunkRange(n, static_cast<std::size_t>(p), send_chunk);
     const Range rr = ChunkRange(n, static_cast<std::size_t>(p), recv_chunk);
-    const std::uint32_t tag =
-        MakeTag(kTagReduceScatter, static_cast<std::uint32_t>(s)) + tag_base;
+    const std::uint32_t tag = MakeTag(tag_kind, static_cast<std::uint32_t>(s));
 
     if (!comm.Send(right, tag, data.subspan(sr.begin, sr.size())))
       return Status::Unavailable("send failed: transport shut down");
@@ -90,7 +80,7 @@ Status RingReduceScatterOver(Communicator& comm,
 }
 
 Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
-                         std::span<float> data, std::uint32_t tag_base) {
+                         std::span<float> data, std::uint32_t tag_kind) {
   const int p = static_cast<int>(members.size());
   const int pos = PositionOf(members, comm.rank());
   DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
@@ -107,8 +97,7 @@ Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
     const auto recv_chunk = static_cast<std::size_t>((pos - s - 1 + 2 * p) % p);
     const Range sr = ChunkRange(n, static_cast<std::size_t>(p), send_chunk);
     const Range rr = ChunkRange(n, static_cast<std::size_t>(p), recv_chunk);
-    const std::uint32_t tag =
-        MakeTag(kTagAllGather, static_cast<std::uint32_t>(s)) + tag_base;
+    const std::uint32_t tag = MakeTag(tag_kind, static_cast<std::uint32_t>(s));
 
     if (!comm.Send(right, tag, data.subspan(sr.begin, sr.size())))
       return Status::Unavailable("send failed: transport shut down");
@@ -135,8 +124,9 @@ std::vector<Rank> AllRanks(int p) {
 Status RingReduceScatter(Communicator& comm, std::span<float> data,
                          ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.rank(), "ring_reduce_scatter", data.size());
   Status st = internal::RingReduceScatterOver(comm, AllRanks(comm.size()),
-                                              data, op, /*tag_base=*/0);
+                                              data, op, kTagReduceScatter);
   if (!st.ok()) return st;
   if (op == ReduceOp::kAvg) {
     const Range own = ChunkRange(data.size(),
@@ -149,12 +139,14 @@ Status RingReduceScatter(Communicator& comm, std::span<float> data,
 
 Status RingAllGather(Communicator& comm, std::span<float> data) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.rank(), "ring_all_gather", data.size());
   return internal::RingAllGatherOver(comm, AllRanks(comm.size()), data,
-                                     /*tag_base=*/0);
+                                     kTagAllGather);
 }
 
 Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "ring_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RingReduceScatter(comm, data, op));
   return RingAllGather(comm, data);
 }
@@ -162,6 +154,7 @@ Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
 Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
                   ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "tree_reduce", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -172,7 +165,7 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
       const Rank dst = ((rel - mask) + root) % p;
       const std::uint32_t tag =
           MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(rel & 0xfff));
+                  static_cast<std::uint32_t>(rel & tags::kChunkMask));
       if (!comm.Send(dst, tag, data))
         return Status::Unavailable("send failed: transport shut down");
       break;  // sent up: this rank is done
@@ -181,7 +174,7 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
       const Rank src = ((rel + mask) + root) % p;
       const std::uint32_t tag =
           MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>((rel + mask) & 0xfff));
+                  static_cast<std::uint32_t>((rel + mask) & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
       Accumulate(op == ReduceOp::kAvg ? ReduceOp::kSum : op, data,
@@ -194,6 +187,7 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
 
 Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
   telemetry::CollectiveTimer timer(comm.rank(), "broadcast", data.size());
+  check::CollectiveGuard guard(comm.rank(), "tree_broadcast", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -204,7 +198,7 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
       const Rank src = ((rel - mask) + root) % p;
       const std::uint32_t tag =
           MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(rel & 0xfff));
+                  static_cast<std::uint32_t>(rel & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
       std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
@@ -218,7 +212,7 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
       const Rank dst = ((rel + mask) + root) % p;
       const std::uint32_t tag =
           MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>((rel + mask) & 0xfff));
+                  static_cast<std::uint32_t>((rel + mask) & tags::kChunkMask));
       if (!comm.Send(dst, tag, data))
         return Status::Unavailable("send failed: transport shut down");
     }
@@ -229,6 +223,7 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
 
 Status TreeAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "tree_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(TreeReduce(comm, data, /*root=*/0, op));
   return TreeBroadcast(comm, data, /*root=*/0);
 }
@@ -236,6 +231,7 @@ Status TreeAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
 Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
                                  ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "dbt_all_reduce", data.size());
   const int p = comm.size();
   const std::size_t half = data.size() / 2;
   auto a = data.subspan(0, half);
@@ -251,6 +247,7 @@ Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
 Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
                                  int ranks_per_node, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.rank(), "hier_reduce_scatter", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -265,7 +262,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
     if (local_rel & mask) {
       const std::uint32_t tag =
           MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(comm.rank() & 0xfff));
+                  static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask));
       if (!comm.Send(leader + (local_rel - mask), tag, data))
         return Status::Unavailable("send failed: transport shut down");
       break;
@@ -274,7 +271,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
       const Rank src = leader + local_rel + mask;
       const std::uint32_t tag =
           MakeTag(kTagTreeReduce, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(src & 0xfff));
+                  static_cast<std::uint32_t>(src & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
       Accumulate(sum_op, data, msg->payload);
@@ -286,7 +283,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
     std::vector<Rank> leaders;
     for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
     DEAR_RETURN_IF_ERROR(internal::RingReduceScatterOver(
-        comm, leaders, data, sum_op, MakeTag(kTagHierLeaderRs, 0)));
+        comm, leaders, data, sum_op, kTagHierLeaderRs));
     if (op == ReduceOp::kAvg) {
       const int pos = PositionOf(leaders, comm.rank());
       const Range own = ChunkRange(data.size(), leaders.size(),
@@ -300,6 +297,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
 Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
                              int ranks_per_node) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.rank(), "hier_all_gather", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -312,7 +310,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
     std::vector<Rank> leaders;
     for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
     DEAR_RETURN_IF_ERROR(internal::RingAllGatherOver(
-        comm, leaders, data, MakeTag(kTagHierLeaderAg, 0)));
+        comm, leaders, data, kTagHierLeaderAg));
   }
 
   // Phase 2: intra-node broadcast from the leader.
@@ -322,7 +320,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
       const Rank src = leader + (local_rel - mask);
       const std::uint32_t tag =
           MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(comm.rank() & 0xfff));
+                  static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
       std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
@@ -336,7 +334,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
       const Rank dst = leader + local_rel + mask;
       const std::uint32_t tag =
           MakeTag(kTagTreeBcast, static_cast<std::uint32_t>(mask),
-                  static_cast<std::uint32_t>(dst & 0xfff));
+                  static_cast<std::uint32_t>(dst & tags::kChunkMask));
       if (!comm.Send(dst, tag, data))
         return Status::Unavailable("send failed: transport shut down");
     }
@@ -348,6 +346,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
 Status HierarchicalAllReduce(Communicator& comm, std::span<float> data,
                              int ranks_per_node, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "hier_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(
       HierarchicalReduceScatter(comm, data, ranks_per_node, op));
   return HierarchicalAllGather(comm, data, ranks_per_node);
@@ -390,6 +389,7 @@ bool IsPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
 Status RecursiveHalvingReduceScatter(Communicator& comm,
                                      std::span<float> data, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.rank(), "recursive_reduce_scatter", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -429,6 +429,7 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
 
 Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.rank(), "recursive_all_gather", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -461,12 +462,14 @@ Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
 Status RecursiveHalvingDoublingAllReduce(Communicator& comm,
                                          std::span<float> data, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "recursive_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RecursiveHalvingReduceScatter(comm, data, op));
   return RecursiveDoublingAllGather(comm, data);
 }
 
 Status Barrier(Communicator& comm) {
   telemetry::CollectiveTimer timer(comm.rank(), "barrier", 0);
+  check::CollectiveGuard guard(comm.rank(), "barrier", 0);
   const int p = comm.size();
   for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
     const Rank dst = (comm.rank() + dist) % p;
@@ -484,6 +487,7 @@ Status Barrier(Communicator& comm) {
 Status Gather(Communicator& comm, std::span<const float> data,
               std::vector<float>* out, Rank root) {
   telemetry::CollectiveTimer timer(comm.rank(), "gather", data.size());
+  check::CollectiveGuard guard(comm.rank(), "gather", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   const std::size_t n = data.size();
@@ -498,7 +502,7 @@ Status Gather(Communicator& comm, std::span<const float> data,
     for (Rank r = 0; r < p; ++r) {
       if (r == root) continue;
       auto msg = comm.Recv(r, MakeTag(kTagGather, 0,
-                                      static_cast<std::uint32_t>(r & 0xfff)));
+                                      static_cast<std::uint32_t>(r & tags::kChunkMask)));
       if (!msg.ok()) return msg.status();
       if (msg->payload.size() != n)
         return Status::InvalidArgument("gather size mismatch from rank " +
@@ -510,7 +514,7 @@ Status Gather(Communicator& comm, std::span<const float> data,
   } else {
     if (!comm.Send(root,
                    MakeTag(kTagGather, 0,
-                           static_cast<std::uint32_t>(comm.rank() & 0xfff)),
+                           static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask)),
                    data))
       return Status::Unavailable("send failed: transport shut down");
   }
@@ -520,6 +524,7 @@ Status Gather(Communicator& comm, std::span<const float> data,
 Status Scatter(Communicator& comm, std::span<const float> in,
                std::vector<float>* out, Rank root) {
   telemetry::CollectiveTimer timer(comm.rank(), "scatter", in.size());
+  check::CollectiveGuard guard(comm.rank(), "scatter", 0);
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   if (comm.rank() == root) {
@@ -533,14 +538,14 @@ Status Scatter(Communicator& comm, std::span<const float> in,
       }
       if (!comm.Send(r,
                      MakeTag(kTagScatter, 0,
-                             static_cast<std::uint32_t>(r & 0xfff)),
+                             static_cast<std::uint32_t>(r & tags::kChunkMask)),
                      in.subspan(range.begin, range.size())))
         return Status::Unavailable("send failed: transport shut down");
     }
   } else {
     auto msg = comm.Recv(
         root, MakeTag(kTagScatter, 0,
-                      static_cast<std::uint32_t>(comm.rank() & 0xfff)));
+                      static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask)));
     if (!msg.ok()) return msg.status();
     *out = std::move(msg->payload);
   }
@@ -549,6 +554,7 @@ Status Scatter(Communicator& comm, std::span<const float> in,
 
 Status AllToAll(Communicator& comm, std::span<float> data) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_to_all", data.size());
+  check::CollectiveGuard guard(comm.rank(), "all_to_all", data.size());
   const int p = comm.size();
   if (data.size() % static_cast<std::size_t>(p) != 0)
     return Status::InvalidArgument(
@@ -581,6 +587,7 @@ Status AllToAll(Communicator& comm, std::span<float> data) {
 Status RingAllReduceSegmented(Communicator& comm, std::span<float> data,
                               std::size_t segment_bytes, ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.rank(), "ring_all_reduce_segmented", data.size());
   if (segment_bytes < sizeof(float))
     return Status::InvalidArgument("segment must hold at least one element");
   const std::size_t seg_elems = segment_bytes / sizeof(float);

@@ -140,12 +140,15 @@ namespace internal {
 /// Ring reduce-scatter / all-gather over an arbitrary ordered subset of
 /// ranks (`members[i]` is the actual rank at ring position i). Exposed for
 /// the hierarchical algorithm and its tests. Chunking is by ring position.
+/// `tag_kind` is the tags::TagKind stamped into every round's message tag,
+/// so concurrent uses of the ring primitive (top-level vs. leader ring)
+/// stay distinguishable on the wire.
 Status RingReduceScatterOver(Communicator& comm,
                              const std::vector<Rank>& members,
                              std::span<float> data, ReduceOp op,
-                             std::uint32_t tag_base);
+                             std::uint32_t tag_kind);
 Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
-                         std::span<float> data, std::uint32_t tag_base);
+                         std::span<float> data, std::uint32_t tag_kind);
 }  // namespace internal
 
 }  // namespace dear::comm

@@ -1,5 +1,9 @@
 #include "comm/transport.h"
 
+#include <optional>
+#include <utility>
+
+#include "check/checker.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
@@ -19,19 +23,26 @@ Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
 
 bool TransportHub::Send(Rank src, Rank dst, Message msg) {
   telemetry::OnMessageSent(src, msg.payload.size() * sizeof(float));
+  check::Checker::Get().OnTransportSend();
   return ChannelFor(src, dst).Send(std::move(msg));
 }
 
 StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
                                      std::uint32_t expected_tag) {
-  auto msg = ChannelFor(src, dst).Recv();
+  std::optional<Message> msg;
+  {
+    // Register as a blocked receiver for the wait-for graph while inside
+    // the (potentially blocking) channel Recv.
+    check::ScopedRecvWait wait(dst, src, expected_tag);
+    msg = ChannelFor(src, dst).Recv();
+  }
   if (!msg.has_value())
     return Status::Unavailable("transport shut down while receiving");
   telemetry::OnMessageReceived(dst, msg->payload.size() * sizeof(float));
   if (msg->tag != expected_tag) {
-    return Status::Internal("tag mismatch: expected " +
-                            std::to_string(expected_tag) + " got " +
-                            std::to_string(msg->tag));
+    return Status::Internal("tag mismatch: expected [" +
+                            tags::Describe(expected_tag) + "] got [" +
+                            tags::Describe(msg->tag) + "]");
   }
   return std::move(*msg);
 }

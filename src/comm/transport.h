@@ -20,9 +20,10 @@
 
 namespace dear::comm {
 
-/// One point-to-point payload. Tag layout is up to the collective; the
-/// convention used by src/comm/collectives.cc is (collective_kind << 24 |
-/// step << 12 | chunk).
+/// One point-to-point payload. Tags are packed with tags::MakeTag from
+/// comm/types.h — kind(8) | round(12) | chunk(12) — so a mismatched or
+/// blocked message can be decoded back to the collective that produced it
+/// (tags::Describe; used by the dearcheck diagnosis in src/check).
 struct Message {
   std::uint32_t tag{0};
   std::vector<float> payload;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace dear::comm {
@@ -25,6 +26,96 @@ enum class Algorithm {
 
 std::string_view AlgorithmName(Algorithm a) noexcept;
 std::string_view ReduceOpName(ReduceOp op) noexcept;
+
+/// Shared point-to-point tag layout: kind(8) | round(12) | chunk(12).
+///
+/// Every message tag in the collective library is packed with MakeTag and
+/// decoded with the accessors below — magic shifts outside this namespace
+/// are a lint error (tools/lint.py). Collectives are serialized per
+/// communicator, so tags only need to disambiguate within one call; the
+/// checker (src/check) additionally decodes them to attribute a blocked
+/// Recv to a collective kind, ring round, and chunk.
+namespace tags {
+
+inline constexpr std::uint32_t kKindBits = 8;
+inline constexpr std::uint32_t kRoundBits = 12;
+inline constexpr std::uint32_t kChunkBits = 12;
+inline constexpr std::uint32_t kRoundShift = kChunkBits;
+inline constexpr std::uint32_t kKindShift = kRoundBits + kChunkBits;
+inline constexpr std::uint32_t kKindMask = (1u << kKindBits) - 1;
+inline constexpr std::uint32_t kRoundMask = (1u << kRoundBits) - 1;
+inline constexpr std::uint32_t kChunkMask = (1u << kChunkBits) - 1;
+
+static_assert(kKindBits + kRoundBits + kChunkBits == 32,
+              "tag fields must exactly fill a 32-bit tag");
+static_assert(kKindShift == 24 && kRoundShift == 12,
+              "layout is kind(8) | round(12) | chunk(12)");
+
+/// Kind field values. One value per wire protocol, so a decoded tag names
+/// the collective a message belongs to unambiguously.
+enum TagKind : std::uint32_t {
+  kTagReduceScatter = 1,
+  kTagAllGather = 2,
+  kTagTreeReduce = 3,
+  kTagTreeBcast = 4,
+  kTagBarrier = 5,
+  kTagHierLeaderRs = 6,   // ring RS across node leaders (hierarchical OP1)
+  kTagHierLeaderAg = 7,   // ring AG across node leaders (hierarchical OP2)
+  kTagDbtA = 8,
+  kTagDbtB = 9,
+  kTagGather = 10,
+  kTagScatter = 11,
+  kTagAllToAll = 12,
+  kTagRecursiveRs = 13,
+  kTagRecursiveAg = 14,
+};
+
+constexpr std::uint32_t MakeTag(std::uint32_t kind, std::uint32_t round,
+                                std::uint32_t chunk = 0) noexcept {
+  return ((kind & kKindMask) << kKindShift) |
+         ((round & kRoundMask) << kRoundShift) | (chunk & kChunkMask);
+}
+
+constexpr std::uint32_t KindOf(std::uint32_t tag) noexcept {
+  return (tag >> kKindShift) & kKindMask;
+}
+constexpr std::uint32_t RoundOf(std::uint32_t tag) noexcept {
+  return (tag >> kRoundShift) & kRoundMask;
+}
+constexpr std::uint32_t ChunkOf(std::uint32_t tag) noexcept {
+  return tag & kChunkMask;
+}
+
+constexpr std::string_view KindName(std::uint32_t kind) noexcept {
+  switch (kind) {
+    case kTagReduceScatter: return "reduce_scatter";
+    case kTagAllGather: return "all_gather";
+    case kTagTreeReduce: return "tree_reduce";
+    case kTagTreeBcast: return "tree_broadcast";
+    case kTagBarrier: return "barrier";
+    case kTagHierLeaderRs: return "hier_leader_reduce_scatter";
+    case kTagHierLeaderAg: return "hier_leader_all_gather";
+    case kTagDbtA: return "dbt_tree_a";
+    case kTagDbtB: return "dbt_tree_b";
+    case kTagGather: return "gather";
+    case kTagScatter: return "scatter";
+    case kTagAllToAll: return "all_to_all";
+    case kTagRecursiveRs: return "recursive_reduce_scatter";
+    case kTagRecursiveAg: return "recursive_all_gather";
+    default: return "unknown";
+  }
+}
+
+/// Human-readable decode for diagnostics: "reduce_scatter round=3 chunk=0".
+/// Inline so the checker can use it without linking the collective library.
+inline std::string Describe(std::uint32_t tag) {
+  std::string s{KindName(KindOf(tag))};
+  s += " round=" + std::to_string(RoundOf(tag));
+  s += " chunk=" + std::to_string(ChunkOf(tag));
+  return s;
+}
+
+}  // namespace tags
 
 /// Applies `op` to an accumulator element.
 inline void ApplyOp(ReduceOp op, float& acc, float v) noexcept {

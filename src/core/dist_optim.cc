@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <chrono>
 
+#include "check/checker.h"
 #include "common/half.h"
 #include "common/math_util.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
 namespace dear::core {
+
+// Schedule events reported to the dearcheck group state machine (src/check):
+// it verifies the BackPipe/FeedPipe ordering contract per (rank, group).
+using GroupEvent = check::Checker::GroupEvent;
+
 namespace {
 
 /// The calling rank's registry, or nullptr when telemetry is off.
@@ -217,6 +223,7 @@ void DistOptim::UnpackAndApply(int g) {
   }
   state.phase = GroupPhase::kIdle;
   state.tensors_ready = 0;
+  check::OnGroup(engine_->rank(), g, GroupEvent::kUnpack);
 }
 
 void DistOptim::ApplyShardedUpdate(int g) {
@@ -270,11 +277,13 @@ void DistOptim::LocalSgdStep() {
                                             comm::ReduceOp::kAvg);
     state.phase = GroupPhase::kRsPending;
     MarkGroupLaunched(state);
+    check::OnGroup(engine_->rank(), g, GroupEvent::kRsLaunch);
   }
   for (int g = 0; g < plan_.num_groups(); ++g) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     TimedWait(state.handle, &stats_.step_wait_s);
     ObserveGroupDone(state);
+    check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
     std::size_t offset = 0;
     for (int t : plan_.group(g).tensors) {
       auto& values = bindings_[static_cast<std::size_t>(t)].values;
@@ -286,6 +295,7 @@ void DistOptim::LocalSgdStep() {
     }
     state.phase = GroupPhase::kIdle;
     state.tensors_ready = 0;
+    check::OnGroup(engine_->rank(), g, GroupEvent::kUnpack);
   }
 }
 
@@ -339,6 +349,7 @@ void DistOptim::LaunchGroup(int g) {
       break;
   }
   MarkGroupLaunched(state);
+  check::OnGroup(engine_->rank(), g, GroupEvent::kRsLaunch);
 }
 
 void DistOptim::OnBackwardLayer(int layer) {
@@ -391,20 +402,24 @@ void DistOptim::Step() {
                        "Step() before backward completed");
         LaunchGroup(g);
       }
-      for (auto& state : groups_) {
+      for (int g = 0; g < plan_.num_groups(); ++g) {
+        auto& state = groups_[static_cast<std::size_t>(g)];
         TimedWait(state.handle, &stats_.step_wait_s);
         ObserveGroupDone(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
     }
     case ScheduleMode::kWFBP: {
       // WFBP's implicit barrier: wait for every all-reduce, then update.
-      for (auto& state : groups_) {
+      for (int g = 0; g < plan_.num_groups(); ++g) {
+        auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
         TimedWait(state.handle, &stats_.step_wait_s);
         ObserveGroupDone(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
@@ -416,11 +431,13 @@ void DistOptim::Step() {
       // that — PreForward of the next iteration consumes them group by
       // group. kZeRO additionally applies the sharded optimizer update
       // between the two halves, so OP2 carries parameters.
-      for (auto& state : groups_) {
+      for (int g = 0; g < plan_.num_groups(); ++g) {
+        auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
         TimedWait(state.handle, &stats_.step_wait_s);
         ObserveGroupDone(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
         auto& state = groups_[static_cast<std::size_t>(g)];
@@ -428,6 +445,7 @@ void DistOptim::Step() {
         state.handle = SubmitGather(state);
         state.phase = GroupPhase::kAgPending;
         MarkGroupLaunched(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kAgLaunch);
       }
       break;
     }
@@ -447,6 +465,7 @@ void DistOptim::PreForward(int layer) {
     if (state.phase != GroupPhase::kAgPending) continue;  // first iteration
     TimedWait(state.handle, &stats_.pre_forward_wait_s);
     ObserveGroupDone(state);
+    check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
     UnpackAndApply(g);
   }
 }
@@ -469,20 +488,24 @@ void DistOptim::Synchronize() {
         // all-reduce modes the data is already fully reduced.
         TimedWait(state.handle, &stats_.synchronize_wait_s);
         ObserveGroupDone(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
         if (options_.mode == ScheduleMode::kDeAR ||
             options_.mode == ScheduleMode::kZeRO) {
           if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
           state.handle = SubmitGather(state);
           state.phase = GroupPhase::kAgPending;
           MarkGroupLaunched(state);
+          check::OnGroup(engine_->rank(), g, GroupEvent::kAgLaunch);
           TimedWait(state.handle, &stats_.synchronize_wait_s);
           ObserveGroupDone(state);
+          check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
         }
         UnpackAndApply(g);
         break;
       case GroupPhase::kAgPending:
         TimedWait(state.handle, &stats_.synchronize_wait_s);
         ObserveGroupDone(state);
+        check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
         UnpackAndApply(g);
         break;
     }

@@ -26,17 +26,18 @@ TEST(CyclicBarrierTest, AllThreadsObservePhaseTogether) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int phase = 0; phase < kPhases; ++phase) {
-        counter.fetch_add(1);
+        counter.fetch_add(1, std::memory_order_relaxed);
         barrier.Wait();
         // After the barrier, all increments of this phase must be visible.
-        if (counter.load() < (phase + 1) * kThreads) violation = true;
+        if (counter.load(std::memory_order_relaxed) < (phase + 1) * kThreads)
+          violation.store(true, std::memory_order_relaxed);
         barrier.Wait();  // keep phases separated
       }
     });
   }
   for (auto& t : threads) t.join();
-  EXPECT_FALSE(violation);
-  EXPECT_EQ(counter.load(), kThreads * kPhases);
+  EXPECT_FALSE(violation.load(std::memory_order_relaxed));
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), kThreads * kPhases);
 }
 
 TEST(LatchTest, WaitReturnsAfterCountDown) {
@@ -64,13 +65,13 @@ TEST(LatchTest, MultipleWaitersAllReleased) {
   for (int i = 0; i < 4; ++i) {
     waiters.emplace_back([&] {
       latch.Wait();
-      released.fetch_add(1);
+      released.fetch_add(1, std::memory_order_relaxed);
     });
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   latch.CountDown();
   for (auto& t : waiters) t.join();
-  EXPECT_EQ(released.load(), 4);
+  EXPECT_EQ(released.load(std::memory_order_relaxed), 4);
 }
 
 }  // namespace

@@ -54,13 +54,13 @@ TEST(ChannelTest, CloseWakesBlockedReceiver) {
   std::thread receiver([&] {
     const auto v = ch.Recv();
     EXPECT_FALSE(v.has_value());
-    woke = true;
+    woke.store(true, std::memory_order_relaxed);
   });
   // Give the receiver a moment to block, then close.
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   ch.Close();
   receiver.join();
-  EXPECT_TRUE(woke);
+  EXPECT_TRUE(woke.load(std::memory_order_relaxed));
 }
 
 TEST(ChannelTest, BlockingRecvGetsLaterSend) {
@@ -94,6 +94,48 @@ TEST(ChannelTest, ManyProducersOneConsumerDeliversEverything) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(ch.size(), 0u);
+}
+
+// Close() racing a crowd of blocked receivers: every one must wake with
+// nullopt — the transport relies on this to release all ranks on Shutdown.
+TEST(ChannelTest, CloseWakesEveryBlockedReceiver) {
+  Channel<int> ch;
+  constexpr int kReceivers = 8;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> receivers;
+  receivers.reserve(kReceivers);
+  for (int i = 0; i < kReceivers; ++i) {
+    receivers.emplace_back([&] {
+      if (!ch.Recv().has_value()) woken.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.Close();
+  for (auto& t : receivers) t.join();
+  EXPECT_EQ(woken.load(std::memory_order_relaxed), kReceivers);
+  EXPECT_FALSE(ch.Send(1));
+}
+
+// Concurrent Send / Close / draining Recv: no interleaving may hang, and
+// the receiver sees a prefix of the sent values followed by nullopt.
+TEST(ChannelTest, SendCloseRecvRaceNeverHangs) {
+  for (int iter = 0; iter < 50; ++iter) {
+    Channel<int> ch;
+    std::thread sender([&] {
+      for (int i = 0; i < 4; ++i) {
+        if (!ch.Send(i)) break;  // close won the race
+      }
+    });
+    std::thread closer([&] { ch.Close(); });
+    int expected = 0;
+    while (const auto v = ch.Recv()) {
+      EXPECT_EQ(*v, expected);  // FIFO prefix, no gaps
+      ++expected;
+    }
+    EXPECT_LE(expected, 4);
+    sender.join();
+    closer.join();
+  }
 }
 
 TEST(ChannelTest, MoveOnlyPayload) {

@@ -143,6 +143,36 @@ TEST(CliTest, ProfileRejectsBadInputs) {
   EXPECT_NE(RunDearsim({"profile", "--model=notamodel"}).code, 0);
 }
 
+TEST(CliTest, CheckCleanRunVerifiesCollectives) {
+  const auto r = RunDearsim({"check", "--model=alexnet", "--world=2",
+                             "--iters=2", "--batch-size=4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("no divergence"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verified"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("rank 1"), std::string::npos) << r.out;
+}
+
+TEST(CliTest, CheckInjectedFaultsAreDiagnosedNotHung) {
+  for (const char* inject :
+       {"--inject=skip", "--inject=shrink", "--inject=reorder"}) {
+    const auto r = RunDearsim({"check", inject, "--inject-rank=1",
+                               "--inject-op=0", "--world=4",
+                               "--timeout-ms=500"});
+    EXPECT_EQ(r.code, 0) << inject << ": " << r.err;
+    EXPECT_NE(r.out.find("diagnosis:"), std::string::npos)
+        << inject << ": " << r.out;
+    EXPECT_NE(r.out.find("rank 1"), std::string::npos)
+        << inject << ": " << r.out;
+  }
+}
+
+TEST(CliTest, CheckRejectsBadInputs) {
+  EXPECT_NE(RunDearsim({"check", "--world=1"}).code, 0);
+  EXPECT_NE(RunDearsim({"check", "--inject=meteor"}).code, 0);
+  EXPECT_NE(RunDearsim({"check", "--inject=skip", "--inject-rank=9",
+                        "--world=4"}).code, 0);
+}
+
 TEST(CliTest, BatchSizeOverrideChangesThroughput) {
   const auto a = RunDearsim({"simulate", "--model=resnet50", "--gpus=4",
                       "--batch-size=16"});

@@ -7,10 +7,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "check/checker.h"
 #include "comm/worker_group.h"
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -517,6 +521,116 @@ TEST(FaultInjectionTest, ShutdownMidHierarchicalReleasesRanks) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   hub.Shutdown();
   for (auto& w : workers) w.join();
+}
+
+// ---- Shutdown racing a blocked Recv, across every collective kind --------
+//
+// Rank 0 never arrives, so the remaining ranks block inside the collective.
+// Shutdown() must release every one of them with Unavailable (a collective
+// may also legitimately finish Ok if it never needed rank 0's data before
+// the close — e.g. gather senders), never hang and never crash. The
+// dearcheck waiter registry must end empty: a leaked waiter means a Recv
+// path returned without unregistering from the wait-for graph.
+struct NamedCollective {
+  const char* name;
+  std::function<Status(Communicator&, std::span<float>)> run;
+};
+
+const NamedCollective kShutdownSweep[] = {
+    {"ring_all_reduce",
+     [](Communicator& c, std::span<float> d) { return RingAllReduce(c, d); }},
+    {"ring_reduce_scatter",
+     [](Communicator& c, std::span<float> d) {
+       return RingReduceScatter(c, d);
+     }},
+    {"ring_all_gather",
+     [](Communicator& c, std::span<float> d) { return RingAllGather(c, d); }},
+    {"tree_all_reduce",
+     [](Communicator& c, std::span<float> d) { return TreeAllReduce(c, d); }},
+    {"dbt_all_reduce",
+     [](Communicator& c, std::span<float> d) {
+       return DoubleBinaryTreeAllReduce(c, d);
+     }},
+    {"hierarchical_all_reduce",
+     [](Communicator& c, std::span<float> d) {
+       return HierarchicalAllReduce(c, d, /*ranks_per_node=*/2);
+     }},
+    {"recursive_all_reduce",
+     [](Communicator& c, std::span<float> d) {
+       return RecursiveHalvingDoublingAllReduce(c, d);
+     }},
+    {"barrier",
+     [](Communicator& c, std::span<float>) { return Barrier(c); }},
+    {"all_to_all",
+     [](Communicator& c, std::span<float> d) { return AllToAll(c, d); }},
+    {"gather",
+     [](Communicator& c, std::span<float> d) {
+       std::vector<float> out;
+       return Gather(c, d, &out, /*root=*/0);
+     }},
+    {"scatter",
+     [](Communicator& c, std::span<float> d) {
+       std::vector<float> out;
+       return Scatter(c, d, &out, /*root=*/0);
+     }},
+};
+
+class ShutdownRaceSweep : public ::testing::TestWithParam<NamedCollective> {};
+
+TEST_P(ShutdownRaceSweep, ReleasesBlockedRanksWithoutLeakedWaiters) {
+  const NamedCollective& param = GetParam();
+  auto& checker = check::Checker::Get();
+  check::CheckerOptions copts;
+  copts.watchdog_timeout_s = 0;  // waiter-leak accounting only, no watchdog
+  checker.Enable(4, copts);
+  {
+    TransportHub hub(4);
+    std::vector<std::thread> workers;
+    for (int r = 1; r < 4; ++r) {
+      workers.emplace_back([&hub, r, &param] {
+        Communicator comm(&hub, r);
+        std::vector<float> data(16, static_cast<float>(r));
+        const Status st = param.run(comm, std::span<float>(data));
+        EXPECT_TRUE(st.ok() || st.code() == StatusCode::kUnavailable)
+            << param.name << ": " << st.ToString();
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    hub.Shutdown();
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(checker.blocked_waiters(), 0u) << param.name;
+  }
+  checker.Disable();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ShutdownRaceSweep, ::testing::ValuesIn(kShutdownSweep),
+    [](const ::testing::TestParamInfo<NamedCollective>& info) {
+      return std::string(info.param.name);
+    });
+
+// The ring is the strict case: with rank 0 absent every participating rank
+// eventually needs a message that transits rank 0, so all of them must come
+// back Unavailable — none may complete.
+TEST(ShutdownRaceTest, RingAllReduceWithAbsentRankAllUnavailable) {
+  TransportHub hub(4);
+  std::vector<std::thread> workers;
+  std::vector<Status> statuses(4, Status::Ok());
+  for (int r = 1; r < 4; ++r) {
+    workers.emplace_back([&hub, &statuses, r] {
+      Communicator comm(&hub, r);
+      std::vector<float> data(16, 1.0f);
+      statuses[static_cast<std::size_t>(r)] = RingAllReduce(comm, data);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  hub.Shutdown();
+  for (auto& w : workers) w.join();
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(statuses[static_cast<std::size_t>(r)].code(),
+              StatusCode::kUnavailable)
+        << "rank " << r;
+  }
 }
 
 TEST(CollectivesTest, NamesAreHuman) {

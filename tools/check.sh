@@ -1,16 +1,29 @@
 #!/usr/bin/env bash
-# Full local check: plain build + ctest, then the same suite under
-# ThreadSanitizer (the runtime is aggressively threaded — one comm thread
-# per rank — so TSan is the check that matters most here).
+# Full local check: concurrency lint, plain build + ctest, then the same
+# suite under ThreadSanitizer and UndefinedBehaviorSanitizer (the runtime is
+# aggressively threaded — one comm thread per rank — so TSan is the check
+# that matters most here; UBSan guards the tag bit-packing and span math).
 #
-#   tools/check.sh            # plain + tsan
-#   tools/check.sh --no-tsan  # plain only (e.g. TSan unsupported on host)
+#   tools/check.sh             # lint + plain + tsan + ubsan
+#   tools/check.sh --no-tsan   # skip the TSan pass (e.g. unsupported host)
+#   tools/check.sh --no-ubsan  # skip the UBSan pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_ubsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-ubsan) run_ubsan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== concurrency lint =="
+python3 tools/lint.py --selftest
+python3 tools/lint.py
 
 echo "== plain build =="
 cmake -B build -S . >/dev/null
@@ -22,6 +35,13 @@ if [[ "$run_tsan" == 1 ]]; then
   cmake -B build-tsan -S . -DDEAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" >/dev/null
   ctest --test-dir build-tsan --output-on-failure
+fi
+
+if [[ "$run_ubsan" == 1 ]]; then
+  echo "== undefined-behavior-sanitizer build =="
+  cmake -B build-ubsan -S . -DDEAR_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$jobs" >/dev/null
+  ctest --test-dir build-ubsan --output-on-failure
 fi
 
 echo "OK"

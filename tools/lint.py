@@ -1,0 +1,321 @@
+#!/usr/bin/env python3
+"""Static concurrency lint for the dear tree (part of dearcheck).
+
+Rules (suppress one occurrence with `// lint: allow(<rule>)` on the line):
+
+  raw-mutex-lock      Mutex-like members must not be locked/unlocked by hand;
+                      use std::lock_guard / std::unique_lock / std::scoped_lock
+                      so an early return or exception cannot leak the lock and
+                      deadlock a peer rank.
+  atomic-memory-order Every std::atomic access spells out its std::memory_order.
+                      Defaulted seq_cst hides the intended ordering contract and
+                      makes TSan reports harder to interpret.
+  tag-magic-bits      Message-tag bit packing must go through the shared
+                      dear::comm::tags constants (kind|round|chunk layout), not
+                      ad-hoc shifts and masks that can silently disagree between
+                      sender and receiver.
+  using-namespace-in-header
+                      Headers must not hoist namespaces into every includer.
+
+Usage: python3 tools/lint.py [--root DIR] [paths...]
+Exits 1 if any finding survives suppression, 0 on a clean tree.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+EXTENSIONS = (".h", ".cc")
+
+# The one place allowed to define the tag bit layout.
+TAG_LAYOUT_FILE = os.path.join("src", "comm", "types.h")
+
+SUPPRESS_RE = re.compile(r"lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string literals, and char literals, preserving
+    line structure so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c == "R" and nxt == '"' and (i == 0 or not text[i - 1].isalnum()):
+            # Raw string literal R"delim(...)delim".
+            j = text.find("(", i + 2)
+            if j < 0:
+                out.append(c)
+                i += 1
+                continue
+            delim = text[i + 2 : j]
+            end = text.find(")" + delim + '"', j)
+            end = n if end < 0 else end + len(delim) + 2
+            for k in range(i, end):
+                out.append("\n" if text[k] == "\n" else " ")
+            i = end
+        elif c == '"':
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                out.append("\n" if text[i - 0] == "\n" else " ")
+                i += 1
+            i += 1
+        elif c == "'" and not (i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")):
+            # Char literal; the guard skips C++14 digit separators (1'000).
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                out.append(" ")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def call_args(text, open_paren):
+    """Return the argument text of a call whose '(' is at open_paren,
+    spanning lines if needed."""
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1 : j]
+    return text[open_paren + 1 :]
+
+
+LOCK_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(lock|unlock|try_lock|try_lock_shared|lock_shared|unlock_shared)\s*\(\s*\)"
+)
+
+
+def looks_like_mutex(name):
+    low = name.lower()
+    return ("mutex" in low or "mtx" in low
+            or low in ("mu", "mu_") or low.endswith("_mu") or low.endswith("_mu_"))
+
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|test_and_set)\s*(\()"
+)
+
+ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<[^;{}]*?>|_flag|_bool|_int)\s+(\w+)")
+
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+
+SHIFT_BY_LITERAL_RE = re.compile(r"(<<|>>)\s*\d")
+HEX_MASK_RE = re.compile(r"&\s*0[xX][0-9a-fA-F]+|0[xX][0-9a-fA-F]+\s*&")
+TAG_CONTEXT_RE = re.compile(r"\btags?\b|\bTag[A-Z]|_tag\b|\btag_|MakeTag|msg->tag")
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, path, line_no, rule, message, raw_line):
+        m = SUPPRESS_RE.search(raw_line)
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return
+        self.findings.append((path, line_no, rule, message))
+
+    def lint_file(self, path):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        stripped = strip_comments_and_strings(raw)
+        raw_lines = raw.split("\n")
+        lines = stripped.split("\n")
+        is_header = path.endswith(".h")
+        is_tag_layout = path.replace(os.sep, "/").endswith(
+            TAG_LAYOUT_FILE.replace(os.sep, "/")
+        )
+
+        def raw_line(idx):
+            return raw_lines[idx] if idx < len(raw_lines) else ""
+
+        # Rule: raw-mutex-lock.
+        for i, line in enumerate(lines):
+            for m in LOCK_CALL_RE.finditer(line):
+                if not looks_like_mutex(m.group(1)):
+                    continue
+                self.report(
+                    path, i + 1, "raw-mutex-lock",
+                    f"naked {m.group(1)}.{m.group(2)}() — use std::lock_guard/"
+                    "std::unique_lock (RAII) instead",
+                    raw_line(i))
+
+        # Rule: atomic-memory-order — member calls missing an explicit order.
+        offset = 0
+        for i, line in enumerate(lines):
+            for m in ATOMIC_CALL_RE.finditer(line):
+                args = call_args(stripped, offset + m.start(2))
+                if "memory_order" not in args:
+                    self.report(
+                        path, i + 1, "atomic-memory-order",
+                        f".{m.group(1)}() without an explicit std::memory_order",
+                        raw_line(i))
+            offset += len(line) + 1
+
+        # Rule: atomic-memory-order — operators on declared atomics
+        # (assignment, ++/--, +=) compile to seq_cst RMWs with no order spelled.
+        atomic_names = set(ATOMIC_DECL_RE.findall(stripped))
+        if atomic_names:
+            names = "|".join(re.escape(n) for n in sorted(atomic_names))
+            op_re = re.compile(
+                r"(?:(\+\+|--)\s*(" + names + r")\b"
+                r"|\b(" + names + r")\s*(\+\+|--|[-+|&^]?=)(?![=]))"
+            )
+            for i, line in enumerate(lines):
+                for m in op_re.finditer(line):
+                    name = m.group(2) or m.group(3)
+                    # Skip the declaration's own initializer (handled by {}-init
+                    # or `= value` at declaration, which is not an atomic RMW).
+                    if ATOMIC_DECL_RE.search(line):
+                        continue
+                    self.report(
+                        path, i + 1, "atomic-memory-order",
+                        f"operator access to std::atomic '{name}' — use "
+                        ".load/.store/.fetch_* with an explicit memory_order",
+                        raw_line(i))
+
+        # Rule: tag-magic-bits.
+        if not is_tag_layout:
+            for i, line in enumerate(lines):
+                if "tags::" in line or not TAG_CONTEXT_RE.search(line):
+                    continue
+                if SHIFT_BY_LITERAL_RE.search(line) or HEX_MASK_RE.search(line):
+                    self.report(
+                        path, i + 1, "tag-magic-bits",
+                        "tag bit twiddling with literal shifts/masks — use "
+                        "dear::comm::tags constants (MakeTag/KindOf/RoundOf/"
+                        "ChunkOf)",
+                        raw_line(i))
+
+        # Rule: using-namespace-in-header.
+        if is_header:
+            for i, line in enumerate(lines):
+                if USING_NS_RE.search(line):
+                    self.report(
+                        path, i + 1, "using-namespace-in-header",
+                        "`using namespace` in a header leaks into every "
+                        "includer",
+                        raw_line(i))
+
+
+def collect_files(root, explicit):
+    if explicit:
+        return [p for p in explicit if p.endswith(EXTENSIONS)]
+    files = []
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [x for x in dirnames if not x.startswith("build")]
+            for fn in sorted(filenames):
+                if fn.endswith(EXTENSIONS):
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(files)
+
+
+SELFTEST_SOURCE = """\
+using namespace std;  // finding: using-namespace-in-header
+struct Bad {
+  std::mutex mutex_;
+  std::atomic<int> hits_{0};
+  void Poke(int round, int chunk) {
+    mutex_.lock();                              // finding: raw-mutex-lock
+    hits_.fetch_add(1);                         // finding: atomic-memory-order
+    ++hits_;                                    // finding: atomic-memory-order
+    int tag = (3 << 24) | (round << 12) | chunk;  // finding: tag-magic-bits
+    (void)tag;
+    mutex_.unlock();  // suppressed: lint: allow(raw-mutex-lock)
+  }
+};
+"""
+
+SELFTEST_EXPECT = {
+    "using-namespace-in-header": 1,
+    "raw-mutex-lock": 1,  # the .unlock() is suppressed
+    "atomic-memory-order": 2,
+    "tag-magic-bits": 1,
+}
+
+
+def selftest():
+    """Lint a known-bad snippet and require every rule to fire exactly as
+    expected — guards the linter itself against silent regressions."""
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".h", delete=False) as f:
+        f.write(SELFTEST_SOURCE)
+        path = f.name
+    try:
+        linter = Linter()
+        linter.lint_file(path)
+    finally:
+        os.unlink(path)
+    got = {}
+    for _, _, rule, _ in linter.findings:
+        got[rule] = got.get(rule, 0) + 1
+    if got != SELFTEST_EXPECT:
+        print(f"lint.py selftest FAILED: expected {SELFTEST_EXPECT}, "
+              f"got {got}", file=sys.stderr)
+        return 1
+    print("lint.py selftest OK: every rule fires and suppression works")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify each rule fires on a known-bad snippet")
+    ap.add_argument("paths", nargs="*",
+                    help="specific files to lint (default: whole tree)")
+    args = ap.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+
+    files = collect_files(args.root, args.paths)
+    if not files:
+        print("lint.py: no input files", file=sys.stderr)
+        return 2
+
+    linter = Linter()
+    for path in files:
+        linter.lint_file(path)
+
+    for path, line_no, rule, message in linter.findings:
+        rel = os.path.relpath(path, args.root)
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    n = len(linter.findings)
+    print(f"lint.py: {len(files)} files, "
+          f"{n} finding{'s' if n != 1 else ''}")
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
