@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("ablation_dear_decoupling");
   using namespace dear;
   for (auto net :
        {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {

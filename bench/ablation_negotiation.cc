@@ -5,6 +5,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("ablation_negotiation");
   using namespace dear;
   const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
 

@@ -7,6 +7,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("ablation_network");
   using namespace dear;
   const auto m = model::ResNet50();
   const std::size_t buf = 25u << 20;

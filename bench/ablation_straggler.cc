@@ -7,6 +7,7 @@
 #include "sched/multiworker.h"
 
 int main() {
+  dear::bench::SuiteGuard results("ablation_straggler");
   using namespace dear;
   const auto m = model::ResNet50();
   const auto cluster = bench::MakeCluster(16, comm::NetworkModel::TenGbE());

@@ -4,19 +4,50 @@
 // section (see DESIGN.md's experiment index) in plain text, with the
 // paper's reported values alongside where the paper states them, so the
 // output is directly comparable. EXPERIMENTS.md archives one run.
+//
+// Every binary also opens a perflab::ResultSink suite (SuiteGuard below),
+// so the numbers behind each table additionally land in a structured
+// `BENCH_<suite>.json` that tools/perf_gate.py can diff against a baseline
+// — the text stays the human artifact, the JSON the machine one.
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
+#include "perflab/bench_schema.h"
+#include "perflab/sink.h"
 #include "sched/runner.h"
 #include "tune/search.h"
 
 namespace dear::bench {
+
+/// Opens the structured-results suite for one bench binary; on scope exit
+/// writes BENCH_<suite>.json next to the text output. Declare first in
+/// main(): `dear::bench::SuiteGuard results("fig7");`.
+class SuiteGuard {
+ public:
+  explicit SuiteGuard(std::string suite) : suite_(std::move(suite)) {
+    perflab::ResultSink::Get().Begin(suite_);
+  }
+  ~SuiteGuard() {
+    const std::string path = "BENCH_" + suite_ + ".json";
+    const Status st = perflab::ResultSink::Get().WriteAndEnd(path);
+    if (st.ok())
+      std::printf("[perf-lab] wrote %s\n", path.c_str());
+    else
+      std::fprintf(stderr, "[perf-lab] %s\n", st.ToString().c_str());
+  }
+  SuiteGuard(const SuiteGuard&) = delete;
+  SuiteGuard& operator=(const SuiteGuard&) = delete;
+
+ private:
+  std::string suite_;
+};
 
 inline sched::ClusterSpec MakeCluster(int world, comm::NetworkModel net) {
   sched::ClusterSpec c;
@@ -32,7 +63,25 @@ inline sched::RunResult RunPolicy(const model::ModelSpec& m,
   sched::PolicyConfig cfg;
   cfg.kind = kind;
   cfg.plan = std::move(plan);
-  return sched::EvaluatePolicy(m, cluster, cfg);
+  const auto r = sched::EvaluatePolicy(m, cluster, cfg);
+  // Structured mirror of the table cell this run feeds. Simulator output
+  // is bit-deterministic, so the tight gate catches any modeled-perf
+  // drift; configurations that differ only in fusion plan fold into one
+  // sample vector, which is still stable run to run.
+  auto& sink = perflab::ResultSink::Get();
+  if (sink.active()) {
+    const std::map<std::string, std::string> params = {
+        {"model", m.name()},
+        {"gpus", std::to_string(cluster.world_size)},
+        {"network", cluster.network.name},
+        {"policy", sched::PolicyName(kind)}};
+    sink.Record("sim.iter_ms", params, ToMilliseconds(r.iter_time), "ms",
+                /*higher_is_better=*/false, /*gate_max_ratio=*/1.02);
+    sink.Record("sim.throughput", params, r.throughput_samples_per_s,
+                "samples/s", /*higher_is_better=*/true,
+                /*gate_max_ratio=*/1.02);
+  }
+  return r;
 }
 
 /// Per-tensor granularity (no fusion) run.
@@ -65,16 +114,24 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
-/// Prints a one-line percentile summary of repeated measurements using the
-/// shared common/stats.h Histogram (same machinery as the telemetry
-/// registry, so bench tables and `dearsim profile` report identically).
+/// Prints a one-line percentile summary of repeated measurements. Uses the
+/// perf-lab quantile policy (exact order statistics up to
+/// perflab::kExactQuantileLimit samples, bucketed Histogram beyond) — the
+/// old always-bucketed path quantized a 30-sample p50 to its power-of-two
+/// bucket, overstating sub-millisecond latencies by up to 2x. Also records
+/// each sample (in ms, as "<label>_ms") into the active suite, if any.
 inline void PrintLatencySummary(const std::string& label,
                                 const std::vector<double>& seconds) {
-  Histogram h(Histogram::ExponentialEdges(1e-7, 2.0, 30));
-  for (double s : seconds) h.Add(s);
   std::printf("%-24s n=%-5zu p50=%8.3f ms  p95=%8.3f ms  p99=%8.3f ms\n",
-              label.c_str(), h.count(), h.Quantile(0.5) * 1e3,
-              h.Quantile(0.95) * 1e3, h.Quantile(0.99) * 1e3);
+              label.c_str(), seconds.size(),
+              perflab::SampleQuantile(seconds, 0.5) * 1e3,
+              perflab::SampleQuantile(seconds, 0.95) * 1e3,
+              perflab::SampleQuantile(seconds, 0.99) * 1e3);
+  auto& sink = perflab::ResultSink::Get();
+  if (sink.active()) {
+    for (double s : seconds)
+      sink.Record(label + "_ms", {}, s * 1e3, "ms");
+  }
 }
 
 inline void PrintRule(int width = 78) {

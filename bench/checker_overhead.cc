@@ -17,6 +17,7 @@
 #include "train/data.h"
 
 int main() {
+  dear::bench::SuiteGuard results("checker_overhead");
   using namespace dear;
   using Clock = std::chrono::steady_clock;
 

@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("eq9_analysis");
   using namespace dear;
   const SimTime ff = Milliseconds(30);
   const SimTime bp = 2 * ff;

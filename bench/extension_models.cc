@@ -7,6 +7,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("extension_models");
   using namespace dear;
   for (auto net :
        {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {

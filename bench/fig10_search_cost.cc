@@ -12,6 +12,7 @@
 #include "common/stats.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig10_search_cost");
   using namespace dear;
   const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
   constexpr int kMaxTrials = 40;

@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig11_batch_size");
   using namespace dear;
   const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
   const std::size_t buf = 25u << 20;

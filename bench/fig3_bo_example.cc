@@ -5,6 +5,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig3_bo_example");
   using namespace dear;
   const auto m = model::DenseNet201();
   const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());

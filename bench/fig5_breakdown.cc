@@ -15,6 +15,7 @@
 #include "comm/worker_group.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig5_breakdown");
   using namespace dear;
   const comm::CostModel cost(comm::NetworkModel::TenGbE(), 64);
 

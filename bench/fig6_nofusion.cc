@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig6_nofusion");
   using namespace dear;
   for (auto net :
        {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {

@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig7_fusion");
   using namespace dear;
   const std::size_t buf = 25u << 20;
   for (auto net :

@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig8_breakdown");
   using namespace dear;
   const auto cluster = bench::MakeCluster(64, comm::NetworkModel::TenGbE());
   const std::size_t buf = 25u << 20;

@@ -14,6 +14,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("fig9_fusion_strategies");
   using namespace dear;
   for (auto net :
        {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {

@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("related_zero");
   using namespace dear;
   const std::size_t buf = 25u << 20;
   for (auto net :

@@ -11,6 +11,7 @@
 #include "train/data.h"
 
 int main() {
+  dear::bench::SuiteGuard results("runtime_telemetry_overhead");
   using namespace dear;
   constexpr int kWorld = 4;
   constexpr int kRepeats = 30;

@@ -4,6 +4,7 @@
 #include "model/profiles.h"
 
 int main() {
+  dear::bench::SuiteGuard results("table1_models");
   using namespace dear;
   bench::PrintHeader("Table I: DNN details (paper values in parentheses)");
   std::printf("%-14s %4s %8s %9s %12s %10s %10s\n", "model", "BS", "#layers",

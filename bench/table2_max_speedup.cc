@@ -5,6 +5,7 @@
 #include "bench/bench_util.h"
 
 int main() {
+  dear::bench::SuiteGuard results("table2_max_speedup");
   using namespace dear;
   struct Published {
     double smax, s;

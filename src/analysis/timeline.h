@@ -73,4 +73,75 @@ TimelineAnalysis Analyze(const sim::TaskGraph& graph,
 std::string RenderAsciiGantt(const sim::TaskGraph& graph,
                              const sim::SimResult& result, int width = 80);
 
+// ---- Cross-rank critical-path attribution --------------------------------
+//
+// Decomposes each measured iteration of a real (threaded, telemetry-on)
+// run into where its wall time went, per rank and per fusion group, from
+// three event families core::DistOptim records into the session trace:
+//
+//   category "iteration": window between consecutive Step() ends (the
+//                         measured iteration time being decomposed);
+//   category "wait":      "wait.<rs|ag|ar>.g<G>" — compute thread blocked
+//                         on group G's in-flight collective;
+//   category "group":     "<rs|ag|ar>.g<G>" — the collective's launch ->
+//                         complete interval; its start is the rank's
+//                         arrival time at that collective.
+//
+// Within an iteration window:  compute = window - blocked (the thread was
+// making local progress), and each blocked span splits into a *straggler*
+// part — the prefix during which some peer had not yet launched the
+// matched collective, i.e. time this rank waited only because of arrival
+// skew — and an *exposed* part, the remainder, which is genuine
+// non-overlapped communication (Eq. 9's exposed term, split RS vs AG).
+// The four parts sum to the window by construction; the residual check
+// catches bookkeeping bugs (mismatched occurrence counts, clipping).
+
+struct GroupAttribution {
+  int group{0};
+  double exposed_rs_ms{0.0};  // fused all-reduce waits count as RS
+  double exposed_ag_ms{0.0};
+  double straggler_ms{0.0};
+};
+
+struct RankAttribution {
+  int rank{0};
+  int iterations{0};
+  double iter_ms{0.0};     // sum of measured iteration windows
+  double compute_ms{0.0};  // window time not blocked on communication
+  double exposed_rs_ms{0.0};
+  double exposed_ag_ms{0.0};
+  double straggler_ms{0.0};         // waiting suffered due to arrival skew
+  double caused_straggler_ms{0.0};  // waiting *inflicted* on peers
+  /// Per-fusion-group breakdown, ascending group id.
+  std::vector<GroupAttribution> groups;
+  /// |iter - (compute + rs + ag + straggler)| / iter; ~0 when bookkeeping
+  /// is sound.
+  double residual_fraction{0.0};
+};
+
+struct AttributionReport {
+  int world{0};
+  /// Iterations attributed (min over ranks; ranks must observe the same
+  /// number of windows in a synchronous run).
+  int iterations{0};
+  std::vector<RankAttribution> ranks;
+  /// Ranks ordered by caused_straggler_ms descending — worst offender
+  /// (the rank peers most often waited for) first.
+  std::vector<int> straggler_ranking;
+  double tolerance{0.01};
+  /// Every rank's residual_fraction <= tolerance.
+  bool consistent{true};
+  double max_residual_fraction{0.0};
+};
+
+/// Builds the attribution report from a recorded session trace (e.g.
+/// telemetry::Runtime::Get().trace().Events()). Returns an empty report
+/// (0 iterations, consistent) when the trace has no iteration windows.
+AttributionReport AttributeIterations(const std::vector<TraceEvent>& events,
+                                      int world, double tolerance = 0.01);
+
+/// Human-readable rendering: per-rank table, per-group totals, straggler
+/// ranking, and the consistency verdict.
+std::string RenderAttributionReport(const AttributionReport& report);
+
 }  // namespace dear::analysis

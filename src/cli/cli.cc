@@ -15,6 +15,7 @@
 #include "core/trainer.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
+#include "perflab/suites.h"
 #include "sched/runner.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
@@ -25,7 +26,7 @@ namespace dear::cli {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dearsim <models|simulate|compare|tune|sweep|profile|check> "
+    "usage: dearsim <models|simulate|compare|tune|sweep|profile|bench|check> "
     "[flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
@@ -373,6 +374,34 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
         << "%\n";
   }
 
+  // Job-level iteration-time row: per-rank histograms share the metric
+  // ladder's bucket edges, so Histogram::Merge gives the distribution over
+  // every (rank, iteration) observation — the p99 a job dashboard shows.
+  {
+    bool have = false;
+    Histogram job;
+    for (int r = 0; r < world; ++r) {
+      auto* reg = rt.rank_metrics(r);
+      if (!reg) continue;
+      for (const auto& [name, h] : reg->Histograms()) {
+        if (name != "optim.iteration.seconds") continue;
+        if (!have) {
+          job = h;
+          have = true;
+        } else if (!job.Merge(h).ok()) {
+          have = false;  // mismatched edges: skip the aggregate row
+          r = world;
+          break;
+        }
+      }
+    }
+    if (have) {
+      out << " all (merged " << world << " ranks)       ";
+      PrintQuantiles(out, job, 1e3);
+      out << "\n";
+    }
+  }
+
   out << "\nper-collective latency, rank 0 (ms):\n"
       << "kind                   calls   p50       p95       p99\n";
   if (auto* reg0 = rt.rank_metrics(0)) {
@@ -402,6 +431,10 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
       out << "\n";
     }
   }
+
+  out << "\n"
+      << analysis::RenderAttributionReport(
+             analysis::AttributeIterations(events, world));
 
   const std::string trace_out = flags.GetString("trace-out");
   if (!trace_out.empty()) {
@@ -437,6 +470,56 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
         out << reg->ToPrometheus("rank=\"" + std::to_string(r) + "\"");
     }
   }
+  return 0;
+}
+
+/// `dearsim bench` — run a registered perf-lab suite and write the
+/// structured results file (BENCH_<suite>.json unless --json-out overrides
+/// it) that tools/perf_gate.py compares against a baseline.
+int CmdBench(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  perflab::SuiteRunOptions opts;
+  opts.repeats = flags.GetInt("repeats");
+  if (opts.repeats < 0) {
+    err << "--repeats must be >= 0 (0 = suite default)\n";
+    return 1;
+  }
+  opts.progress = &out;
+  const std::string name = flags.GetString("suite");
+  auto suite = perflab::RunSuite(name, opts);
+  if (!suite.ok()) {
+    err << suite.status().ToString() << " (available:";
+    for (const auto& s : perflab::SuiteNames()) err << " " << s;
+    err << ")\n";
+    return 1;
+  }
+
+  out << "\nsuite '" << suite->suite << "': " << suite->results.size()
+      << " metrics\n"
+      << std::left << std::setw(26) << "metric" << std::setw(36) << "params"
+      << std::right << std::setw(3) << "n" << std::setw(11) << "p50"
+      << std::setw(11) << "p95" << "  unit\n";
+  for (const auto& r : suite->results) {
+    const auto s = r.Summarize();
+    std::string params;
+    for (const auto& [k, v] : r.params) {
+      if (!params.empty()) params += " ";
+      params += k + "=" + v;
+    }
+    out << std::left << std::setw(26) << r.name << std::setw(36) << params
+        << std::right << std::setw(3) << s.count << std::fixed
+        << std::setprecision(3) << std::setw(11) << s.p50 << std::setw(11)
+        << s.p95 << "  " << r.unit << "\n";
+  }
+
+  std::string json_out = flags.GetString("json-out");
+  if (json_out.empty()) json_out = "BENCH_" + suite->suite + ".json";
+  const Status st = suite->WriteFile(json_out);
+  if (!st.ok()) {
+    err << st.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << json_out << " (compare: tools/perf_gate.py baseline "
+      << json_out << ")\n";
   return 0;
 }
 
@@ -583,6 +666,11 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddInt("buffer-kb", 64, "runtime fusion buffer in KB (profile)");
   flags.AddString("trace-out", "", "write Chrome trace JSON here (profile)");
   flags.AddString("metrics-out", "", "write metrics JSON here (profile)");
+  flags.AddString("suite", "quick", "bench: suite to run (quick|full)");
+  flags.AddInt("repeats", 0,
+               "bench: wall-metric repeats (0 = suite default)");
+  flags.AddString("json-out", "",
+                  "bench: results path (default BENCH_<suite>.json)");
   flags.AddBool("prometheus", false, "also print Prometheus text (profile)");
   flags.AddString("inject", "none",
                   "check: fault to inject (none|skip|shrink|reorder)");
@@ -607,6 +695,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "tune") return CmdTune(flags, out, err);
   if (cmd == "sweep") return CmdSweep(flags, out, err);
   if (cmd == "profile") return CmdProfile(flags, out, err);
+  if (cmd == "bench") return CmdBench(flags, out, err);
   if (cmd == "check") return CmdCheck(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;

@@ -14,8 +14,15 @@
 //             --metrics-out --prometheus]
 //                                        run the REAL threaded runtime with
 //                                        telemetry on, print per-rank
-//                                        metrics + exposed-comm breakdown,
-//                                        optionally dump a Chrome trace
+//                                        metrics + exposed-comm breakdown +
+//                                        cross-rank critical-path
+//                                        attribution, optionally dump a
+//                                        Chrome trace
+//   bench    [--suite --repeats --json-out]
+//                                        run a registered perf-lab suite
+//                                        (quick|full) and write the
+//                                        structured BENCH_<suite>.json that
+//                                        tools/perf_gate.py compares
 #pragma once
 
 #include <ostream>

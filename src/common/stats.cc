@@ -60,6 +60,27 @@ void Histogram::Add(double x) noexcept {
   ++counts_[static_cast<std::size_t>(it - edges_.begin())];
 }
 
+Status Histogram::Merge(const Histogram& other) {
+  if (edges_ != other.edges_) {
+    return Status::InvalidArgument(
+        "Histogram::Merge requires identical bucket edges (" +
+        std::to_string(edges_.size()) + " vs " +
+        std::to_string(other.edges_.size()) + " edges)");
+  }
+  if (other.n_ == 0) return Status::Ok();
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  sum_ += other.sum_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  return Status::Ok();
+}
+
 void Histogram::Reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   n_ = 0;

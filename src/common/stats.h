@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dear {
 
 /// Welford-style running mean/variance; O(1) per observation.
@@ -51,6 +53,12 @@ class Histogram {
 
   void Add(double x) noexcept;
   void Reset() noexcept;
+
+  /// Folds `other` into this histogram so job-level percentiles can be
+  /// estimated from per-rank histograms. Both must have identical bucket
+  /// edges (same binning); returns InvalidArgument otherwise and leaves
+  /// this histogram unchanged.
+  Status Merge(const Histogram& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }

@@ -125,16 +125,26 @@ DistOptim::TelemetryCache* DistOptim::RefreshTelemetryCache() {
   return &tcache_;
 }
 
-void DistOptim::ObserveGroupDone(GroupState& state) {
+const char* DistOptim::InFlightKind(const GroupState& state) const {
+  if (state.phase == GroupPhase::kAgPending) return "ag";
+  if (options_.mode == ScheduleMode::kDeAR ||
+      options_.mode == ScheduleMode::kZeRO)
+    return "rs";
+  return "ar";
+}
+
+void DistOptim::ObserveGroupDone(int g, GroupState& state) {
   auto& rt = telemetry::Runtime::Get();
   if (!rt.enabled() || state.launch_ns == 0) return;
-  const double seconds =
-      static_cast<double>(rt.NowNs() - state.launch_ns) * 1e-9;
+  const SimTime now = rt.NowNs();
+  const SimTime launch = state.launch_ns;
+  const double seconds = static_cast<double>(now - launch) * 1e-9;
   state.launch_ns = 0;
   auto* cache = RefreshTelemetryCache();
   if (!cache) return;
   // Bucket by what the in-flight op was: OP1 of the decoupled pair, OP2,
   // or a fused all-reduce (WFBP/sequential/local-SGD paths).
+  const char* kind = InFlightKind(state);
   telemetry::HistogramMetric* latency = cache->ar_latency;
   if (state.phase == GroupPhase::kAgPending) {
     latency = cache->ag_latency;
@@ -143,6 +153,17 @@ void DistOptim::ObserveGroupDone(GroupState& state) {
     latency = cache->rs_latency;
   }
   latency->Observe(seconds);
+  // Group-lane span: the op's launch->complete interval. Its start doubles
+  // as this rank's arrival time at the collective, which is what the
+  // cross-rank straggler attribution compares.
+  TraceEvent event;
+  event.name = std::string(kind) + ".g" + std::to_string(g);
+  event.category = "group";
+  event.pid = engine_->rank();
+  event.tid = telemetry::kGroupLane;
+  event.start = launch;
+  event.duration = now - launch;
+  rt.trace().Record(std::move(event));
 }
 
 void DistOptim::ObserveStepEnd() {
@@ -150,9 +171,20 @@ void DistOptim::ObserveStepEnd() {
   if (!rt.enabled()) return;
   const SimTime now = rt.NowNs();
   if (auto* cache = RefreshTelemetryCache()) {
-    if (last_step_end_ns_ >= 0)
+    if (last_step_end_ns_ >= 0) {
       cache->iteration_seconds->Observe(
           static_cast<double>(now - last_step_end_ns_) * 1e-9);
+      // Iteration-lane window [previous Step() end, this Step() end): the
+      // measured iteration time the attribution report decomposes.
+      TraceEvent event;
+      event.name = "iteration";
+      event.category = "iteration";
+      event.pid = engine_->rank();
+      event.tid = telemetry::kIterationLane;
+      event.start = last_step_end_ns_;
+      event.duration = now - last_step_end_ns_;
+      rt.trace().Record(std::move(event));
+    }
     cache->steps->Add(1);
     cache->collectives->Set(static_cast<double>(stats_.collectives));
     cache->step_wait->Set(stats_.step_wait_s);
@@ -174,6 +206,27 @@ void DistOptim::TimedWait(const comm::CollectiveHandle& handle,
   *bucket +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+}
+
+void DistOptim::TracedWait(int g, GroupState& state, double* bucket) {
+  auto& rt = telemetry::Runtime::Get();
+  if (!rt.enabled()) {
+    TimedWait(state.handle, bucket);
+    return;
+  }
+  // Kind must be read before the wait: call sites flip state.phase only
+  // after completion, so it still names the op being waited on.
+  const char* kind = InFlightKind(state);
+  const SimTime t0 = rt.NowNs();
+  TimedWait(state.handle, bucket);
+  TraceEvent event;
+  event.name = std::string("wait.") + kind + ".g" + std::to_string(g);
+  event.category = "wait";
+  event.pid = engine_->rank();
+  event.tid = telemetry::kWaitLane;
+  event.start = t0;
+  event.duration = rt.NowNs() - t0;
+  rt.trace().Record(std::move(event));
 }
 
 void DistOptim::PackGroup(int g) {
@@ -281,8 +334,8 @@ void DistOptim::LocalSgdStep() {
   }
   for (int g = 0; g < plan_.num_groups(); ++g) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
-    TimedWait(state.handle, &stats_.step_wait_s);
-    ObserveGroupDone(state);
+    TracedWait(g, state, &stats_.step_wait_s);
+    ObserveGroupDone(g, state);
     check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
     std::size_t offset = 0;
     for (int t : plan_.group(g).tensors) {
@@ -404,8 +457,8 @@ void DistOptim::Step() {
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
         auto& state = groups_[static_cast<std::size_t>(g)];
-        TimedWait(state.handle, &stats_.step_wait_s);
-        ObserveGroupDone(state);
+        TracedWait(g, state, &stats_.step_wait_s);
+        ObserveGroupDone(g, state);
         check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
@@ -417,8 +470,8 @@ void DistOptim::Step() {
         auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
-        TimedWait(state.handle, &stats_.step_wait_s);
-        ObserveGroupDone(state);
+        TracedWait(g, state, &stats_.step_wait_s);
+        ObserveGroupDone(g, state);
         check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
@@ -435,8 +488,8 @@ void DistOptim::Step() {
         auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
-        TimedWait(state.handle, &stats_.step_wait_s);
-        ObserveGroupDone(state);
+        TracedWait(g, state, &stats_.step_wait_s);
+        ObserveGroupDone(g, state);
         check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
@@ -463,8 +516,8 @@ void DistOptim::PreForward(int layer) {
   for (int g : plan_.groups_of_layer(layer)) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     if (state.phase != GroupPhase::kAgPending) continue;  // first iteration
-    TimedWait(state.handle, &stats_.pre_forward_wait_s);
-    ObserveGroupDone(state);
+    TracedWait(g, state, &stats_.pre_forward_wait_s);
+    ObserveGroupDone(g, state);
     check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
     UnpackAndApply(g);
   }
@@ -486,8 +539,8 @@ void DistOptim::Synchronize() {
         // modes the buffer holds a scattered result, so complete the pair
         // (kZeRO also applies its sharded update in between); in the
         // all-reduce modes the data is already fully reduced.
-        TimedWait(state.handle, &stats_.synchronize_wait_s);
-        ObserveGroupDone(state);
+        TracedWait(g, state, &stats_.synchronize_wait_s);
+        ObserveGroupDone(g, state);
         check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
         if (options_.mode == ScheduleMode::kDeAR ||
             options_.mode == ScheduleMode::kZeRO) {
@@ -496,15 +549,15 @@ void DistOptim::Synchronize() {
           state.phase = GroupPhase::kAgPending;
           MarkGroupLaunched(state);
           check::OnGroup(engine_->rank(), g, GroupEvent::kAgLaunch);
-          TimedWait(state.handle, &stats_.synchronize_wait_s);
-          ObserveGroupDone(state);
+          TracedWait(g, state, &stats_.synchronize_wait_s);
+          ObserveGroupDone(g, state);
           check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
         }
         UnpackAndApply(g);
         break;
       case GroupPhase::kAgPending:
-        TimedWait(state.handle, &stats_.synchronize_wait_s);
-        ObserveGroupDone(state);
+        TracedWait(g, state, &stats_.synchronize_wait_s);
+        ObserveGroupDone(g, state);
         check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
         UnpackAndApply(g);
         break;

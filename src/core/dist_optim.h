@@ -177,14 +177,26 @@ class DistOptim {
 
   /// Waits on `handle`, charging the blocked wall time to `*bucket`.
   void TimedWait(const comm::CollectiveHandle& handle, double* bucket);
+  /// TimedWait on group `g`'s in-flight collective that additionally
+  /// records a wait-lane trace span ("wait.<rs|ag|ar>.g<g>") so the
+  /// attribution report (analysis/timeline.h) can split the compute
+  /// thread's blocked time per fusion group.
+  void TracedWait(int g, GroupState& state, double* bucket);
 
   /// Telemetry: marks the in-flight collective of `state` as launched /
-  /// completed (launch->complete latency histograms, keyed by the phase).
-  /// No-ops when no telemetry session is enabled.
+  /// completed (launch->complete latency histograms, keyed by the phase,
+  /// plus a group-lane trace span for cross-rank attribution). No-ops when
+  /// no telemetry session is enabled.
   void MarkGroupLaunched(GroupState& state);
-  void ObserveGroupDone(GroupState& state);
-  /// Telemetry: per-iteration wall time + cumulative wait gauges.
+  void ObserveGroupDone(int g, GroupState& state);
+  /// Telemetry: per-iteration wall time + cumulative wait gauges, and the
+  /// iteration-lane trace window consumed by the attribution report.
   void ObserveStepEnd();
+
+  /// Trace-span name stem for the collective currently in flight on
+  /// `state` ("rs", "ag", or "ar"), matching ObserveGroupDone's latency
+  /// bucketing.
+  [[nodiscard]] const char* InFlightKind(const GroupState& state) const;
 
   /// Metric pointers resolved once per telemetry session so the per-group
   /// observation path does no string-keyed lookups. Only touched by this

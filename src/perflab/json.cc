@@ -1,0 +1,247 @@
+#include "perflab/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dear::perflab {
+
+/// One-pass recursive-descent parser over a string_view. Depth is bounded
+/// to keep hostile inputs from overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> Run() {
+    SkipWs();
+    Json root;
+    DEAR_RETURN_IF_ERROR(ParseValue(root, 0));
+    SkipWs();
+    if (pos_ != text_.size())
+      return Fail("trailing characters after JSON document");
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c))
+      return Fail(std::string("expected '") + c + "'");
+    return Status::Ok();
+  }
+
+  Status ParseValue(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out.type_ = Json::Type::kString;
+      return ParseString(out.string_);
+    }
+    if (c == 't' || c == 'f') return ParseKeyword(out);
+    if (c == 'n') return ParseKeyword(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseKeyword(Json& out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out.type_ = Json::Type::kBool;
+      out.bool_ = true;
+      return Status::Ok();
+    }
+    if (match("false")) {
+      out.type_ = Json::Type::kBool;
+      out.bool_ = false;
+      return Status::Ok();
+    }
+    if (match("null")) {
+      out.type_ = Json::Type::kNull;
+      return Status::Ok();
+    }
+    return Fail("unknown keyword");
+  }
+
+  Status ParseNumber(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return Fail("expected a value");
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || end != text_.data() + pos_)
+      return Fail("malformed number '" +
+                  std::string(text_.substr(start, pos_ - start)) + "'");
+    out.type_ = Json::Type::kNumber;
+    out.number_ = value;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string& out) {
+    DEAR_RETURN_IF_ERROR(Expect('"'));
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Preserved verbatim (see header); enough for our own output,
+            // which never emits \u escapes.
+            out += "\\u";
+            break;
+          default:
+            return Fail(std::string("bad escape '\\") + esc + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseArray(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    DEAR_RETURN_IF_ERROR(Expect('['));
+    out.type_ = Json::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Json element;
+      DEAR_RETURN_IF_ERROR(ParseValue(element, depth + 1));
+      out.array_.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      DEAR_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseObject(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    DEAR_RETURN_IF_ERROR(Expect('{'));
+    out.type_ = Json::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      std::string key;
+      DEAR_RETURN_IF_ERROR(ParseString(key));
+      SkipWs();
+      DEAR_RETURN_IF_ERROR(Expect(':'));
+      Json value;
+      DEAR_RETURN_IF_ERROR(ParseValue(value, depth + 1));
+      if (out.Get(key) == nullptr)
+        out.members_.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      DEAR_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return JsonParser(text).Run();
+}
+
+const Json* Json::Get(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+double Json::GetNumber(std::string_view key, double fallback) const noexcept {
+  const Json* v = Get(key);
+  return (v != nullptr && v->type() == Type::kNumber) ? v->number() : fallback;
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->type() == Type::kString) ? v->str()
+                                                      : std::move(fallback);
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace dear::perflab

@@ -1,0 +1,72 @@
+// Minimal JSON value type and recursive-descent parser for the perf-lab
+// structured-results layer (bench_schema.h).
+//
+// Scope is deliberately small: it parses the subset of JSON that
+// BenchSuite::ToJson (and the telemetry exporters) emit — objects, arrays,
+// strings with backslash escapes, doubles, booleans, null — with no
+// streaming, no comments, and no unicode \uXXXX surrogate pairs (escapes
+// are preserved verbatim). Good enough to read a benchmark baseline back;
+// not a general-purpose JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dear::perflab {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Members are kept in document order; duplicate keys keep the first.
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;
+
+  /// Parses one JSON document (trailing garbage is an error).
+  static StatusOr<Json> Parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool boolean() const noexcept { return bool_; }
+  [[nodiscard]] double number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& str() const noexcept { return string_; }
+  [[nodiscard]] const std::vector<Json>& array() const noexcept {
+    return array_;
+  }
+  [[nodiscard]] const std::vector<Member>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* Get(std::string_view key) const noexcept;
+
+  /// Convenience typed lookups with defaults (for optional fields).
+  [[nodiscard]] double GetNumber(std::string_view key,
+                                 double fallback = 0.0) const noexcept;
+  [[nodiscard]] std::string GetString(std::string_view key,
+                                      std::string fallback = "") const;
+
+ private:
+  Type type_{Type::kNull};
+  bool bool_{false};
+  double number_{0.0};
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<Member> members_;
+
+  friend class JsonParser;
+};
+
+/// Escapes `"` `\` and control characters for embedding in a JSON string.
+std::string JsonEscape(std::string_view raw);
+
+/// Formats a double as JSON: shortest round-trip decimal; non-finite
+/// values (which JSON cannot represent) become 0.
+std::string JsonNumber(double v);
+
+}  // namespace dear::perflab

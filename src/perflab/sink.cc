@@ -1,0 +1,73 @@
+#include "perflab/sink.h"
+
+namespace dear::perflab {
+
+ResultSink& ResultSink::Get() {
+  static ResultSink* sink = new ResultSink();  // leaked: outlives all users
+  return *sink;
+}
+
+void ResultSink::Begin(std::string suite) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ = true;
+  suite_ = std::move(suite);
+  results_.clear();
+  by_key_.clear();
+}
+
+void ResultSink::Abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ = false;
+  suite_.clear();
+  results_.clear();
+  by_key_.clear();
+}
+
+bool ResultSink::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+void ResultSink::Record(const std::string& name,
+                        const std::map<std::string, std::string>& params,
+                        double sample, const std::string& unit,
+                        bool higher_is_better, double gate_max_ratio) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) return;
+  BenchResult probe;
+  probe.name = name;
+  probe.params = params;
+  const std::string key = probe.Key();
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    probe.unit = unit;
+    probe.higher_is_better = higher_is_better;
+    probe.gate_max_ratio = gate_max_ratio;
+    results_.push_back(std::move(probe));
+    it = by_key_.emplace(key, results_.size() - 1).first;
+  }
+  results_[it->second].samples.push_back(sample);
+}
+
+BenchSuite ResultSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BenchSuite suite;
+  suite.suite = suite_;
+  suite.environment = EnvironmentFingerprint();
+  suite.results = results_;
+  return suite;
+}
+
+Status ResultSink::WriteAndEnd(const std::string& path) {
+  BenchSuite snapshot = Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ = false;
+    suite_.clear();
+    results_.clear();
+    by_key_.clear();
+  }
+  return snapshot.WriteFile(path);
+}
+
+}  // namespace dear::perflab

@@ -1,0 +1,228 @@
+#include "perflab/suites.h"
+
+#include <chrono>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/async.h"
+#include "comm/communicator.h"
+#include "comm/transport.h"
+#include "common/sim_time.h"
+#include "core/trainer.h"
+#include "fusion/plan.h"
+#include "model/zoo.h"
+#include "sched/policies.h"
+#include "sched/runner.h"
+#include "train/data.h"
+
+namespace dear::perflab {
+namespace {
+
+// Gate ceilings by metric class (see header): wall-clock numbers move with
+// the machine, deterministic simulator numbers must not move at all.
+constexpr double kWallGateRatio = 3.0;
+constexpr double kSimGateRatio = 1.02;
+
+double ElapsedMs(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+class SuiteBuilder {
+ public:
+  explicit SuiteBuilder(std::string name, const SuiteRunOptions& options)
+      : options_(options) {
+    suite_.suite = std::move(name);
+    suite_.environment = EnvironmentFingerprint();
+  }
+
+  void Note(const std::string& line) const {
+    if (options_.progress != nullptr) *options_.progress << line << "\n";
+  }
+
+  void Add(const std::string& name,
+           const std::map<std::string, std::string>& params, double sample,
+           const std::string& unit, bool higher_is_better,
+           double gate_max_ratio) {
+    BenchResult probe;
+    probe.name = name;
+    probe.params = params;
+    const std::string key = probe.Key();
+    for (BenchResult& r : suite_.results) {
+      if (r.Key() == key) {
+        r.samples.push_back(sample);
+        return;
+      }
+    }
+    probe.unit = unit;
+    probe.higher_is_better = higher_is_better;
+    probe.gate_max_ratio = gate_max_ratio;
+    probe.samples.push_back(sample);
+    suite_.results.push_back(std::move(probe));
+  }
+
+  [[nodiscard]] int repeats(int suite_default) const {
+    return options_.repeats > 0 ? options_.repeats : suite_default;
+  }
+
+  [[nodiscard]] BenchSuite&& Take() { return std::move(suite_); }
+
+ private:
+  SuiteRunOptions options_;
+  BenchSuite suite_;
+};
+
+/// Wall-clock: threaded end-to-end training, seconds-per-iteration samples.
+void MeasureRuntimeTraining(SuiteBuilder& b, const std::string& schedule,
+                            core::ScheduleMode mode, int world, int iters,
+                            int repeats) {
+  const std::vector<int> dims = {8, 16, 16, 8};
+  const int batch = 4;
+  const auto data = train::MakeRegressionDataset(world * batch * 4,
+                                                 dims.front(), dims.back(),
+                                                 /*seed=*/42);
+  core::DistOptimOptions options;
+  options.mode = mode;
+  options.buffer_bytes = 4 * 1024;
+  const std::map<std::string, std::string> params = {
+      {"schedule", schedule}, {"world", std::to_string(world)}};
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::TrainDistributed(dims, /*model_seed=*/7, data, iters, batch, world,
+                           options);
+    b.Add("runtime.train_iter_ms", params, ElapsedMs(t0) / iters, "ms",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+}
+
+/// Wall-clock: one fused ring collective across `world` in-process engines,
+/// submit-to-drain.
+void MeasureRingCollective(SuiteBuilder& b, int world, std::size_t kb,
+                           int repeats) {
+  const std::size_t n = kb * 1024 / sizeof(float);
+  const std::map<std::string, std::string> params = {
+      {"world", std::to_string(world)}, {"kb", std::to_string(kb)}};
+  comm::TransportHub hub(world);
+  std::vector<std::unique_ptr<comm::CommEngine>> engines;
+  engines.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r)
+    engines.push_back(
+        std::make_unique<comm::CommEngine>(comm::Communicator(&hub, r)));
+  std::vector<std::vector<float>> buffers(static_cast<std::size_t>(world),
+                                          std::vector<float>(n, 1.0f));
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<comm::CollectiveHandle> handles;
+    handles.reserve(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r)
+      handles.push_back(engines[static_cast<std::size_t>(r)]->SubmitAllReduce(
+          std::span<float>(buffers[static_cast<std::size_t>(r)]),
+          comm::ReduceOp::kAvg));
+    for (auto& h : handles) (void)h.Wait();
+    b.Add("comm.ring_allreduce_ms", params, ElapsedMs(t0), "ms",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+  for (auto& engine : engines) engine->Shutdown();
+}
+
+/// Deterministic simulator outputs plus the wall-clock cost of producing
+/// them (EvaluatePolicy is itself a hot path for the BO tuner).
+void MeasureSimulator(SuiteBuilder& b, const std::string& model_name,
+                      int gpus, sched::PolicyKind kind,
+                      const std::string& policy_name, int repeats) {
+  const auto m = model::ByName(model_name);
+  sched::ClusterSpec cluster;
+  cluster.world_size = gpus;
+  cluster.network = comm::NetworkModel::TenGbE();
+  sched::PolicyConfig cfg;
+  cfg.kind = kind;
+  cfg.plan = kind == sched::PolicyKind::kMGWFBP
+                 ? fusion::MergeGradientsWisely(m, cluster.network.alpha_s,
+                                                gpus)
+                 : fusion::ByBufferBytes(m, 25u << 20);
+  const std::map<std::string, std::string> params = {
+      {"model", model_name},
+      {"gpus", std::to_string(gpus)},
+      {"policy", policy_name},
+      {"network", "10gbe"}};
+  sched::RunResult result{};
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    result = sched::EvaluatePolicy(m, cluster, cfg);
+    b.Add("sim.evaluate_ms", params, ElapsedMs(t0), "ms",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+  // Deterministic: record once; perf_gate treats single-sample metrics as
+  // exact and applies the tight ratio.
+  b.Add("sim.iter_ms", params, ToMilliseconds(result.iter_time), "ms",
+        /*higher_is_better=*/false, kSimGateRatio);
+  b.Add("sim.throughput", params, result.throughput_samples_per_s,
+        "samples/s", /*higher_is_better=*/true, kSimGateRatio);
+  b.Add("sim.exposed_comm_ms", params,
+        ToMilliseconds(result.breakdown.comm_exposed), "ms",
+        /*higher_is_better=*/false, kSimGateRatio);
+}
+
+BenchSuite RunQuick(const SuiteRunOptions& options) {
+  SuiteBuilder b("quick", options);
+  const int r = b.repeats(5);
+  b.Note("[1/3] runtime: threaded training (dear, wfbp) ...");
+  MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
+                         /*iters=*/4, r);
+  MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
+                         /*iters=*/4, r);
+  b.Note("[2/3] comm: ring all-reduce ...");
+  MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
+  b.Note("[3/3] simulator: evaluate + deterministic figures ...");
+  MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
+  MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
+                   r);
+  MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
+  return b.Take();
+}
+
+BenchSuite RunFull(const SuiteRunOptions& options) {
+  SuiteBuilder b("full", options);
+  const int r = b.repeats(10);
+  b.Note("[1/3] runtime: threaded training matrix ...");
+  MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, 2, 8, r);
+  MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, 2, 8, r);
+  MeasureRuntimeTraining(b, "sequential", core::ScheduleMode::kSequential, 2,
+                         8, r);
+  MeasureRuntimeTraining(b, "zero", core::ScheduleMode::kZeRO, 2, 8, r);
+  MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, 4, 8, r);
+  b.Note("[2/3] comm: ring all-reduce sizes ...");
+  MeasureRingCollective(b, 2, 64, r + 3);
+  MeasureRingCollective(b, 2, 1024, r + 3);
+  MeasureRingCollective(b, 4, 256, r + 3);
+  b.Note("[3/3] simulator: model x policy matrix ...");
+  for (const char* model : {"resnet50", "bert_base", "bert_large"}) {
+    for (int gpus : {16, 64}) {
+      MeasureSimulator(b, model, gpus, sched::PolicyKind::kDeAR, "dear", r);
+      MeasureSimulator(b, model, gpus, sched::PolicyKind::kHorovod, "horovod",
+                       r);
+      MeasureSimulator(b, model, gpus, sched::PolicyKind::kMGWFBP, "mg-wfbp",
+                       r);
+    }
+  }
+  return b.Take();
+}
+
+}  // namespace
+
+std::vector<std::string> SuiteNames() { return {"quick", "full"}; }
+
+StatusOr<BenchSuite> RunSuite(const std::string& name,
+                              const SuiteRunOptions& options) {
+  if (name == "quick") return RunQuick(options);
+  if (name == "full") return RunFull(options);
+  std::string known;
+  for (const std::string& s : SuiteNames())
+    known += (known.empty() ? "" : ", ") + s;
+  return Status::NotFound("unknown bench suite '" + name + "' (registered: " +
+                          known + ")");
+}
+
+}  // namespace dear::perflab

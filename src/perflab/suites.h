@@ -1,0 +1,40 @@
+// Registered end-to-end benchmark suites for `dearsim bench`.
+//
+// A suite is a fixed set of measurements that runs anywhere the tests run
+// and lands in one BenchSuite, mixing two metric classes:
+//
+//  * wall-clock metrics ("runtime.*", "comm.*", timed with steady_clock,
+//    many repeats) — noisy, machine-dependent; gated generously and only
+//    with the significance test in tools/perf_gate.py;
+//  * simulator metrics ("sim.iter_ms", ...) — bit-deterministic outputs of
+//    the discrete-event model; gated tightly, since any drift is a real
+//    change in modeled performance, not noise.
+//
+// "quick" is the CI/pre-commit gate (a few seconds); "full" adds the wider
+// model x policy matrix and more repeats for EXPERIMENTS.md refreshes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perflab/bench_schema.h"
+
+namespace dear::perflab {
+
+struct SuiteRunOptions {
+  /// Repeats for wall-clock metrics; 0 = the suite's default (quick: 5,
+  /// full: 10). Tests pass 1 to stay fast.
+  int repeats{0};
+  /// Optional progress narration (one line per metric family).
+  std::ostream* progress{nullptr};
+};
+
+/// Names accepted by RunSuite, in documentation order.
+std::vector<std::string> SuiteNames();
+
+/// Runs a registered suite end to end; NotFound for unknown names.
+StatusOr<BenchSuite> RunSuite(const std::string& name,
+                              const SuiteRunOptions& options = {});
+
+}  // namespace dear::perflab

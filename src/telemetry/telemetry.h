@@ -34,6 +34,18 @@ namespace dear::telemetry {
 /// Trace lane convention shared with the simulator's streams.
 inline constexpr std::int64_t kComputeLane = 0;
 inline constexpr std::int64_t kCommLane = 1;
+/// Attribution lanes recorded by core::DistOptim (analysis/timeline.h's
+/// AttributeIterations keys on the event *category*, these lanes exist so
+/// Chrome-trace viewers show them as separate rows):
+/// kWaitLane: compute-thread blocked-on-collective spans, named
+/// "wait.<rs|ag|ar>.g<group>" with category "wait".
+inline constexpr std::int64_t kWaitLane = 2;
+/// kGroupLane: per-fusion-group collective in-flight spans (launch ->
+/// complete), named "<rs|ag|ar>.g<group>" with category "group".
+inline constexpr std::int64_t kGroupLane = 3;
+/// kIterationLane: per-iteration windows between consecutive Step() ends,
+/// named "iteration" with category "iteration".
+inline constexpr std::int64_t kIterationLane = 4;
 
 class Runtime {
  public:

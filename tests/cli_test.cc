@@ -137,10 +137,75 @@ TEST(CliTest, ProfileRunsRealRuntimeAndWritesTrace) {
   std::remove(trace_path.c_str());
 }
 
+TEST(CliTest, ProfilePrintsAttributionReport) {
+  const auto r = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                             "--iters=3", "--batch-size=4"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("critical-path attribution"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("straggl"), std::string::npos);
+  EXPECT_NE(r.out.find("consistency: OK"), std::string::npos) << r.out;
+  // Job-level row from Histogram::Merge across the per-rank registries.
+  EXPECT_NE(r.out.find("merged 2 ranks"), std::string::npos) << r.out;
+}
+
 TEST(CliTest, ProfileRejectsBadInputs) {
   EXPECT_NE(RunDearsim({"profile", "--schedule=warp"}).code, 0);
   EXPECT_NE(RunDearsim({"profile", "--world=1"}).code, 0);
   EXPECT_NE(RunDearsim({"profile", "--model=notamodel"}).code, 0);
+  // Unknown flags must be flag-parse errors, not silently ignored.
+  const auto r = RunDearsim({"profile", "--no-such-flag=1"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliTest, ProfileUnwritableOutputsFailCleanly) {
+  const auto trace = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                                 "--iters=2", "--batch-size=4",
+                                 "--trace-out=/nonexistent-dir/t.json"});
+  EXPECT_NE(trace.code, 0);
+  EXPECT_NE(trace.err.find("failed to write trace"), std::string::npos);
+  const auto metrics = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                                   "--iters=2", "--batch-size=4",
+                                   "--metrics-out=/nonexistent-dir/m.json"});
+  EXPECT_NE(metrics.code, 0);
+  EXPECT_NE(metrics.err.find("failed to write metrics"), std::string::npos);
+}
+
+TEST(CliTest, BenchRunsQuickSuiteAndWritesJson) {
+  const std::string json_path = ::testing::TempDir() + "/cli_bench.json";
+  const std::string json_flag = "--json-out=" + json_path;
+  const auto r = RunDearsim({"bench", "--suite=quick", "--repeats=1",
+                             json_flag.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("suite 'quick'"), std::string::npos);
+  EXPECT_NE(r.out.find("runtime.train_iter_ms"), std::string::npos);
+  EXPECT_NE(r.out.find("sim.iter_ms"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote "), std::string::npos);
+
+  std::ifstream f(json_path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"schema\": \"dear.bench/1\""), std::string::npos);
+  EXPECT_NE(content.find("\"samples\""), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+TEST(CliTest, BenchRejectsBadInputs) {
+  const auto unknown = RunDearsim({"bench", "--suite=nope", "--repeats=1"});
+  EXPECT_NE(unknown.code, 0);
+  EXPECT_NE(unknown.err.find("unknown bench suite"), std::string::npos);
+  EXPECT_NE(unknown.err.find("quick"), std::string::npos);  // lists options
+
+  EXPECT_NE(RunDearsim({"bench", "--repeats=-2"}).code, 0);
+  EXPECT_NE(RunDearsim({"bench", "--no-such-flag=1"}).code, 0);
+
+  const auto unwritable =
+      RunDearsim({"bench", "--suite=quick", "--repeats=1",
+                  "--json-out=/nonexistent-dir/b.json"});
+  EXPECT_NE(unwritable.code, 0);
+  EXPECT_FALSE(unwritable.err.empty());
 }
 
 TEST(CliTest, CheckCleanRunVerifiesCollectives) {

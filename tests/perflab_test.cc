@@ -1,0 +1,239 @@
+// Perf-lab structured results: JSON parser, schema round-trip, quantile
+// policy, the process-wide sink, and the registered suites.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perflab/bench_schema.h"
+#include "perflab/json.h"
+#include "perflab/sink.h"
+#include "perflab/suites.h"
+
+namespace dear::perflab {
+namespace {
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  const auto v = Json::Parse(
+      R"({"a": 1.5, "b": "x\ny", "c": [true, false, null], "d": {}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), Json::Type::kObject);
+  EXPECT_DOUBLE_EQ(v->GetNumber("a"), 1.5);
+  EXPECT_EQ(v->GetString("b"), "x\ny");
+  const Json* c = v->Get("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->array().size(), 3u);
+  EXPECT_TRUE(c->array()[0].boolean());
+  EXPECT_TRUE(c->array()[2].is_null());
+  EXPECT_EQ(v->Get("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v->GetNumber("missing", -1.0), -1.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "1 2", "tru",
+                          "\"unterminated", "{\"a\" 1}"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DuplicateKeysKeepFirst) {
+  const auto v = Json::Parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->GetNumber("k"), 1.0);
+  EXPECT_EQ(v->members().size(), 1u);
+}
+
+TEST(JsonTest, NumberFormattingRoundTrips) {
+  for (double d : {0.0, 1.0, -2.5, 0.1, 1e-9, 12345.6789, 1e300}) {
+    const std::string text = JsonNumber(d);
+    const auto parsed = Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_DOUBLE_EQ(parsed->number(), d) << text;
+  }
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(JsonTest, EscapeCoversQuotesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  const auto parsed = Json::Parse("\"" + JsonEscape("tab\there") + "\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->str(), "tab\there");
+}
+
+TEST(SampleQuantileTest, ExactOrderStatisticsForSmallN) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(SampleQuantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(SampleQuantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(SampleQuantile(v, 0.5), 25.0);   // interpolated
+  EXPECT_DOUBLE_EQ(SampleQuantile(v, 0.25), 17.5);  // matches Percentile
+  EXPECT_DOUBLE_EQ(SampleQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(SampleQuantile({7.0}, 0.99), 7.0);
+}
+
+TEST(SampleQuantileTest, FallsBackToHistogramAboveLimit) {
+  std::vector<double> v(kExactQuantileLimit + 1);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 1e-3 * static_cast<double>(i + 1);
+  const double p50 = SampleQuantile(v, 0.5);
+  // Bucketed estimate: not exact, but must stay in the data's range and
+  // near the true median (geometric buckets -> within a factor of 2).
+  const double exact = 1e-3 * 0.5 * static_cast<double>(v.size());
+  EXPECT_GT(p50, exact / 2.0);
+  EXPECT_LT(p50, exact * 2.0);
+}
+
+TEST(BenchSchemaTest, KeyIsNamePlusSortedParams) {
+  BenchResult r;
+  r.name = "sim.iter_ms";
+  r.params = {{"model", "resnet50"}, {"gpus", "16"}};
+  EXPECT_EQ(r.Key(), "sim.iter_ms|gpus=16|model=resnet50");
+}
+
+TEST(BenchSchemaTest, SummaryPercentilesFromRawSamples) {
+  BenchResult r;
+  for (int i = 1; i <= 100; ++i) r.samples.push_back(static_cast<double>(i));
+  const auto s = r.Summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+}
+
+TEST(BenchSchemaTest, JsonRoundTripPreservesResults) {
+  BenchSuite suite;
+  suite.suite = "roundtrip";
+  suite.environment = EnvironmentFingerprint();
+  BenchResult r;
+  r.name = "metric.a";
+  r.unit = "ms";
+  r.higher_is_better = false;
+  r.gate_max_ratio = 1.5;
+  r.params = {{"k", "v"}, {"n", "2"}};
+  r.samples = {1.25, 2.5, 0.125};
+  suite.results.push_back(r);
+
+  const auto parsed = BenchSuite::FromJson(suite.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->suite, "roundtrip");
+  EXPECT_EQ(parsed->environment.at("schema"), kSchemaVersion);
+  ASSERT_EQ(parsed->results.size(), 1u);
+  const BenchResult& back = parsed->results[0];
+  EXPECT_EQ(back.Key(), r.Key());
+  EXPECT_EQ(back.unit, "ms");
+  EXPECT_DOUBLE_EQ(back.gate_max_ratio, 1.5);
+  EXPECT_EQ(back.samples, r.samples);
+  EXPECT_NE(parsed->Find(r.Key()), nullptr);
+  EXPECT_EQ(parsed->Find("metric.a"), nullptr);  // params are part of the key
+}
+
+TEST(BenchSchemaTest, FromJsonRejectsWrongSchemaAndShape) {
+  EXPECT_FALSE(BenchSuite::FromJson("").ok());
+  EXPECT_FALSE(BenchSuite::FromJson("{}").ok());
+  EXPECT_FALSE(BenchSuite::FromJson(
+                   R"({"schema":"dear.bench/999","suite":"x","results":[]})")
+                   .ok());
+  EXPECT_FALSE(
+      BenchSuite::FromJson(R"({"schema":"dear.bench/1","suite":"x"})").ok());
+}
+
+TEST(BenchSchemaTest, FileRoundTripAndUnwritablePath) {
+  BenchSuite suite;
+  suite.suite = "file";
+  const std::string path = ::testing::TempDir() + "/dear_bench_file.json";
+  ASSERT_TRUE(suite.WriteFile(path).ok());
+  const auto back = BenchSuite::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->suite, "file");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(suite.WriteFile("/nonexistent-dir/x.json").ok());
+  EXPECT_FALSE(BenchSuite::ReadFile("/nonexistent-dir/x.json").ok());
+}
+
+TEST(ResultSinkTest, FoldsSamplesByKeyAndWrites) {
+  auto& sink = ResultSink::Get();
+  sink.Begin("sink_test");
+  ASSERT_TRUE(sink.active());
+  sink.Record("m.latency", {{"world", "2"}}, 1.0, "ms");
+  sink.Record("m.latency", {{"world", "2"}}, 2.0, "ms");
+  sink.Record("m.latency", {{"world", "4"}}, 9.0, "ms");
+  const BenchSuite snap = sink.Snapshot();
+  EXPECT_EQ(snap.suite, "sink_test");
+  ASSERT_EQ(snap.results.size(), 2u);  // two keys, first with two samples
+  const BenchResult* folded = snap.Find("m.latency|world=2");
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(folded->samples, (std::vector<double>{1.0, 2.0}));
+
+  const std::string path = ::testing::TempDir() + "/dear_bench_sink.json";
+  ASSERT_TRUE(sink.WriteAndEnd(path).ok());
+  EXPECT_FALSE(sink.active());
+  // Recording after the suite ended is a silent no-op.
+  sink.Record("m.latency", {}, 5.0, "ms");
+  const auto back = BenchSuite::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->results.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultSinkTest, WriteToUnwritablePathDeactivatesAndFails) {
+  auto& sink = ResultSink::Get();
+  sink.Begin("sink_err");
+  sink.Record("m", {}, 1.0, "ms");
+  EXPECT_FALSE(sink.WriteAndEnd("/nonexistent-dir/out.json").ok());
+  EXPECT_FALSE(sink.active());
+}
+
+TEST(SuitesTest, UnknownSuiteIsNotFound) {
+  const auto r = RunSuite("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().ToString().find("quick"), std::string::npos);
+}
+
+TEST(SuitesTest, QuickSuiteProducesSchemaValidResults) {
+  SuiteRunOptions options;
+  options.repeats = 1;  // keep the test fast; coverage, not statistics
+  std::ostringstream progress;
+  options.progress = &progress;
+  const auto suite = RunSuite("quick", options);
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  EXPECT_EQ(suite->suite, "quick");
+  EXPECT_EQ(suite->environment.at("schema"), kSchemaVersion);
+  EXPECT_FALSE(suite->results.empty());
+  for (const auto& r : suite->results) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.samples.empty()) << r.Key();
+    EXPECT_FALSE(r.unit.empty()) << r.Key();
+    EXPECT_GT(r.gate_max_ratio, 1.0) << r.Key();
+  }
+  // The wall/sim metric classes both appear, with their distinct gates.
+  const BenchResult* wall =
+      suite->Find("runtime.train_iter_ms|schedule=dear|world=2");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->gate_max_ratio, 3.0);
+  const BenchResult* sim = suite->Find(
+      "sim.iter_ms|gpus=16|model=resnet50|network=10gbe|policy=dear");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_DOUBLE_EQ(sim->gate_max_ratio, 1.02);
+  EXPECT_GT(sim->samples[0], 0.0);
+  // Round-trip the whole suite through the serialized form.
+  const auto back = BenchSuite::FromJson(suite->ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->results.size(), suite->results.size());
+  EXPECT_NE(progress.str().find("runtime"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dear::perflab

@@ -162,6 +162,69 @@ TEST(HistogramTest, ExponentialEdgesAreGeometric) {
   EXPECT_DOUBLE_EQ(edges[2], 200.0);
 }
 
+TEST(HistogramMergeTest, FoldsCountsSumAndRange) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  a.Add(0.5);
+  a.Add(1.5);
+  b.Add(3.0);
+  b.Add(100.0);
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 105.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  ASSERT_EQ(a.bucket_counts().size(), 4u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // 0.5
+  EXPECT_EQ(a.bucket_counts()[1], 1u);  // 1.5
+  EXPECT_EQ(a.bucket_counts()[2], 1u);  // 3.0
+  EXPECT_EQ(a.bucket_counts()[3], 1u);  // 100.0 (overflow)
+}
+
+TEST(HistogramMergeTest, MatchesObservingEverythingDirectly) {
+  // Merging per-rank histograms must equal one histogram that saw every
+  // observation — the job-level aggregation `dearsim profile` prints.
+  const auto edges = Histogram::ExponentialEdges(1e-3, 2.0, 20);
+  Histogram merged(edges), direct(edges);
+  Histogram ranks[3] = {Histogram(edges), Histogram(edges), Histogram(edges)};
+  for (int i = 0; i < 300; ++i) {
+    const double v = 1e-3 * (1 + i % 97);
+    ranks[i % 3].Add(v);
+    direct.Add(v);
+  }
+  for (const Histogram& r : ranks) ASSERT_TRUE(merged.Merge(r).ok());
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), direct.sum());
+  EXPECT_EQ(merged.bucket_counts(), direct.bucket_counts());
+  for (double q : {0.5, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), direct.Quantile(q)) << "q=" << q;
+}
+
+TEST(HistogramMergeTest, MergeOfEmptyKeepsStateAndSucceeds) {
+  Histogram a({1.0});
+  a.Add(0.5);
+  const Histogram empty({1.0});
+  ASSERT_TRUE(a.Merge(empty).ok());
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  // Merging INTO an empty histogram adopts the other's min/max.
+  Histogram c({1.0});
+  ASSERT_TRUE(c.Merge(a).ok());
+  EXPECT_DOUBLE_EQ(c.min(), 0.5);
+  EXPECT_DOUBLE_EQ(c.max(), 0.5);
+}
+
+TEST(HistogramMergeTest, MismatchedEdgesRejectedUnchanged) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  a.Add(0.5);
+  b.Add(0.5);
+  const Status st = a.Merge(b);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.count(), 1u);  // left operand untouched
+}
+
 TEST(BatchStatsTest, MeanAndStdDev) {
   const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(Mean(v), 3.0);

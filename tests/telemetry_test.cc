@@ -229,5 +229,45 @@ TEST(TelemetryIntegrationTest, ExposedCommAtMostTotalComm) {
   }
 }
 
+// The attribution report built from a REAL threaded run must reconcile:
+// every rank's compute + exposed-RS + exposed-AG + straggler must equal its
+// measured iteration time within the 1% default tolerance, across schedule
+// modes (dear exercises the rs/ag wait pair, wfbp the fused-ar path).
+TEST(TelemetryIntegrationTest, AttributionDecompositionSumsToIterationTime) {
+  for (const auto mode :
+       {core::ScheduleMode::kDeAR, core::ScheduleMode::kWFBP}) {
+    constexpr int kWorld = 3;
+    auto& rt = Runtime::Get();
+    rt.Enable(kWorld);
+    const auto data = train::MakeRegressionDataset(48, 8, 4, /*seed=*/11);
+    core::DistOptimOptions options;
+    options.mode = mode;
+    options.buffer_bytes = 256;  // several fusion groups
+    core::TrainDistributed({8, 16, 16, 4}, /*model_seed=*/3, data,
+                           /*iterations=*/4, /*batch=*/4, kWorld, options);
+    rt.Disable();
+
+    const auto report =
+        analysis::AttributeIterations(rt.trace().Events(), kWorld);
+    // 4 Step() calls -> 3 between-step windows on every rank.
+    ASSERT_EQ(report.iterations, 3);
+    EXPECT_TRUE(report.consistent)
+        << "max residual " << report.max_residual_fraction;
+    double total_caused = 0.0, total_straggler = 0.0;
+    for (const auto& rank : report.ranks) {
+      EXPECT_GT(rank.iter_ms, 0.0);
+      EXPECT_GE(rank.compute_ms, 0.0);
+      EXPECT_LE(rank.residual_fraction, report.tolerance);
+      EXPECT_FALSE(rank.groups.empty());
+      total_caused += rank.caused_straggler_ms;
+      total_straggler += rank.straggler_ms;
+    }
+    // Every charged straggler-millisecond names a culprit rank.
+    EXPECT_NEAR(total_caused, total_straggler, 1e-9);
+    EXPECT_EQ(report.straggler_ranking.size(),
+              static_cast<std::size_t>(kWorld));
+  }
+}
+
 }  // namespace
 }  // namespace dear::telemetry

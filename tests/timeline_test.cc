@@ -176,5 +176,137 @@ TEST(GanttTest, BucketMajorityKindWins) {
   EXPECT_EQ(std::count(gantt.begin(), gantt.end(), 'F'), 10);
 }
 
+// ---- Cross-rank critical-path attribution --------------------------------
+
+TraceEvent Ev(std::string name, std::string category, std::int64_t rank,
+              SimTime start, SimTime duration) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.pid = rank;
+  ev.tid = 0;  // attribution keys on category, not lane
+  ev.start = start;
+  ev.duration = duration;
+  return ev;
+}
+
+TEST(AttributionTest, EmptyTraceIsConsistentWithZeroIterations) {
+  const auto report = AttributeIterations({}, 2);
+  EXPECT_EQ(report.iterations, 0);
+  EXPECT_TRUE(report.consistent);
+  ASSERT_EQ(report.ranks.size(), 2u);
+  const std::string text = RenderAttributionReport(report);
+  EXPECT_NE(text.find("no complete iteration windows"), std::string::npos);
+}
+
+TEST(AttributionTest, SingleRankDecomposesComputeAndExposed) {
+  // One 100ns window [0,100): waits on rs.g0 [60,80) and ag.g0 [90,100);
+  // launches at the wait begins, so no straggler time anywhere.
+  std::vector<TraceEvent> events;
+  events.push_back(Ev("iteration", "iteration", 0, 0, 100));
+  events.push_back(Ev("wait.rs.g0", "wait", 0, 60, 20));
+  events.push_back(Ev("rs.g0", "group", 0, 60, 20));
+  events.push_back(Ev("wait.ag.g0", "wait", 0, 90, 10));
+  events.push_back(Ev("ag.g0", "group", 0, 90, 10));
+  const auto report = AttributeIterations(events, 1);
+  ASSERT_EQ(report.iterations, 1);
+  const RankAttribution& r = report.ranks[0];
+  EXPECT_NEAR(r.iter_ms, 100e-6, 1e-12);
+  EXPECT_NEAR(r.compute_ms, 70e-6, 1e-12);
+  EXPECT_NEAR(r.exposed_rs_ms, 20e-6, 1e-12);
+  EXPECT_NEAR(r.exposed_ag_ms, 10e-6, 1e-12);
+  EXPECT_NEAR(r.straggler_ms, 0.0, 1e-12);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_LE(r.residual_fraction, 1e-9);
+}
+
+TEST(AttributionTest, StragglerSkewChargedToLateRank) {
+  // Rank 0 launches rs.g0 at t=10 and waits [10,100); rank 1 (the
+  // straggler) only launches at t=70. Of rank 0's 90ns wait, 60ns is
+  // arrival skew caused by rank 1, 30ns genuine exposed communication.
+  std::vector<TraceEvent> events;
+  events.push_back(Ev("iteration", "iteration", 0, 0, 100));
+  events.push_back(Ev("iteration", "iteration", 1, 0, 100));
+  events.push_back(Ev("wait.rs.g0", "wait", 0, 10, 90));
+  events.push_back(Ev("rs.g0", "group", 0, 10, 90));
+  events.push_back(Ev("wait.rs.g0", "wait", 1, 70, 30));
+  events.push_back(Ev("rs.g0", "group", 1, 70, 30));
+  const auto report = AttributeIterations(events, 2);
+  ASSERT_EQ(report.iterations, 1);
+  const RankAttribution& r0 = report.ranks[0];
+  EXPECT_NEAR(r0.straggler_ms, 60e-6, 1e-12);
+  EXPECT_NEAR(r0.exposed_rs_ms, 30e-6, 1e-12);
+  // Rank 1 launched last, so it caused rank 0's skew and none of its own
+  // wait counts as straggler time.
+  const RankAttribution& r1 = report.ranks[1];
+  EXPECT_NEAR(r1.straggler_ms, 0.0, 1e-12);
+  EXPECT_NEAR(r1.caused_straggler_ms, 60e-6, 1e-12);
+  ASSERT_EQ(report.straggler_ranking.size(), 2u);
+  EXPECT_EQ(report.straggler_ranking[0], 1);
+  EXPECT_TRUE(report.consistent);
+  const std::string text = RenderAttributionReport(report);
+  EXPECT_NE(text.find("consistency: OK"), std::string::npos);
+}
+
+TEST(AttributionTest, OccurrenceIndexMatchesRepeatedCollectives) {
+  // Two iterations of the same group: occurrence 0 has no skew,
+  // occurrence 1 has rank 1 late by 40ns. A name-only match would smear
+  // the skew across both.
+  std::vector<TraceEvent> events;
+  for (int r = 0; r < 2; ++r) {
+    events.push_back(Ev("iteration", "iteration", r, 0, 100));
+    events.push_back(Ev("iteration", "iteration", r, 100, 100));
+  }
+  events.push_back(Ev("wait.rs.g0", "wait", 0, 20, 10));
+  events.push_back(Ev("rs.g0", "group", 0, 20, 10));
+  events.push_back(Ev("wait.rs.g0", "wait", 1, 20, 10));
+  events.push_back(Ev("rs.g0", "group", 1, 20, 10));
+  events.push_back(Ev("wait.rs.g0", "wait", 0, 120, 50));
+  events.push_back(Ev("rs.g0", "group", 0, 120, 50));
+  events.push_back(Ev("wait.rs.g0", "wait", 1, 160, 10));
+  events.push_back(Ev("rs.g0", "group", 1, 160, 10));
+  const auto report = AttributeIterations(events, 2);
+  ASSERT_EQ(report.iterations, 2);
+  EXPECT_NEAR(report.ranks[0].straggler_ms, 40e-6, 1e-12);
+  EXPECT_NEAR(report.ranks[0].exposed_rs_ms, 20e-6, 1e-12);
+  EXPECT_NEAR(report.ranks[1].caused_straggler_ms, 40e-6, 1e-12);
+  EXPECT_TRUE(report.consistent);
+}
+
+TEST(AttributionTest, OverlappingWaitSpansTripConsistencyCheck) {
+  // Two overlapping wait spans double-count [40,60): the per-span parts
+  // exceed the merged blocked cover, which the residual must expose.
+  std::vector<TraceEvent> events;
+  events.push_back(Ev("iteration", "iteration", 0, 0, 100));
+  events.push_back(Ev("wait.rs.g0", "wait", 0, 20, 40));
+  events.push_back(Ev("rs.g0", "group", 0, 20, 40));
+  events.push_back(Ev("wait.rs.g1", "wait", 0, 40, 20));
+  events.push_back(Ev("rs.g1", "group", 0, 40, 20));
+  const auto report = AttributeIterations(events, 1);
+  ASSERT_EQ(report.iterations, 1);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_GT(report.max_residual_fraction, 0.01);
+  const std::string text = RenderAttributionReport(report);
+  EXPECT_NE(text.find("consistency: FAILED"), std::string::npos);
+}
+
+TEST(AttributionTest, WaitClippedToWindowAndFusedArCountsAsRs) {
+  // The wait starts before the window opens; only the in-window part
+  // [0,30) attributes. "ar" (un-decoupled all-reduce) lands in the RS
+  // bucket.
+  std::vector<TraceEvent> events;
+  events.push_back(Ev("iteration", "iteration", 0, 0, 100));
+  events.push_back(Ev("wait.ar.g2", "wait", 0, -20, 50));
+  events.push_back(Ev("ar.g2", "group", 0, -20, 50));
+  const auto report = AttributeIterations(events, 1);
+  ASSERT_EQ(report.iterations, 1);
+  const RankAttribution& r = report.ranks[0];
+  EXPECT_NEAR(r.exposed_rs_ms, 30e-6, 1e-12);
+  EXPECT_NEAR(r.compute_ms, 70e-6, 1e-12);
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].group, 2);
+  EXPECT_TRUE(report.consistent);
+}
+
 }  // namespace
 }  // namespace dear::analysis

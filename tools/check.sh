@@ -4,19 +4,22 @@
 # aggressively threaded — one comm thread per rank — so TSan is the check
 # that matters most here; UBSan guards the tag bit-packing and span math).
 #
-#   tools/check.sh             # lint + plain + tsan + ubsan
+#   tools/check.sh             # lint + plain + perf gate + tsan + ubsan
 #   tools/check.sh --no-tsan   # skip the TSan pass (e.g. unsupported host)
 #   tools/check.sh --no-ubsan  # skip the UBSan pass
+#   tools/check.sh --no-bench  # skip the perf-lab regression gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
 run_ubsan=1
+run_bench=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-ubsan) run_ubsan=0 ;;
+    --no-bench) run_bench=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -29,6 +32,16 @@ echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" >/dev/null
 ctest --test-dir build --output-on-failure
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== perf-lab regression gate =="
+  # Hard-fails locally (unlike CI's warn-only pass): metric thresholds are
+  # embedded per metric — tight for deterministic simulator numbers, 3x for
+  # wall-clock — so a real machine still gates meaningfully.
+  python3 tools/perf_gate.py --selftest
+  ./build/tools/dearsim bench --suite quick --json-out BENCH_quick.json
+  python3 tools/perf_gate.py bench/baselines/BENCH_quick.json BENCH_quick.json
+fi
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "== thread-sanitizer build =="
