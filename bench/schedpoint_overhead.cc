@@ -1,0 +1,139 @@
+// SchedulePoint overhead on the production path. Three measurements:
+//
+//  1. Direct cost of a disabled schedpoint::Point() — one acquire load of
+//     the hook pointer, the only cost production ever pays (the schedlab
+//     controller is installed solely inside RunUnderSchedule).
+//  2. How many hook-pointer loads one fused ring all-reduce performs per
+//     rank, counted exactly by installing a counting hook for a single op.
+//  3. The implied per-collective overhead: loads/op x ns/load relative to
+//     the measured wall time of that same (deliberately small) collective.
+//
+// Acceptance bar from ISSUE 4: the disabled instrumentation must add < 1%
+// to even a small collective; this binary exits non-zero past the bar, and
+// the quick suite gates the raw ns/load against the checked-in baseline.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/async.h"
+#include "comm/communicator.h"
+#include "comm/transport.h"
+#include "common/schedule_point.h"
+
+namespace {
+
+// Counts every call that costs the production path an atomic load:
+// Point() and the constructors of ScopedBlock / WorkerScope. OnBlockExit
+// and OnWorkerEnd reuse the captured pointer, so they are free.
+class CountingHook final : public dear::schedpoint::Hook {
+ public:
+  void OnWorkerBegin(const char*, int) override { Count(); }
+  void OnWorkerEnd() override {}
+  void OnPoint(dear::schedpoint::Site) override { Count(); }
+  void OnBlockEnter(dear::schedpoint::Site) override { Count(); }
+  void OnBlockExit(dear::schedpoint::Site) override {}
+
+  [[nodiscard]] long loads() const {
+    return loads_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Count() { loads_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<long> loads_{0};
+};
+
+}  // namespace
+
+int main() {
+  dear::bench::SuiteGuard results("schedpoint_overhead");
+  using namespace dear;
+  using Clock = std::chrono::steady_clock;
+
+  // 1. Disabled-point cost: the pointer check every instrumented site pays.
+  constexpr int kPointReps = 2'000'000;
+  const auto p0 = Clock::now();
+  for (int i = 0; i < kPointReps; ++i) {
+    schedpoint::Point(schedpoint::Site::kChannelSend);
+  }
+  const double ns_per_point =
+      std::chrono::duration<double, std::nano>(Clock::now() - p0).count() /
+      kPointReps;
+
+  // Small collective shared by measurements 2 and 3: 2 ranks, 4 KiB.
+  constexpr int kWorld = 2;
+  constexpr std::size_t kElems = 1024;
+  const auto run_allreduce = [&](comm::TransportHub& hub) {
+    std::vector<std::unique_ptr<comm::CommEngine>> engines;
+    for (int r = 0; r < kWorld; ++r)
+      engines.push_back(
+          std::make_unique<comm::CommEngine>(comm::Communicator(&hub, r)));
+    std::vector<std::vector<float>> buffers(kWorld,
+                                            std::vector<float>(kElems, 1.0f));
+    std::vector<comm::CollectiveHandle> handles;
+    for (int r = 0; r < kWorld; ++r)
+      handles.push_back(engines[static_cast<std::size_t>(r)]->SubmitAllReduce(
+          std::span<float>(buffers[static_cast<std::size_t>(r)]),
+          comm::ReduceOp::kAvg));
+    for (auto& h : handles) (void)h.Wait();
+    for (auto& engine : engines) engine->Shutdown();
+  };
+
+  // 2. Loads per collective, counted exactly (all ranks + engines).
+  CountingHook counter;
+  long loads_per_op = 0;
+  {
+    comm::TransportHub hub(kWorld);
+    schedpoint::InstallHook(&counter);
+    run_allreduce(hub);
+    schedpoint::InstallHook(nullptr);
+    loads_per_op = counter.loads();
+  }
+
+  // 3. Wall time of the same collective with the hook off (production).
+  constexpr int kOpReps = 200;
+  std::vector<double> op_seconds;
+  op_seconds.reserve(kOpReps);
+  for (int i = 0; i < kOpReps + 5; ++i) {
+    comm::TransportHub hub(kWorld);
+    const auto t0 = Clock::now();
+    run_allreduce(hub);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (i >= 5) op_seconds.push_back(s);  // warm-up
+  }
+  const double op_ns = Median(op_seconds) * 1e9;
+  const double overhead_pct = 100.0 * ns_per_point *
+                              static_cast<double>(loads_per_op) / op_ns;
+
+  bench::PrintHeader(
+      "schedule-point overhead, real runtime (2 ranks, 4 KiB all-reduce)");
+  std::printf("disabled point: %.2f ns (one acquire load of the hook "
+              "pointer)\n",
+              ns_per_point);
+  std::printf("hook-pointer loads per all-reduce (all ranks + engines): "
+              "%ld\n",
+              loads_per_op);
+  bench::PrintLatencySummary("allreduce, hook off", op_seconds);
+  std::printf("implied overhead on this op: %.3f%% (acceptance: < 1%%)\n",
+              overhead_pct);
+
+  auto& sink = perflab::ResultSink::Get();
+  if (sink.active()) {
+    sink.Record("schedpoint.disabled_point_ns", {}, ns_per_point, "ns");
+    sink.Record("schedpoint.overhead_pct",
+                {{"world", "2"}, {"kb", "4"}}, overhead_pct, "%");
+  }
+
+  if (overhead_pct >= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled schedule points cost %.3f%% of a small "
+                 "collective (bar: < 1%%)\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "model/zoo.h"
 #include "perflab/suites.h"
 #include "sched/runner.h"
+#include "schedlab/properties.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
 #include "train/data.h"
@@ -26,7 +27,8 @@ namespace dear::cli {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: dearsim <models|simulate|compare|tune|sweep|profile|bench|check> "
+    "usage: dearsim "
+    "<models|simulate|compare|tune|sweep|profile|bench|check|fuzz> "
     "[flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
@@ -638,6 +640,74 @@ int CmdCheck(FlagParser& flags, std::ostream& out, std::ostream& err) {
   }
 }
 
+std::string Hex64(std::uint64_t v) {
+  std::ostringstream s;
+  s << std::hex << std::setw(16) << std::setfill('0') << v;
+  return s.str();
+}
+
+int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const int world = flags.GetInt("world");
+  if (world < 2) {
+    err << "fuzz needs --world >= 2\n";
+    return 1;
+  }
+  schedlab::PropertyOptions popts;
+  popts.world = world;
+
+  // --replay S: rerun the single failing schedule S with its full decision
+  // trace — the one-command reproduction printed on failure.
+  const int replay = flags.GetInt("replay");
+  if (replay >= 0) {
+    const auto seed = static_cast<std::uint64_t>(replay);
+    const auto report = schedlab::RunPropertySuite(seed, popts);
+    out << "replaying seed " << seed << " (world=" << world << ")\n";
+    for (const auto& line : report.schedule.trace) out << "  " << line << "\n";
+    out << "decisions=" << report.schedule.decisions
+        << " fingerprint=" << Hex64(report.schedule.fingerprint)
+        << " digest=" << Hex64(report.result_digest) << "\n";
+    if (!report.ok) {
+      out << "FAIL: " << report.failure << "\n";
+      return 1;
+    }
+    out << "ok\n";
+    return 0;
+  }
+
+  const auto base_seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const int schedules = std::max(1, flags.GetInt("schedules"));
+  out << "fuzz: world=" << world << " schedules=" << schedules
+      << " base-seed=" << base_seed << "\n";
+  std::map<std::uint64_t, int> digests;
+  std::map<std::uint64_t, int> fingerprints;
+  for (int i = 0; i < schedules; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const auto report = schedlab::RunPropertySuite(seed, popts);
+    out << "  seed=" << seed << " decisions=" << report.schedule.decisions
+        << " fingerprint=" << Hex64(report.schedule.fingerprint)
+        << " digest=" << Hex64(report.result_digest)
+        << (report.ok ? " ok" : " FAIL") << "\n";
+    if (!report.ok) {
+      out << "property failed: " << report.failure << "\n"
+          << "replay with: dearsim fuzz --world " << world << " --replay "
+          << seed << "\n";
+      return 1;
+    }
+    ++digests[report.result_digest];
+    ++fingerprints[report.schedule.fingerprint];
+  }
+  out << "explored " << fingerprints.size() << " distinct schedules, "
+      << digests.size() << " distinct result digests\n";
+  if (digests.size() != 1) {
+    // Different schedules produced different bits — exactly what the
+    // paper's no-negotiation contract (Eq. 3-5) forbids.
+    out << "FAIL: results are schedule-dependent\n";
+    return 1;
+  }
+  out << "all schedules produced bitwise-identical results\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(int argc, const char* const* argv, std::ostream& out,
@@ -677,6 +747,10 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddInt("inject-rank", 1, "check: rank whose engine misbehaves");
   flags.AddInt("inject-op", 0, "check: 0-based request index to corrupt");
   flags.AddInt("timeout-ms", 2000, "check: watchdog deadline for blocked Recv");
+  flags.AddInt("seed", 1, "fuzz: base seed (schedule i uses seed+i)");
+  flags.AddInt("schedules", 8, "fuzz: number of schedules to run");
+  flags.AddInt("replay", -1,
+               "fuzz: replay this seed with a full decision trace");
   flags.AddBool("help", false, "show flags");
 
   const Status st = flags.Parse(argc - 1, argv + 1);
@@ -697,6 +771,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "profile") return CmdProfile(flags, out, err);
   if (cmd == "bench") return CmdBench(flags, out, err);
   if (cmd == "check") return CmdCheck(flags, out, err);
+  if (cmd == "fuzz") return CmdFuzz(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/checker.h"
+#include "common/schedule_point.h"
 
 namespace dear::comm {
 
@@ -16,6 +17,10 @@ void CommEngine::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   queue_.Close();
+  // The join is an OS-level wait on another schedulable worker: under a
+  // schedlab controller the caller must not hold its turn here, or the
+  // engine thread could never be granted its final steps.
+  schedpoint::ScopedBlock block(schedpoint::Site::kEngineJoin);
   if (thread_.joinable()) thread_.join();
 }
 
@@ -104,12 +109,19 @@ void CommEngine::Complete(const Request& req, Status st) {
 }
 
 void CommEngine::Loop() {
+  // Register the comm thread as a schedulable worker so the schedlab
+  // controller can serialize it against the compute threads. No-op unless
+  // a schedule hook is installed.
+  schedpoint::WorkerScope worker("comm", comm_.rank());
   // Dequeue index on this engine, for matching dearcheck fault specs.
   int op_index = 0;
   // A kReorder fault holds one request here so it runs *after* the next
   // one — the sequence divergence DeAR's no-negotiation contract forbids.
   std::optional<Request> deferred;
   while (auto req = queue_.Recv()) {
+    // Schedule point between dequeue and execution: under a controller this
+    // is where two engines' collectives can be interleaved differently.
+    schedpoint::Point(schedpoint::Site::kEngineDequeue);
     check::FaultKind fault = check::FaultKind::kNone;
     check::Checker& checker = check::Checker::Get();
     if (checker.enabled()) {

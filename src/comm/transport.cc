@@ -5,6 +5,7 @@
 
 #include "check/checker.h"
 #include "common/logging.h"
+#include "common/schedule_point.h"
 #include "telemetry/telemetry.h"
 
 namespace dear::comm {
@@ -24,6 +25,7 @@ Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
 bool TransportHub::Send(Rank src, Rank dst, Message msg) {
   telemetry::OnMessageSent(src, msg.payload.size() * sizeof(float));
   check::Checker::Get().OnTransportSend();
+  // The schedule point for the send is the channel's own kChannelSend.
   return ChannelFor(src, dst).Send(std::move(msg));
 }
 
@@ -31,6 +33,10 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
                                      std::uint32_t expected_tag) {
   std::optional<Message> msg;
   {
+    // Outermost schedule-block bracket: labels the wait with the
+    // transport-level site (the nested one inside Channel::Recv is
+    // suppressed by the controller's per-thread depth counter).
+    schedpoint::ScopedBlock block(schedpoint::Site::kTransportRecv);
     // Register as a blocked receiver for the wait-for graph while inside
     // the (potentially blocking) channel Recv.
     check::ScopedRecvWait wait(dst, src, expected_tag);

@@ -8,6 +8,7 @@
 
 #include "comm/communicator.h"
 #include "comm/transport.h"
+#include "common/schedule_point.h"
 
 namespace dear::comm {
 
@@ -23,6 +24,8 @@ class WorkerGroup {
     threads_.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
       threads_.emplace_back([this, r, &body] {
+        // Schedulable under the schedlab controller; no-op otherwise.
+        schedpoint::WorkerScope worker("rank", r);
         Communicator comm(&hub_, r);
         body(comm);
       });

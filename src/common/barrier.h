@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <mutex>
 
+#include "common/schedule_point.h"
+
 namespace dear {
 
 /// Cyclic barrier: Wait() blocks until `parties` threads have arrived, then
@@ -20,6 +22,7 @@ class CyclicBarrier {
   CyclicBarrier& operator=(const CyclicBarrier&) = delete;
 
   void Wait() {
+    schedpoint::ScopedBlock block(schedpoint::Site::kBarrierWait);
     std::unique_lock<std::mutex> lock(mutex_);
     const std::size_t phase = phase_;
     if (++arrived_ == parties_) {
@@ -52,6 +55,7 @@ class Latch {
   }
 
   void Wait() {
+    schedpoint::ScopedBlock block(schedpoint::Site::kLatchWait);
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return count_ == 0; });
   }

@@ -15,6 +15,8 @@
 #include <optional>
 #include <utility>
 
+#include "common/schedule_point.h"
+
 namespace dear {
 
 template <typename T>
@@ -26,6 +28,7 @@ class Channel {
 
   /// Enqueues an item; returns false if the channel is closed.
   bool Send(T item) {
+    schedpoint::Point(schedpoint::Site::kChannelSend);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
@@ -38,6 +41,9 @@ class Channel {
   /// Blocks until an item is available or the channel is closed and drained.
   /// Returns nullopt only in the closed-and-drained case.
   std::optional<T> Recv() {
+    // Constructed before the lock so the block-exit hook (which may itself
+    // wait on the schedlab controller) runs after the lock is released.
+    schedpoint::ScopedBlock block(schedpoint::Site::kChannelRecv);
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;

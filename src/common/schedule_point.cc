@@ -1,0 +1,26 @@
+#include "common/schedule_point.h"
+
+namespace dear::schedpoint {
+
+namespace internal {
+std::atomic<Hook*> g_hook{nullptr};
+}  // namespace internal
+
+void InstallHook(Hook* hook) {
+  internal::g_hook.store(hook, std::memory_order_release);
+}
+
+const char* SiteName(Site site) noexcept {
+  switch (site) {
+    case Site::kChannelSend: return "channel_send";
+    case Site::kChannelRecv: return "channel_recv";
+    case Site::kTransportRecv: return "transport_recv";
+    case Site::kBarrierWait: return "barrier_wait";
+    case Site::kLatchWait: return "latch_wait";
+    case Site::kEngineDequeue: return "engine_dequeue";
+    case Site::kEngineJoin: return "engine_join";
+  }
+  return "unknown";
+}
+
+}  // namespace dear::schedpoint

@@ -8,6 +8,7 @@
 #include "comm/async.h"
 #include "comm/communicator.h"
 #include "comm/transport.h"
+#include "common/schedule_point.h"
 #include "common/sim_time.h"
 #include "core/trainer.h"
 #include "fusion/plan.h"
@@ -165,21 +166,40 @@ void MeasureSimulator(SuiteBuilder& b, const std::string& model_name,
         /*higher_is_better=*/false, kSimGateRatio);
 }
 
+/// Wall-clock: cost of one *disabled* schedule point — the acquire load
+/// every instrumented blocking primitive pays in production. Gated in the
+/// quick suite so the schedlab hooks can never silently grow a hot-path
+/// price (ISSUE 4's < 1%-of-a-collective bar lives in
+/// bench/schedpoint_overhead, which counts loads per op exactly).
+void MeasureSchedulePoint(SuiteBuilder& b, int repeats) {
+  constexpr int kReps = 2'000'000;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i)
+      schedpoint::Point(schedpoint::Site::kChannelSend);
+    b.Add("schedpoint.disabled_point_ns", {},
+          ElapsedMs(t0) * 1e6 / kReps, "ns",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+}
+
 BenchSuite RunQuick(const SuiteRunOptions& options) {
   SuiteBuilder b("quick", options);
   const int r = b.repeats(5);
-  b.Note("[1/3] runtime: threaded training (dear, wfbp) ...");
+  b.Note("[1/4] runtime: threaded training (dear, wfbp) ...");
   MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
                          /*iters=*/4, r);
   MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
                          /*iters=*/4, r);
-  b.Note("[2/3] comm: ring all-reduce ...");
+  b.Note("[2/4] comm: ring all-reduce ...");
   MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
-  b.Note("[3/3] simulator: evaluate + deterministic figures ...");
+  b.Note("[3/4] simulator: evaluate + deterministic figures ...");
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
                    r);
   MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
+  b.Note("[4/4] schedlab: disabled schedule-point cost ...");
+  MeasureSchedulePoint(b, r);
   return b.Take();
 }
 

@@ -1,0 +1,120 @@
+#include "schedlab/explore.h"
+
+#include <string>
+#include <utility>
+
+namespace dear::schedlab {
+namespace {
+
+/// One decision node on the current DFS path.
+struct Frame {
+  std::vector<std::string> ready;  // ready set observed at this decision
+  std::ptrdiff_t prev{-1};         // voluntary yielder's index in `ready`
+  int preemptions_before{0};       // preemptions on the path above this node
+  std::vector<std::size_t> order;  // candidate choices, default first
+  std::size_t cursor{0};           // position in `order` taken on this path
+};
+
+/// Preemption cost of choosing ready[pick] at this node: 1 when it switches
+/// away from a still-runnable voluntary yielder, 0 when the switch is
+/// forced (the previous worker blocked or finished).
+int Cost(const Frame& frame, std::size_t pick) {
+  return frame.prev >= 0 && pick != static_cast<std::size_t>(frame.prev) ? 1
+                                                                         : 0;
+}
+
+/// Replays the DFS path, then extends it with non-preemptive defaults.
+class TreePicker final : public Picker {
+ public:
+  TreePicker(std::vector<Frame>& stack, bool& mismatch)
+      : stack_(stack), mismatch_(mismatch) {}
+
+  std::size_t Pick(const std::vector<std::string>& ready,
+                   std::ptrdiff_t prev) override {
+    if (depth_ < stack_.size()) {
+      Frame& frame = stack_[depth_];
+      if (frame.ready != ready) mismatch_ = true;
+      ++depth_;
+      const std::size_t pick = frame.order[frame.cursor];
+      return pick < ready.size() ? pick : 0;
+    }
+    Frame frame;
+    frame.ready = ready;
+    frame.prev = prev;
+    frame.preemptions_before =
+        stack_.empty() ? 0
+                       : stack_.back().preemptions_before +
+                             Cost(stack_.back(),
+                                  stack_.back().order[stack_.back().cursor]);
+    // Default (continuation) choice first, then the alternatives in
+    // canonical order — the order backtracking will try them in.
+    const std::size_t def =
+        prev >= 0 ? static_cast<std::size_t>(prev) : std::size_t{0};
+    frame.order.push_back(def);
+    for (std::size_t i = 0; i < ready.size(); ++i)
+      if (i != def) frame.order.push_back(i);
+    stack_.push_back(std::move(frame));
+    ++depth_;
+    return def;
+  }
+
+ private:
+  std::vector<Frame>& stack_;
+  bool& mismatch_;
+  std::size_t depth_{0};
+};
+
+/// Advances the deepest frame with an affordable untried alternative;
+/// truncates everything below it. Returns false when the space is spent.
+bool Backtrack(std::vector<Frame>& stack, int bound) {
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    while (++frame.cursor < frame.order.size()) {
+      if (frame.preemptions_before + Cost(frame, frame.order[frame.cursor]) <=
+          bound) {
+        return true;
+      }
+    }
+    stack.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreStats ExploreBounded(
+    const ExploreOptions& options,
+    const std::function<ScheduleResult(Picker&)>& run_one,
+    const std::function<bool(const ScheduleResult&)>& check) {
+  ExploreStats stats;
+  std::vector<Frame> stack;
+  int mismatches_here = 0;  // consecutive replay mismatches at this prefix
+  while (stats.schedules < options.max_schedules) {
+    bool mismatch = false;
+    // Snapshot the path: a mismatched replay extends the stack along the
+    // divergent run, which must not pollute the retry (or the backtrack).
+    std::vector<Frame> snapshot = stack;
+    TreePicker picker(stack, mismatch);
+    const ScheduleResult result = run_one(picker);
+    ++stats.schedules;
+    if (mismatch) {
+      stack = std::move(snapshot);
+      if (++mismatches_here <= options.replay_retries) {
+        ++stats.retries;  // timing noise until proven otherwise: re-run
+        continue;
+      }
+      stats.nondeterminism = true;
+      break;
+    }
+    mismatches_here = 0;
+    stats.fingerprints.push_back(result.fingerprint);
+    if (!check(result)) ++stats.failures;
+    if (!Backtrack(stack, options.preemption_bound)) {
+      stats.exhausted = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dear::schedlab

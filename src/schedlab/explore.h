@@ -1,0 +1,59 @@
+// Bounded exploration — systematic preemption-bounded schedule enumeration.
+//
+// Where the random-walk fuzzer samples the schedule space, this mode walks
+// it: a depth-first search over the controller's decision tree, bounded by
+// the number of *preemptions* (switching away from a worker that yielded
+// voluntarily and could have continued). The CHESS result this leans on:
+// most concurrency bugs manifest within d <= 2 preemptions, so the bounded
+// space — polynomial instead of exponential in schedule length — is a
+// meaningful coverage claim for small rank counts.
+//
+// Works because the controller is deterministic: replaying a recorded
+// choice prefix reproduces the identical ready set at every decision, so
+// the tree can be re-entered run after run. A replay that observes a
+// different ready set than recorded flags `nondeterminism` and stops — the
+// harness self-checks its own foundation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "schedlab/controller.h"
+
+namespace dear::schedlab {
+
+struct ExploreOptions {
+  /// Maximum preemptions per schedule (CHESS's d); 2 by default.
+  int preemption_bound{2};
+  /// Cap on schedules to run even if the bounded space is larger.
+  std::size_t max_schedules{256};
+  /// A replay mismatch is retried this many times before it counts as
+  /// nondeterminism. The controller's settle window is a timing bound: on
+  /// a heavily loaded machine a woken worker can miss it, shrinking the
+  /// ready set for that run only. A retry re-runs the same choice prefix;
+  /// genuine nondeterminism (a controller or runtime bug) reproduces,
+  /// scheduler noise does not.
+  int replay_retries{3};
+};
+
+struct ExploreStats {
+  std::size_t schedules{0};
+  bool exhausted{false};       // entire d-bounded space was covered
+  bool nondeterminism{false};  // replayed prefix mismatch persisted retries
+  std::size_t failures{0};     // schedules where `check` returned false
+  std::size_t retries{0};      // replay mismatches absorbed by retrying
+  std::vector<std::uint64_t> fingerprints;  // per schedule, in visit order
+};
+
+/// Enumerates preemption-bounded schedules. `run_one` must run the same
+/// workload under the provided picker each time (build a fresh workload
+/// per call); `check` judges each completed schedule (return false to
+/// count a failure; exploration continues either way).
+ExploreStats ExploreBounded(
+    const ExploreOptions& options,
+    const std::function<ScheduleResult(Picker&)>& run_one,
+    const std::function<bool(const ScheduleResult&)>& check);
+
+}  // namespace dear::schedlab

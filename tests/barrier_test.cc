@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -68,7 +70,7 @@ TEST(LatchTest, MultipleWaitersAllReleased) {
       released.fetch_add(1, std::memory_order_relaxed);
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  testenv::SleepMs(5);
   latch.CountDown();
   for (auto& t : waiters) t.join();
   EXPECT_EQ(released.load(std::memory_order_relaxed), 4);

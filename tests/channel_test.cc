@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.h"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -57,7 +59,7 @@ TEST(ChannelTest, CloseWakesBlockedReceiver) {
     woke.store(true, std::memory_order_relaxed);
   });
   // Give the receiver a moment to block, then close.
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testenv::SleepMs(10);
   ch.Close();
   receiver.join();
   EXPECT_TRUE(woke.load(std::memory_order_relaxed));
@@ -66,7 +68,7 @@ TEST(ChannelTest, CloseWakesBlockedReceiver) {
 TEST(ChannelTest, BlockingRecvGetsLaterSend) {
   Channel<int> ch;
   std::thread sender([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    testenv::SleepMs(5);
     ch.Send(99);
   });
   EXPECT_EQ(*ch.Recv(), 99);
@@ -109,7 +111,7 @@ TEST(ChannelTest, CloseWakesEveryBlockedReceiver) {
       if (!ch.Recv().has_value()) woken.fetch_add(1, std::memory_order_relaxed);
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testenv::SleepMs(10);
   ch.Close();
   for (auto& t : receivers) t.join();
   EXPECT_EQ(woken.load(std::memory_order_relaxed), kReceivers);

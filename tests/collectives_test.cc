@@ -19,6 +19,8 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 
+#include "test_env.h"
+
 namespace dear::comm {
 namespace {
 
@@ -113,6 +115,92 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.elems);
     });
 
+// ---- Table-driven property sweep across every ReduceOp -------------------
+//
+// world x elems x op, with zero-element, one-element, and non-rank-divisible
+// payloads. kMax/kMin are order-insensitive so they compare exactly;
+// float sums compare against the sequential reference within tolerance.
+// The decoupled-pair test is the strong one: RS;AG must equal the fused
+// ring all-reduce to the bit, for every op (the ring fixes the reduction
+// order — DeAR's Eq. 3-5 rests on exactly this).
+
+struct OpCase {
+  int world;
+  std::size_t elems;
+  ReduceOp op;
+};
+
+class ReduceOpSweep : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(ReduceOpSweep, RingAllReduceMatchesReference) {
+  const auto [world, elems, op] = GetParam();
+  const auto ref = Reference(world, elems, op);
+  const bool exact = op == ReduceOp::kMax || op == ReduceOp::kMin;
+  RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
+    auto data = MakeInput(comm.rank(), n);
+    ASSERT_TRUE(RingAllReduce(comm, data, o).ok());
+    ExpectNear(data, ref, exact ? 0.0f : 1e-4f);
+  });
+}
+
+TEST_P(ReduceOpSweep, ReduceScatterOwnChunkMatchesReference) {
+  const auto [world, elems, op] = GetParam();
+  const auto ref = Reference(world, elems, op);
+  const bool exact = op == ReduceOp::kMax || op == ReduceOp::kMin;
+  RunOnRanks(world, [&, w = world, n = elems, o = op](Communicator& comm) {
+    auto data = MakeInput(comm.rank(), n);
+    ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
+    const Range own = ChunkRange(n, static_cast<std::size_t>(w),
+                                 static_cast<std::size_t>(comm.rank()));
+    for (std::size_t i = own.begin; i < own.end; ++i) {
+      if (exact) {
+        ASSERT_EQ(data[i], ref[i]) << "at index " << i;
+      } else {
+        ASSERT_NEAR(data[i], ref[i], 1e-4f) << "at index " << i;
+      }
+    }
+  });
+}
+
+TEST_P(ReduceOpSweep, DecoupledPairMatchesFusedBitwise) {
+  const auto [world, elems, op] = GetParam();
+  // Fused reference per rank, computed first on its own cluster.
+  std::vector<std::vector<float>> fused(static_cast<std::size_t>(world));
+  RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
+    auto data = MakeInput(comm.rank(), n);
+    ASSERT_TRUE(RingAllReduce(comm, data, o).ok());
+    fused[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+  RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
+    auto data = MakeInput(comm.rank(), n);
+    ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
+    ASSERT_TRUE(RingAllGather(comm, data).ok());
+    const auto& want = fused[static_cast<std::size_t>(comm.rank())];
+    ASSERT_EQ(data.size(), want.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      ASSERT_EQ(data[i], want[i]) << "bit divergence at index " << i;
+  });
+}
+
+std::vector<OpCase> AllOpCases() {
+  std::vector<OpCase> cases;
+  for (const int world : {2, 3, 5, 8})
+    for (const std::size_t elems : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{13}, std::size_t{48}})
+      for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kAvg,
+                                ReduceOp::kMax, ReduceOp::kMin})
+        cases.push_back({world, elems, op});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(OpSweep, ReduceOpSweep,
+                         ::testing::ValuesIn(AllOpCases()),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.world) +
+                                  "_n" + std::to_string(info.param.elems) +
+                                  "_" + std::string(ReduceOpName(info.param.op));
+                         });
+
 TEST(ReduceScatterTest, OwnChunkIsFullyReduced) {
   constexpr int kWorld = 4;
   constexpr std::size_t kElems = 22;  // uneven chunks
@@ -147,27 +235,6 @@ TEST(AllGatherTest, DistributesEveryChunk) {
     }
   });
 }
-
-class ReduceOpSweep : public ::testing::TestWithParam<ReduceOp> {};
-
-TEST_P(ReduceOpSweep, RingAllReduceSupportsOp) {
-  const ReduceOp op = GetParam();
-  constexpr int kWorld = 4;
-  constexpr std::size_t kElems = 100;
-  const auto ref = Reference(kWorld, kElems, op);
-  RunOnRanks(kWorld, [&](Communicator& comm) {
-    auto data = MakeInput(comm.rank(), kElems);
-    ASSERT_TRUE(RingAllReduce(comm, data, op).ok());
-    ExpectNear(data, ref);
-  });
-}
-
-INSTANTIATE_TEST_SUITE_P(Ops, ReduceOpSweep,
-                         ::testing::Values(ReduceOp::kSum, ReduceOp::kAvg,
-                                           ReduceOp::kMax, ReduceOp::kMin),
-                         [](const auto& info) {
-                           return std::string(ReduceOpName(info.param));
-                         });
 
 TEST(TreeCollectivesTest, ReduceToEveryPossibleRoot) {
   constexpr int kWorld = 6;
@@ -500,7 +567,7 @@ TEST(FaultInjectionTest, ShutdownMidCollectiveReleasesAllRanksWithError) {
     const Status st = RingAllReduce(comm, data);
     EXPECT_EQ(st.code(), StatusCode::kUnavailable);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testenv::SleepMs(10);
   hub.Shutdown();
   worker.join();
 }
@@ -518,7 +585,7 @@ TEST(FaultInjectionTest, ShutdownMidHierarchicalReleasesRanks) {
       EXPECT_FALSE(st.ok());
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testenv::SleepMs(10);
   hub.Shutdown();
   for (auto& w : workers) w.join();
 }
@@ -595,7 +662,7 @@ TEST_P(ShutdownRaceSweep, ReleasesBlockedRanksWithoutLeakedWaiters) {
             << param.name << ": " << st.ToString();
       });
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    testenv::SleepMs(20);
     hub.Shutdown();
     for (auto& w : workers) w.join();
     EXPECT_EQ(checker.blocked_waiters(), 0u) << param.name;
@@ -623,7 +690,7 @@ TEST(ShutdownRaceTest, RingAllReduceWithAbsentRankAllUnavailable) {
       statuses[static_cast<std::size_t>(r)] = RingAllReduce(comm, data);
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  testenv::SleepMs(20);
   hub.Shutdown();
   for (auto& w : workers) w.join();
   for (int r = 1; r < 4; ++r) {

@@ -1,0 +1,158 @@
+// schedlab harness tests: determinism of the controller, coverage of the
+// bounded explorer, the property suite itself, and the mutation self-check
+// that proves the harness detects known-bad runtimes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/schedule_point.h"
+#include "schedlab/controller.h"
+#include "schedlab/explore.h"
+#include "schedlab/properties.h"
+#include "test_env.h"
+
+namespace dear::schedlab {
+namespace {
+
+TEST(SchedLab, SameSeedReproducesScheduleExactly) {
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 8;
+
+  RandomWalkPicker first(42);
+  const PropertyReport a = CheckDecoupledEquivalence(first, options);
+  RandomWalkPicker second(42);
+  const PropertyReport b = CheckDecoupledEquivalence(second, options);
+
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.schedule.fingerprint, b.schedule.fingerprint);
+  EXPECT_EQ(a.schedule.decisions, b.schedule.decisions);
+  EXPECT_EQ(a.schedule.trace, b.schedule.trace);
+  EXPECT_EQ(a.result_digest, b.result_digest);
+}
+
+TEST(SchedLab, DifferentSeedsExploreDifferentSchedules) {
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 8;
+
+  std::set<std::uint64_t> fingerprints;
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomWalkPicker picker(seed);
+    const PropertyReport report = CheckDecoupledEquivalence(picker, options);
+    ASSERT_TRUE(report.ok) << "seed " << seed << ": " << report.failure;
+    fingerprints.insert(report.schedule.fingerprint);
+    digests.insert(report.result_digest);
+  }
+  // Schedules differ, results must not: that IS the paper's no-negotiation
+  // claim (Eq. 3-5) — the decoupled pipeline commutes with the scheduler.
+  EXPECT_GT(fingerprints.size(), 1U);
+  EXPECT_EQ(digests.size(), 1U);
+}
+
+TEST(SchedLab, BoundedExplorationCoversScheduleSpace) {
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 4;
+
+  ExploreOptions explore;
+  explore.preemption_bound = 1;
+  explore.max_schedules =
+      static_cast<std::size_t>(testenv::FuzzSchedules(/*fallback=*/16));
+
+  bool last_ok = true;
+  std::string last_failure;
+  const ExploreStats stats = ExploreBounded(
+      explore,
+      [&](Picker& picker) {
+        PropertyReport report = CheckDecoupledEquivalence(picker, options);
+        last_ok = report.ok;
+        if (!report.ok) last_failure = report.failure;
+        return report.schedule;
+      },
+      [&](const ScheduleResult&) { return last_ok; });
+
+  EXPECT_GT(stats.schedules, 1U) << "explorer stopped after one schedule";
+  EXPECT_FALSE(stats.nondeterminism)
+      << "a replayed choice prefix observed a different ready set";
+  EXPECT_EQ(stats.failures, 0U) << last_failure;
+  const std::set<std::uint64_t> distinct(stats.fingerprints.begin(),
+                                         stats.fingerprints.end());
+  EXPECT_GT(distinct.size(), 1U)
+      << "bounded exploration never deviated from the default schedule";
+}
+
+TEST(SchedLab, PropertySuitePassesAcrossSeeds) {
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 16;
+
+  const int seeds = testenv::FuzzSchedules(/*fallback=*/2);
+  std::set<std::uint64_t> digests;
+  for (int i = 0; i < seeds; ++i) {
+    const auto seed = 1000ULL + static_cast<std::uint64_t>(i);
+    const PropertyReport report = RunPropertySuite(seed, options);
+    ASSERT_TRUE(report.ok) << "seed " << seed << ": " << report.failure
+                           << "\nreplay: dearsim fuzz --world 2 --replay "
+                           << seed;
+    EXPECT_FALSE(report.schedule.deadlock);
+    digests.insert(report.result_digest);
+  }
+  EXPECT_EQ(digests.size(), 1U)
+      << "schedule changed a result bit across fuzz seeds";
+}
+
+TEST(SchedLab, PropertySuiteHandlesThreeRanks) {
+  PropertyOptions options;
+  options.world = 3;  // odd world: exercises non-divisible chunking paths
+  options.elems = 10;
+
+  RandomWalkPicker picker(7);
+  const PropertyReport report = CheckAllCollectives(picker, options);
+  ASSERT_TRUE(report.ok) << report.failure;
+}
+
+TEST(SchedLab, MutationSelfCheckDetectsEveryFaultKind) {
+  const int budget = testenv::FuzzSchedules(/*fallback=*/8);
+  const struct {
+    check::FaultKind kind;
+    const char* name;
+  } kinds[] = {
+      {check::FaultKind::kSkip, "skip"},
+      {check::FaultKind::kShrink, "shrink"},
+      {check::FaultKind::kReorder, "reorder"},
+  };
+  for (const auto& fault : kinds) {
+    const MutationOutcome outcome =
+        RunMutationCheck(fault.kind, /*world=*/2, /*base_seed=*/99, budget);
+    EXPECT_TRUE(outcome.detected)
+        << "seeded fault '" << fault.name << "' survived " << budget
+        << " schedules undetected";
+    if (outcome.detected) {
+      EXPECT_GT(outcome.schedules_used, 0);
+      EXPECT_FALSE(outcome.how.empty());
+    }
+  }
+}
+
+TEST(SchedLab, ControllerUninstallsHookOnExit) {
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 4;
+  RandomWalkPicker picker(3);
+  const PropertyReport report = CheckDecoupledEquivalence(picker, options);
+  ASSERT_TRUE(report.ok) << report.failure;
+  // Production path must be hook-free again: no controller leaks past its
+  // RunUnderSchedule scope, so back-to-back runs are legal.
+  EXPECT_EQ(schedpoint::ActiveHook(), nullptr);
+  RandomWalkPicker again(4);
+  const PropertyReport second = CheckDecoupledEquivalence(again, options);
+  EXPECT_TRUE(second.ok) << second.failure;
+  EXPECT_EQ(schedpoint::ActiveHook(), nullptr);
+}
+
+}  // namespace
+}  // namespace dear::schedlab

@@ -1,0 +1,51 @@
+// Shared environment knobs for the test suite.
+//
+// Every wall-clock wait in a test goes through ScaledMs() so one
+// environment variable — DEAR_TIMEOUT_MULT — stretches all of them at
+// once. Sanitizer and heavily-loaded CI runs set it to 3-4x; local runs
+// leave it unset (multiplier 1). The schedlab controller reads the same
+// variable for its settle and deadlock windows, so a single knob governs
+// the whole suite's notion of "too slow".
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace dear::testenv {
+
+/// DEAR_TIMEOUT_MULT as a multiplier (> 0), defaulting to 1.0.
+inline double TimeoutMult() {
+  static const double mult = [] {
+    const char* env = std::getenv("DEAR_TIMEOUT_MULT");
+    if (env == nullptr) return 1.0;
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    return end != env && value > 0.0 ? value : 1.0;
+  }();
+  return mult;
+}
+
+/// `ms` milliseconds scaled by DEAR_TIMEOUT_MULT.
+inline std::chrono::duration<double, std::milli> ScaledMs(double ms) {
+  return std::chrono::duration<double, std::milli>(ms * TimeoutMult());
+}
+
+/// Sleep for `ms` scaled milliseconds. For tests that genuinely need to
+/// yield the clock to a background thread — not a synchronization tool.
+inline void SleepMs(double ms) { std::this_thread::sleep_for(ScaledMs(ms)); }
+
+/// Schedule budget for fuzz-labelled tests: DEAR_FUZZ_SCHEDULES, or
+/// `fallback` when unset/invalid. PR CI keeps this small; the nightly
+/// fuzz-long job raises it.
+inline int FuzzSchedules(int fallback) {
+  static const int cached = [] {
+    const char* env = std::getenv("DEAR_FUZZ_SCHEDULES");
+    if (env == nullptr) return 0;
+    const int value = std::atoi(env);
+    return value > 0 ? value : 0;
+  }();
+  return cached > 0 ? cached : fallback;
+}
+
+}  // namespace dear::testenv

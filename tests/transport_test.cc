@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.h"
+
 #include <thread>
 
 namespace dear::comm {
@@ -53,7 +55,7 @@ TEST(TransportTest, ShutdownUnblocksReceiver) {
     EXPECT_FALSE(msg.ok());
     EXPECT_EQ(msg.status().code(), StatusCode::kUnavailable);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  testenv::SleepMs(5);
   hub.Shutdown();
   receiver.join();
 }
@@ -75,7 +77,7 @@ TEST(TransportTest, SelfChannelWorks) {
 TEST(TransportTest, CrossThreadBlockingDelivery) {
   TransportHub hub(2);
   std::thread sender([&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    testenv::SleepMs(5);
     hub.Send(1, 0, {77, {3.5f}});
   });
   auto msg = hub.Recv(1, 0, 77);

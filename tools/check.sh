@@ -5,9 +5,17 @@
 # that matters most here; UBSan guards the tag bit-packing and span math).
 #
 #   tools/check.sh             # lint + plain + perf gate + tsan + ubsan
+#   tools/check.sh --quick     # lint + plain build + unit-label tests only
 #   tools/check.sh --no-tsan   # skip the TSan pass (e.g. unsupported host)
 #   tools/check.sh --no-ubsan  # skip the UBSan pass
 #   tools/check.sh --no-bench  # skip the perf-lab regression gate
+#
+# Test tiers are CTest LABELS (unit/integration/stress/fuzz); the full run
+# executes all of them. Fuzz-labelled tests scale their schedule budget
+# with DEAR_FUZZ_SCHEDULES (PR CI keeps it small, the nightly fuzz-long
+# job raises it), and every wall-clock margin stretches with
+# DEAR_TIMEOUT_MULT — sanitizer runs here set it so TSan's slowdown never
+# needs hand-tuned margins.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,8 +23,10 @@ jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
 run_ubsan=1
 run_bench=1
+quick=0
 for arg in "$@"; do
   case "$arg" in
+    --quick) quick=1 ;;
     --no-tsan) run_tsan=0 ;;
     --no-ubsan) run_ubsan=0 ;;
     --no-bench) run_bench=0 ;;
@@ -31,6 +41,11 @@ python3 tools/lint.py
 echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" >/dev/null
+if [[ "$quick" == 1 ]]; then
+  ctest --test-dir build --output-on-failure -L unit
+  echo "OK (quick: unit label only)"
+  exit 0
+fi
 ctest --test-dir build --output-on-failure
 
 if [[ "$run_bench" == 1 ]]; then
@@ -47,14 +62,16 @@ if [[ "$run_tsan" == 1 ]]; then
   echo "== thread-sanitizer build =="
   cmake -B build-tsan -S . -DDEAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs" >/dev/null
-  ctest --test-dir build-tsan --output-on-failure
+  DEAR_TIMEOUT_MULT="${DEAR_TIMEOUT_MULT:-4}" \
+    ctest --test-dir build-tsan --output-on-failure
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then
   echo "== undefined-behavior-sanitizer build =="
   cmake -B build-ubsan -S . -DDEAR_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$jobs" >/dev/null
-  ctest --test-dir build-ubsan --output-on-failure
+  DEAR_TIMEOUT_MULT="${DEAR_TIMEOUT_MULT:-2}" \
+    ctest --test-dir build-ubsan --output-on-failure
 fi
 
 echo "OK"
