@@ -1,0 +1,206 @@
+// Transport data-path cost: exact allocations per message, and the ring
+// RS+AG receive-reduce path before/after the zero-copy pooled transport.
+//
+// Two measurements, both with hard acceptance bars (ISSUE 5):
+//
+//  1. Steady-state allocations per message, counted EXACTLY by overriding
+//     global operator new/delete. After warm-up, a pooled send+recv must
+//     perform 0 heap allocations: the payload rides a recycled slab and
+//     the channel's ring buffer has stopped growing. Bar: 0 allocs/msg.
+//  2. A >= 1 MiB ring RS+AG worth of per-hop traffic, legacy path vs
+//     pooled path. "Legacy" reproduces the pre-pool transport exactly:
+//     pool disabled (fresh heap allocation per message, like the old
+//     std::vector<float> payload) and the scalar per-element ApplyOp fold
+//     (switch inside the loop). "Pooled" is the production path: slab
+//     reuse + the 4-wide fused kernels. Bar: >= 1.3x.
+//
+// The quick perf suite gates transport.alloc_per_msg continuously
+// (src/perflab/suites.cc); this binary is the exact-count proof.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/communicator.h"
+#include "comm/kernels.h"
+#include "comm/transport.h"
+#include "comm/types.h"
+
+namespace {
+
+std::atomic<long> g_allocs{0};
+
+long AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+// Count every heap allocation in the process. Deallocation stays the
+// default; the counter only ever observes news, which is what the
+// 0-alloc-per-message bar is about.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dear::comm::ReduceOp;
+
+/// One ring hop, production path: pooled send, in-place vectorized fold.
+void PooledHop(dear::comm::TransportHub& hub, std::uint32_t tag,
+               std::span<const float> wire, std::span<float> acc) {
+  hub.Send(0, 0, tag, wire);
+  auto msg = hub.Recv(0, 0, tag);
+  dear::comm::kernels::ReduceInto(ReduceOp::kSum, acc, msg->payload.span());
+}
+
+/// One ring hop, legacy path: per-message heap allocation (pool off) and
+/// the scalar per-element fold the collectives used before the fused
+/// kernels (comm/types.h ApplyOp — a switch inside the element loop).
+void LegacyHop(dear::comm::TransportHub& hub, std::uint32_t tag,
+               std::span<const float> wire, std::span<float> acc) {
+  hub.Send(0, 0, tag, wire);
+  auto msg = hub.Recv(0, 0, tag);
+  dear::comm::kernels::internal::ReduceIntoScalar(ReduceOp::kSum, acc,
+                                                  msg->payload.span());
+}
+
+/// Times the per-hop traffic of one ring RS+AG over `world` positions on a
+/// buffer of `n` floats: world-1 reduce hops + world-1 gather-copy hops,
+/// all through a real (self-)channel. Single-threaded so the measurement
+/// is the data path itself, not scheduler noise.
+template <typename Hop>
+double RsAgSeconds(dear::comm::TransportHub& hub, std::size_t n, int world,
+                   std::span<float> acc, std::span<const float> wire,
+                   const Hop& hop) {
+  const std::size_t chunk = n / static_cast<std::size_t>(world);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < world - 1; ++s) {  // reduce-scatter rounds
+    hop(hub, static_cast<std::uint32_t>(s), wire.subspan(0, chunk),
+        acc.subspan(0, chunk));
+  }
+  for (int s = 0; s < world - 1; ++s) {  // all-gather rounds (copy out)
+    const std::uint32_t tag = static_cast<std::uint32_t>(100 + s);
+    hub.Send(0, 0, tag, wire.subspan(0, chunk));
+    auto msg = hub.Recv(0, 0, tag);
+    const auto* src = msg->payload.data();
+    float* dst = acc.data() + chunk * static_cast<std::size_t>(s % world);
+    for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  dear::bench::SuiteGuard results("transport_path");
+  using namespace dear;
+
+  // ---- 1. Exact allocations per steady-state message --------------------
+  constexpr std::size_t kMsgElems = 64 * 1024;  // 256 KiB payload
+  constexpr int kWarmup = 8;
+  constexpr int kCounted = 64;
+  long allocs_per_msg_num = 0;
+  {
+    comm::TransportHub hub(1);
+    const std::vector<float> payload(kMsgElems, 1.25f);
+    float sink_value = 0.0f;
+    auto roundtrip = [&](std::uint32_t tag) {
+      hub.Send(0, 0, tag, payload);
+      auto msg = hub.Recv(0, 0, tag);
+      sink_value += msg->payload.data()[0];  // consume in place
+    };
+    for (std::uint32_t i = 0; i < kWarmup; ++i) roundtrip(i);
+    const long before = AllocCount();
+    for (std::uint32_t i = 0; i < kCounted; ++i) roundtrip(1000 + i);
+    allocs_per_msg_num = AllocCount() - before;
+    if (sink_value < 0) std::printf("%f\n", sink_value);  // defeat DCE
+  }
+  const double allocs_per_msg =
+      static_cast<double>(allocs_per_msg_num) / kCounted;
+
+  bench::PrintHeader("transport data path (pooled slabs + fused kernels)");
+  std::printf("steady-state heap allocations per 256 KiB message: %.3f "
+              "(%ld allocs / %d messages; acceptance: 0)\n",
+              allocs_per_msg, allocs_per_msg_num, kCounted);
+
+  // ---- 2. Legacy vs pooled RS+AG per-hop traffic at 1 MiB ---------------
+  constexpr std::size_t kElems = 256 * 1024;  // 1 MiB buffer
+  constexpr int kWorld = 16;                  // 64 KiB per hop (paper scale)
+  constexpr int kReps = 100;
+  std::vector<float> acc(kElems, 0.5f);
+  const std::vector<float> wire(kElems, 0.25f);
+
+  // Interleave the two paths rep-by-rep so clock/cache drift over the run
+  // lands on both sides equally; compare low quantiles (best sustained
+  // rate), which is the stable statistic for a same-machine A/B ratio.
+  comm::TransportHub legacy_hub(1, {.use_pool = false});
+  comm::TransportHub pooled_hub(1);
+  std::vector<double> legacy_s;
+  std::vector<double> pooled_s;
+  for (int rep = 0; rep < kReps + 3; ++rep) {
+    const double ls =
+        RsAgSeconds(legacy_hub, kElems, kWorld, acc, wire, LegacyHop);
+    const double ps =
+        RsAgSeconds(pooled_hub, kElems, kWorld, acc, wire, PooledHop);
+    if (rep >= 3) {
+      legacy_s.push_back(ls);
+      pooled_s.push_back(ps);
+    }
+  }
+  bench::PrintLatencySummary("legacy rs+ag hops", legacy_s);
+  bench::PrintLatencySummary("pooled rs+ag hops", pooled_s);
+  const double speedup =
+      perflab::SampleQuantile(legacy_s, 0.1) /
+      perflab::SampleQuantile(pooled_s, 0.1);
+  std::printf("pooled speedup on 1 MiB RS+AG traffic (world=%d): %.2fx "
+              "(acceptance: >= 1.3x)\n",
+              kWorld, speedup);
+
+  auto& sink = perflab::ResultSink::Get();
+  if (sink.active()) {
+    // Recorded as 1 + allocs/msg: perf_gate treats a 0 median as
+    // ungateable (ratio vs 0), so the floor of the scale is 1.0 and any
+    // new per-message allocation fails the 1.02 ceiling outright.
+    sink.Record("transport.alloc_per_msg", {{"kb", "256"}},
+                1.0 + allocs_per_msg, "1+allocs",
+                /*higher_is_better=*/false, /*gate_max_ratio=*/1.02);
+    sink.Record("transport.rs_ag_speedup", {{"mib", "1"}, {"world", "16"}},
+                speedup, "x", /*higher_is_better=*/true,
+                /*gate_max_ratio=*/3.0);
+  }
+
+  bool fail = false;
+  if (allocs_per_msg_num > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld heap allocations across %d steady-state "
+                 "messages (bar: 0)\n",
+                 allocs_per_msg_num, kCounted);
+    fail = true;
+  }
+  if (speedup < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: pooled RS+AG path is only %.2fx the legacy path "
+                 "(bar: >= 1.3x)\n",
+                 speedup);
+    fail = true;
+  }
+  return fail ? 1 : 0;
+}

@@ -49,6 +49,7 @@ void Checker::Enable(int world_size, CheckerOptions options) {
     watchdog_stop_ = false;
   }
   sends_.store(0, std::memory_order_relaxed);
+  send_bytes_.store(0, std::memory_order_relaxed);
   tripped_.store(false, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
   if (options.watchdog_timeout_s > 0) {
@@ -333,7 +334,9 @@ std::string Checker::DumpLocked() const {
     out += "\n";
   }
   out += "  transport sends so far: " +
-         std::to_string(sends_.load(std::memory_order_relaxed));
+         std::to_string(sends_.load(std::memory_order_relaxed)) + " (" +
+         std::to_string(send_bytes_.load(std::memory_order_relaxed)) +
+         " payload bytes)";
   return out;
 }
 

@@ -112,9 +112,13 @@ class Checker {
   void OnRecvBlocked(int dst, int src, std::uint32_t expected_tag);
   void OnRecvDone(int dst);
 
-  /// Transport progress accounting (diagnosis context only).
-  void OnTransportSend() noexcept {
+  /// Transport progress accounting (diagnosis context only). `bytes` is
+  /// the payload size of the message, so the ledger dump can distinguish
+  /// "many tiny control rounds" from "bulk data stalled mid-transfer".
+  void OnTransportSend(std::size_t bytes) noexcept {
     sends_.fetch_add(1, std::memory_order_relaxed);
+    send_bytes_.fetch_add(static_cast<std::int64_t>(bytes),
+                          std::memory_order_relaxed);
   }
 
   /// Fault interposition: CommEngine calls this once per dequeued request
@@ -194,6 +198,7 @@ class Checker {
   std::atomic<bool> enabled_{false};
   std::atomic<bool> tripped_{false};
   std::atomic<std::int64_t> sends_{0};
+  std::atomic<std::int64_t> send_bytes_{0};
 
   mutable std::mutex mutex_;
   CheckerOptions options_;

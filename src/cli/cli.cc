@@ -404,6 +404,25 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
     }
   }
 
+  // Transport buffer-pool accounting (global registry: pools are per-hub,
+  // not per-rank). Hit rate near 1.0 means steady-state sends recycled
+  // slabs instead of allocating (see DESIGN.md §10).
+  {
+    std::int64_t hits = 0, misses = 0, acquired_bytes = 0;
+    for (const auto& [name, v] : rt.global_metrics().Counters()) {
+      if (name == "transport.pool.hits") hits = v;
+      if (name == "transport.pool.misses") misses = v;
+      if (name == "transport.pool.bytes_acquired") acquired_bytes = v;
+    }
+    const std::int64_t total = hits + misses;
+    out << "\ntransport pool: " << hits << " hits / " << misses
+        << " misses";
+    if (total > 0)
+      out << " (hit rate " << std::fixed << std::setprecision(3)
+          << static_cast<double>(hits) / static_cast<double>(total) << ")";
+    out << ", " << acquired_bytes / 1024 << " KB acquired\n";
+  }
+
   out << "\nper-collective latency, rank 0 (ms):\n"
       << "kind                   calls   p50       p95       p99\n";
   if (auto* reg0 = rt.rank_metrics(0)) {

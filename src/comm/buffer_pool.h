@@ -1,0 +1,135 @@
+// Size-classed slab pool backing the zero-copy transport path.
+//
+// Every hop of a ring collective moves one chunk through the in-process
+// transport; before this pool existed each hop paid a std::vector heap
+// allocation plus a copy on the send side and a free on the receive side —
+// 2(p-1) times per rank per collective. The pool plays the role of NCCL's
+// registered (pre-pinned) buffers: senders Acquire() a recycled slab and
+// write the chunk directly into it, the receiver consumes it in place, and
+// the slab returns to the free list when the PooledBuffer handle dies.
+// Steady-state sends therefore perform zero heap allocations (measured
+// exactly by bench/transport_path). See DESIGN.md §10.
+//
+// Lifetime: the pool's core is shared_ptr-owned by the pool *and* by every
+// outstanding PooledBuffer, so a buffer released after the pool (or its
+// TransportHub) has been destroyed frees its slab safely instead of
+// touching a dead free list. Draining flips the core into pass-through
+// mode: cached slabs are freed and later releases free directly.
+//
+// Thread safety: Acquire/Release/Drain/stats may be called concurrently
+// from any thread (one short mutex; no allocation on the hit path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace dear::comm {
+
+/// Point-in-time pool accounting (all values under one lock, so the
+/// snapshot is internally consistent).
+struct PoolStats {
+  std::int64_t hits{0};        // Acquire served from the free list
+  std::int64_t misses{0};      // Acquire had to heap-allocate
+  std::int64_t oversize{0};    // acquires above the largest size class
+  std::int64_t in_flight_buffers{0};
+  std::int64_t in_flight_bytes{0};  // capacity bytes held by live buffers
+  std::int64_t cached_buffers{0};
+  std::int64_t cached_bytes{0};
+};
+
+namespace internal {
+struct PoolCore;
+}  // namespace internal
+
+/// Move-only handle over one pooled slab: `size()` floats of writable
+/// storage (the slab's capacity may be larger — size classes round up).
+/// Destruction (or Release()) returns the slab to its pool.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer() { Release(); }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : core_(std::move(other.core_)),
+        data_(other.data_),
+        size_(other.size_),
+        capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      core_ = std::move(other.core_);
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  [[nodiscard]] float* data() noexcept { return data_; }
+  [[nodiscard]] const float* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::span<float> span() noexcept { return {data_, size_}; }
+  [[nodiscard]] std::span<const float> span() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] const float* begin() const noexcept { return data_; }
+  [[nodiscard]] const float* end() const noexcept { return data_ + size_; }
+
+  /// Returns the slab to its pool — or frees it directly if the pool is
+  /// draining, non-pooling, or already destroyed. Idempotent.
+  void Release() noexcept;
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(std::shared_ptr<internal::PoolCore> core, float* data,
+               std::size_t size, std::size_t capacity) noexcept
+      : core_(std::move(core)), data_(data), size_(size), capacity_(capacity) {}
+
+  std::shared_ptr<internal::PoolCore> core_;
+  float* data_{nullptr};
+  std::size_t size_{0};
+  std::size_t capacity_{0};
+};
+
+class BufferPool {
+ public:
+  /// `pooling` = false degrades every Acquire into a plain heap allocation
+  /// (and every Release into a free) while keeping the same accounting —
+  /// the pre-pool reference path that digest tests and benches compare
+  /// against.
+  explicit BufferPool(bool pooling = true);
+  ~BufferPool();  // drains; outstanding buffers stay valid (shared core)
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A writable slab of exactly `n` floats (capacity rounds up to the size
+  /// class). n == 0 returns an empty, pool-less buffer.
+  [[nodiscard]] PooledBuffer Acquire(std::size_t n);
+
+  /// Frees every cached slab and stops caching: releases from here on free
+  /// their slab directly. In-flight buffers remain valid. Idempotent.
+  void Drain();
+
+  [[nodiscard]] bool pooling() const noexcept { return pooling_; }
+  [[nodiscard]] PoolStats stats() const;
+
+ private:
+  bool pooling_;
+  std::shared_ptr<internal::PoolCore> core_;
+};
+
+}  // namespace dear::comm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/checker.h"
+#include "comm/kernels.h"
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "telemetry/telemetry.h"
@@ -24,19 +25,13 @@ using tags::kTagAllToAll;
 using tags::kTagRecursiveRs;
 using tags::kTagRecursiveAg;
 
-void Accumulate(ReduceOp op, std::span<float> acc,
-                std::span<const float> incoming) {
-  DEAR_CHECK(acc.size() == incoming.size());
-  for (std::size_t i = 0; i < acc.size(); ++i)
-    ApplyOp(op, acc[i], incoming[i]);
-}
-
 void ScaleForAvg(ReduceOp op, std::span<float> data, int world) {
   if (op != ReduceOp::kAvg || world <= 1) return;
-  const float inv = 1.0f / static_cast<float>(world);
-  for (float& v : data) v *= inv;
+  kernels::Scale(data, 1.0f / static_cast<float>(world));
 }
 
+// Fallback for callers without a position hint (see collectives.h); the
+// production paths pass their precomputed position instead.
 int PositionOf(const std::vector<Rank>& members, Rank rank) {
   for (std::size_t i = 0; i < members.size(); ++i)
     if (members[i] == rank) return static_cast<int>(i);
@@ -50,19 +45,31 @@ namespace internal {
 Status RingReduceScatterOver(Communicator& comm,
                              const std::vector<Rank>& members,
                              std::span<float> data, ReduceOp op,
-                             std::uint32_t tag_kind) {
+                             std::uint32_t tag_kind, int pos, int avg_world) {
   const int p = static_cast<int>(members.size());
-  const int pos = PositionOf(members, comm.rank());
-  DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
-  if (p == 1) return Status::Ok();
+  if (pos < 0) pos = PositionOf(members, comm.rank());
+  DEAR_CHECK_MSG(pos >= 0 && pos < p &&
+                     members[static_cast<std::size_t>(pos)] == comm.rank(),
+                 "ring position does not match this rank");
+  const bool avg = op == ReduceOp::kAvg && avg_world > 1;
+  const float inv = avg ? 1.0f / static_cast<float>(avg_world) : 1.0f;
+  if (p == 1) {
+    // Degenerate ring: no round folds anything, so the normalization that
+    // normally rides the final round applies directly (the whole buffer is
+    // this member's own chunk).
+    if (avg) kernels::Scale(data, inv);
+    return Status::Ok();
+  }
 
-  const Rank right = members[(pos + 1) % p];
-  const Rank left = members[(pos - 1 + p) % p];
+  const Rank right = members[static_cast<std::size_t>((pos + 1) % p)];
+  const Rank left = members[static_cast<std::size_t>((pos - 1 + p) % p)];
   const std::size_t n = data.size();
 
   // Round s: send chunk (pos - s - 1) mod p rightward, receive chunk
   // (pos - s - 2) mod p from the left and fold it in. After p-1 rounds,
-  // ring position `pos` holds the fully reduced chunk `pos`.
+  // ring position `pos` holds the fully reduced chunk `pos`; that final
+  // round (recv chunk == pos) folds with the kAvg scale applied — bitwise
+  // identical to folding first and scaling in a separate pass.
   for (int s = 0; s < p - 1; ++s) {
     const auto send_chunk = static_cast<std::size_t>((pos - s - 1 + 2 * p) % p);
     const auto recv_chunk = static_cast<std::size_t>((pos - s - 2 + 2 * p) % p);
@@ -74,16 +81,23 @@ Status RingReduceScatterOver(Communicator& comm,
       return Status::Unavailable("send failed: transport shut down");
     auto msg = comm.Recv(left, tag);
     if (!msg.ok()) return msg.status();
-    Accumulate(op, data.subspan(rr.begin, rr.size()), msg->payload);
+    const auto acc = data.subspan(rr.begin, rr.size());
+    if (avg && s == p - 2)
+      kernels::ReduceIntoScaled(acc, msg->payload.span(), inv);
+    else
+      kernels::ReduceInto(op, acc, msg->payload.span());
   }
   return Status::Ok();
 }
 
 Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
-                         std::span<float> data, std::uint32_t tag_kind) {
+                         std::span<float> data, std::uint32_t tag_kind,
+                         int pos) {
   const int p = static_cast<int>(members.size());
-  const int pos = PositionOf(members, comm.rank());
-  DEAR_CHECK_MSG(pos >= 0, "rank not in member list");
+  if (pos < 0) pos = PositionOf(members, comm.rank());
+  DEAR_CHECK_MSG(pos >= 0 && pos < p &&
+                     members[static_cast<std::size_t>(pos)] == comm.rank(),
+                 "ring position does not match this rank");
   if (p == 1) return Status::Ok();
 
   const Rank right = members[(pos + 1) % p];
@@ -125,23 +139,18 @@ Status RingReduceScatter(Communicator& comm, std::span<float> data,
                          ReduceOp op) {
   telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
   check::CollectiveGuard guard(comm.rank(), "ring_reduce_scatter", data.size());
-  Status st = internal::RingReduceScatterOver(comm, AllRanks(comm.size()),
-                                              data, op, kTagReduceScatter);
-  if (!st.ok()) return st;
-  if (op == ReduceOp::kAvg) {
-    const Range own = ChunkRange(data.size(),
-                                 static_cast<std::size_t>(comm.size()),
-                                 static_cast<std::size_t>(comm.rank()));
-    ScaleForAvg(op, data.subspan(own.begin, own.size()), comm.size());
-  }
-  return Status::Ok();
+  // Rank r sits at ring position r; kAvg normalization rides the final
+  // round (avg_world) instead of a separate pass over the owned chunk.
+  return internal::RingReduceScatterOver(comm, AllRanks(comm.size()), data,
+                                         op, kTagReduceScatter, comm.rank(),
+                                         comm.size());
 }
 
 Status RingAllGather(Communicator& comm, std::span<float> data) {
   telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
   check::CollectiveGuard guard(comm.rank(), "ring_all_gather", data.size());
   return internal::RingAllGatherOver(comm, AllRanks(comm.size()), data,
-                                     kTagAllGather);
+                                     kTagAllGather, comm.rank());
 }
 
 Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
@@ -177,8 +186,8 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
                   static_cast<std::uint32_t>((rel + mask) & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
-      Accumulate(op == ReduceOp::kAvg ? ReduceOp::kSum : op, data,
-                 msg->payload);
+      kernels::ReduceInto(op == ReduceOp::kAvg ? ReduceOp::kSum : op, data,
+                          msg->payload.span());
     }
   }
   if (comm.rank() == root) ScaleForAvg(op, data, p);
@@ -274,22 +283,19 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
                   static_cast<std::uint32_t>(src & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
-      Accumulate(sum_op, data, msg->payload);
+      kernels::ReduceInto(sum_op, data, msg->payload.span());
     }
   }
 
-  // Phase 2: ring reduce-scatter across the node leaders.
+  // Phase 2: ring reduce-scatter across the node leaders. This leader sits
+  // at ring position rank/rpn; kAvg divides by the full world size p (the
+  // intra-node phase already folded rpn ranks into each leader), riding
+  // the final leader-ring round.
   if (comm.rank() == leader) {
     std::vector<Rank> leaders;
     for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
     DEAR_RETURN_IF_ERROR(internal::RingReduceScatterOver(
-        comm, leaders, data, sum_op, kTagHierLeaderRs));
-    if (op == ReduceOp::kAvg) {
-      const int pos = PositionOf(leaders, comm.rank());
-      const Range own = ChunkRange(data.size(), leaders.size(),
-                                   static_cast<std::size_t>(pos));
-      ScaleForAvg(op, data.subspan(own.begin, own.size()), p);
-    }
+        comm, leaders, data, op, kTagHierLeaderRs, comm.rank() / rpn, p));
   }
   return Status::Ok();
 }
@@ -310,7 +316,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
     std::vector<Rank> leaders;
     for (Rank r = 0; r < p; r += rpn) leaders.push_back(r);
     DEAR_RETURN_IF_ERROR(internal::RingAllGatherOver(
-        comm, leaders, data, kTagHierLeaderAg));
+        comm, leaders, data, kTagHierLeaderAg, comm.rank() / rpn));
   }
 
   // Phase 2: intra-node broadcast from the leader.
@@ -394,19 +400,19 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
         "recursive halving requires a power-of-two world size");
-  if (p == 1) {
-    ScaleForAvg(op, data, 1);
-    return Status::Ok();
-  }
+  if (p == 1) return Status::Ok();  // avg over one rank is the identity
   const auto levels = BuildHalvingPlan(comm.rank(), p, data.size());
   const ReduceOp sum_op = (op == ReduceOp::kAvg) ? ReduceOp::kSum : op;
+  const bool avg = op == ReduceOp::kAvg;
+  const float inv = avg ? 1.0f / static_cast<float>(p) : 1.0f;
   for (std::size_t s = 0; s < levels.size(); ++s) {
     const HalvingLevel& level = levels[s];
     const Rank partner = comm.rank() ^ level.dist;
     const std::uint32_t tag =
         MakeTag(kTagRecursiveRs, static_cast<std::uint32_t>(s));
     // Send the half I am giving up; fold the partner's copy of the half I
-    // keep into my buffer.
+    // keep into my buffer. The deepest level's keep range is exactly the
+    // final owned range, so the kAvg normalization rides that last fold.
     const std::size_t keep_lo = level.upper ? level.mid : level.lo;
     const std::size_t keep_hi = level.upper ? level.hi : level.mid;
     const std::size_t give_lo = level.upper ? level.lo : level.mid;
@@ -415,14 +421,11 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
       return Status::Unavailable("send failed: transport shut down");
     auto msg = comm.Recv(partner, tag);
     if (!msg.ok()) return msg.status();
-    Accumulate(sum_op, data.subspan(keep_lo, keep_hi - keep_lo),
-               msg->payload);
-  }
-  if (op == ReduceOp::kAvg) {
-    const HalvingLevel& last = levels.back();
-    const std::size_t lo = last.upper ? last.mid : last.lo;
-    const std::size_t hi = last.upper ? last.hi : last.mid;
-    ScaleForAvg(op, data.subspan(lo, hi - lo), p);
+    const auto keep = data.subspan(keep_lo, keep_hi - keep_lo);
+    if (avg && s + 1 == levels.size())
+      kernels::ReduceIntoScaled(keep, msg->payload.span(), inv);
+    else
+      kernels::ReduceInto(sum_op, keep, msg->payload.span());
   }
   return Status::Ok();
 }
@@ -547,7 +550,9 @@ Status Scatter(Communicator& comm, std::span<const float> in,
         root, MakeTag(kTagScatter, 0,
                       static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask)));
     if (!msg.ok()) return msg.status();
-    *out = std::move(msg->payload);
+    // Copy out: the pooled slab must not outlive the collective (it
+    // belongs to the hub's pool; see transport.h).
+    out->assign(msg->payload.begin(), msg->payload.end());
   }
   return Status::Ok();
 }

@@ -37,7 +37,8 @@ Status RingReduceScatter(Communicator& comm, std::span<float> data,
 Status RingAllGather(Communicator& comm, std::span<float> data);
 
 /// Ring all-reduce = reduce-scatter followed by all-gather. Eq. 5 cost.
-/// kAvg divides by P between the two phases (on the owned chunk only).
+/// kAvg normalization is folded into the reduce-scatter's final round
+/// (bitwise identical to a separate owned-chunk scaling pass).
 Status RingAllReduce(Communicator& comm, std::span<float> data,
                      ReduceOp op = ReduceOp::kSum);
 
@@ -143,12 +144,22 @@ namespace internal {
 /// `tag_kind` is the tags::TagKind stamped into every round's message tag,
 /// so concurrent uses of the ring primitive (top-level vs. leader ring)
 /// stay distinguishable on the wire.
+///
+/// `pos` is the caller's ring position when it already knows it (rank r is
+/// position r on the all-ranks ring; leader ring positions are rank/rpn);
+/// -1 falls back to a linear scan of `members`. When `op` is kAvg and
+/// `avg_world` > 1, the 1/avg_world normalization is folded into the final
+/// reduce round (bitwise identical to a separate scaling pass over the
+/// owned chunk, and one less full sweep); avg_world = 0 leaves the sum
+/// un-normalized for the caller.
 Status RingReduceScatterOver(Communicator& comm,
                              const std::vector<Rank>& members,
                              std::span<float> data, ReduceOp op,
-                             std::uint32_t tag_kind);
+                             std::uint32_t tag_kind, int pos = -1,
+                             int avg_world = 0);
 Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
-                         std::span<float> data, std::uint32_t tag_kind);
+                         std::span<float> data, std::uint32_t tag_kind,
+                         int pos = -1);
 }  // namespace internal
 
 }  // namespace dear::comm

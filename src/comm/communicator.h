@@ -14,17 +14,25 @@ namespace dear::comm {
 class Communicator {
  public:
   Communicator(TransportHub* hub, Rank rank)
-      : hub_(hub), rank_(rank) {}
+      : hub_(hub),
+        rank_(rank),
+        // Full-ring neighbors, precomputed once: the ring collectives call
+        // these every round, and the old per-call PositionOf scan was O(P)
+        // per collective for what is a constant of the communicator.
+        ring_left_((rank + hub->size() - 1) % hub->size()),
+        ring_right_((rank + 1) % hub->size()) {}
 
   [[nodiscard]] Rank rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept { return hub_->size(); }
 
-  /// Point-to-point send of a float span (copied into the message).
+  /// Neighbors on the all-ranks ring (rank r sits at ring position r).
+  [[nodiscard]] Rank ring_left() const noexcept { return ring_left_; }
+  [[nodiscard]] Rank ring_right() const noexcept { return ring_right_; }
+
+  /// Point-to-point send of a float span. The payload is written once into
+  /// a pooled slab (no per-message vector allocation; see buffer_pool.h).
   bool Send(Rank dst, std::uint32_t tag, std::span<const float> data) {
-    Message m;
-    m.tag = tag;
-    m.payload.assign(data.begin(), data.end());
-    return hub_->Send(rank_, dst, std::move(m));
+    return hub_->Send(rank_, dst, tag, data);
   }
 
   /// Blocking receive from `src` with tag verification.
@@ -37,6 +45,8 @@ class Communicator {
  private:
   TransportHub* hub_;
   Rank rank_;
+  Rank ring_left_;
+  Rank ring_right_;
 };
 
 }  // namespace dear::comm

@@ -1,0 +1,84 @@
+#include "comm/kernels.h"
+
+#include "common/logging.h"
+
+namespace dear::comm::kernels {
+namespace {
+
+// One branch-free elementwise body, manually unrolled 4-wide. `op` is a
+// stateless functor, so each specialization compiles to a tight loop GCC
+// can vectorize; element i only ever combines acc[i] with in[i], so the
+// result is bit-identical to the scalar reference for any unroll width.
+template <typename Op>
+inline void Apply4(float* acc, const float* in, std::size_t n, Op op) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[i] = op(acc[i], in[i]);
+    acc[i + 1] = op(acc[i + 1], in[i + 1]);
+    acc[i + 2] = op(acc[i + 2], in[i + 2]);
+    acc[i + 3] = op(acc[i + 3], in[i + 3]);
+  }
+  for (; i < n; ++i) acc[i] = op(acc[i], in[i]);
+}
+
+struct SumOp {
+  float operator()(float a, float b) const noexcept { return a + b; }
+};
+// Same select ApplyOp uses (`if (v > acc) acc = v`): b wins only when
+// strictly greater, so NaN/equal behavior matches the scalar path exactly.
+struct MaxOp {
+  float operator()(float a, float b) const noexcept { return b > a ? b : a; }
+};
+struct MinOp {
+  float operator()(float a, float b) const noexcept { return b < a ? b : a; }
+};
+
+}  // namespace
+
+void ReduceInto(ReduceOp op, std::span<float> acc, std::span<const float> in) {
+  DEAR_CHECK(acc.size() == in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kAvg:  // normalized by the caller / the scaled variant
+      Apply4(acc.data(), in.data(), acc.size(), SumOp{});
+      break;
+    case ReduceOp::kMax:
+      Apply4(acc.data(), in.data(), acc.size(), MaxOp{});
+      break;
+    case ReduceOp::kMin:
+      Apply4(acc.data(), in.data(), acc.size(), MinOp{});
+      break;
+  }
+}
+
+void ReduceIntoScaled(std::span<float> acc, std::span<const float> in,
+                      float scale) {
+  DEAR_CHECK(acc.size() == in.size());
+  Apply4(acc.data(), in.data(), acc.size(),
+         [scale](float a, float b) noexcept { return (a + b) * scale; });
+}
+
+void Scale(std::span<float> data, float scale) {
+  float* d = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    d[i] *= scale;
+    d[i + 1] *= scale;
+    d[i + 2] *= scale;
+    d[i + 3] *= scale;
+  }
+  for (; i < n; ++i) d[i] *= scale;
+}
+
+namespace internal {
+
+void ReduceIntoScalar(ReduceOp op, std::span<float> acc,
+                      std::span<const float> in) {
+  DEAR_CHECK(acc.size() == in.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) ApplyOp(op, acc[i], in[i]);
+}
+
+}  // namespace internal
+
+}  // namespace dear::comm::kernels

@@ -1,0 +1,46 @@
+// Fused receive-reduce kernels for the collective library.
+//
+// The ring/tree/recursive collectives fold every received chunk into the
+// local buffer; doing that through the generic per-element ApplyOp switch
+// keeps the branch inside the loop and defeats vectorization. These
+// kernels hoist the ReduceOp dispatch out of the loop and run a manually
+// 4-wide-unrolled elementwise body per op (GCC auto-vectorizes the
+// branch-free bodies at -O2), standing in for NCCL's fused reduce kernels.
+//
+// Bitwise contract: every kernel applies exactly the same per-element
+// operation, in the same element order, as a scalar `for (i) ApplyOp(...)`
+// loop. Reductions are element-independent, so unrolling cannot
+// reassociate anything — schedlab's 0-ULP RS;AG ≡ fused-AR property and
+// the cross-schedule bitwise digests hold unchanged. The scaled variant
+// computes `(acc[i] + in[i]) * scale`, which is bitwise identical to
+// folding first and multiplying in a separate pass (one multiply of the
+// same intermediate), letting the kAvg normalization ride the final ring
+// round instead of costing an extra full sweep.
+#pragma once
+
+#include <span>
+
+#include "comm/types.h"
+
+namespace dear::comm::kernels {
+
+/// acc[i] = acc[i] op in[i]. kAvg folds as a sum (the caller normalizes,
+/// or uses ReduceIntoScaled on the final round). Sizes must match.
+void ReduceInto(ReduceOp op, std::span<float> acc, std::span<const float> in);
+
+/// acc[i] = (acc[i] + in[i]) * scale — the final ring round of a kAvg
+/// reduce-scatter. Only meaningful for the summing ops. Sizes must match.
+void ReduceIntoScaled(std::span<float> acc, std::span<const float> in,
+                      float scale);
+
+/// data[i] *= scale.
+void Scale(std::span<float> data, float scale);
+
+namespace internal {
+/// Reference implementation (per-element ApplyOp loop). Kept for the
+/// kernel unit tests and bench/transport_path's before/after comparison.
+void ReduceIntoScalar(ReduceOp op, std::span<float> acc,
+                      std::span<const float> in);
+}  // namespace internal
+
+}  // namespace dear::comm::kernels

@@ -1,5 +1,6 @@
 #include "comm/transport.h"
 
+#include <cstring>
 #include <optional>
 #include <utility>
 
@@ -10,11 +11,23 @@
 
 namespace dear::comm {
 
-TransportHub::TransportHub(int size) : size_(size) {
+TransportHub::TransportHub(int size, TransportOptions options)
+    : size_(size), pool_(options.use_pool) {
   DEAR_CHECK_MSG(size >= 1, "TransportHub needs at least one rank");
   channels_.reserve(static_cast<std::size_t>(size) * size);
   for (int i = 0; i < size * size; ++i)
     channels_.push_back(std::make_unique<Channel<Message>>());
+}
+
+TransportHub::~TransportHub() {
+  Shutdown();
+  // Quiescence: by now every worker using this hub must have joined, so
+  // every acquired slab has been released (in-channel ones by Shutdown's
+  // drain, in-hand ones by the owning Message's destructor). A nonzero
+  // count means a PooledBuffer escaped its collective — a lifetime bug
+  // that would otherwise surface as silent memory growth.
+  DEAR_CHECK_MSG(pool_.stats().in_flight_buffers == 0,
+                 "TransportHub destroyed with pooled buffers still in flight");
 }
 
 Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
@@ -23,10 +36,22 @@ Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
 }
 
 bool TransportHub::Send(Rank src, Rank dst, Message msg) {
-  telemetry::OnMessageSent(src, msg.payload.size() * sizeof(float));
-  check::Checker::Get().OnTransportSend();
+  const std::size_t bytes = msg.payload.size() * sizeof(float);
+  telemetry::OnMessageSent(src, bytes);
+  check::Checker::Get().OnTransportSend(bytes);
   // The schedule point for the send is the channel's own kChannelSend.
   return ChannelFor(src, dst).Send(std::move(msg));
+}
+
+bool TransportHub::Send(Rank src, Rank dst, std::uint32_t tag,
+                        std::span<const float> data) {
+  Message msg;
+  msg.tag = tag;
+  msg.payload = pool_.Acquire(data.size());
+  if (!data.empty())
+    std::memcpy(msg.payload.data(), data.data(),
+                data.size() * sizeof(float));
+  return Send(src, dst, std::move(msg));
 }
 
 StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
@@ -54,7 +79,10 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
 }
 
 void TransportHub::Shutdown() {
+  // Close first so no sender can slip a message in behind the drain.
   for (auto& ch : channels_) ch->Close();
+  for (auto& ch : channels_) ch->Clear();
+  pool_.Drain();
 }
 
 }  // namespace dear::comm

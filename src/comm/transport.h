@@ -6,14 +6,22 @@
 // are carried only to detect protocol bugs (mismatched send/recv pairing
 // fails a DEAR_CHECK rather than deadlocking silently).
 //
+// Payloads ride pooled slabs (comm/buffer_pool.h): the span-based Send
+// acquires a recycled slab and writes the data straight into it, the
+// receiver consumes it in place, and the slab returns to the hub's pool
+// when the Message dies — zero heap allocations per steady-state message,
+// the in-process analogue of NCCL's registered buffers.
+//
 // This plays the role NCCL's bootstrap + ring/tree transports play on a real
-// cluster; see DESIGN.md §1 for the substitution rationale.
+// cluster; see DESIGN.md §1 and §10 for the substitution rationale.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "comm/buffer_pool.h"
 #include "common/channel.h"
 #include "common/status.h"
 #include "comm/types.h"
@@ -24,32 +32,57 @@ namespace dear::comm {
 /// comm/types.h — kind(8) | round(12) | chunk(12) — so a mismatched or
 /// blocked message can be decoded back to the collective that produced it
 /// (tags::Describe; used by the dearcheck diagnosis in src/check).
+/// Move-only: the payload is a pooled slab, not a copyable vector.
 struct Message {
   std::uint32_t tag{0};
-  std::vector<float> payload;
+  PooledBuffer payload;
+};
+
+struct TransportOptions {
+  /// false = every payload is a fresh heap allocation (the pre-pool
+  /// reference path; schedlab proves digests match either way).
+  bool use_pool{true};
 };
 
 class TransportHub {
  public:
   /// Creates a hub for `size` ranks. size >= 1.
-  explicit TransportHub(int size);
+  explicit TransportHub(int size, TransportOptions options = {});
+  /// Drains and asserts pool quiescence: every PooledBuffer this hub
+  /// handed out must be released by now (all worker threads joined).
+  ~TransportHub();
+
+  TransportHub(const TransportHub&) = delete;
+  TransportHub& operator=(const TransportHub&) = delete;
 
   [[nodiscard]] int size() const noexcept { return size_; }
 
+  /// The slab pool payloads are acquired from (exposed for stats and for
+  /// staged zero-copy writes).
+  [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+
   /// Enqueues `msg` on the (src, dst) channel. Returns false if shut down.
   bool Send(Rank src, Rank dst, Message msg);
+
+  /// Pooled-payload send: acquires a slab from the hub's pool, copies
+  /// `data` into it once, and enqueues. Returns false if shut down.
+  bool Send(Rank src, Rank dst, std::uint32_t tag,
+            std::span<const float> data);
 
   /// Blocks for the next message on the (src, dst) channel; verifies the tag
   /// matches `expected_tag`. Returns Unavailable after Shutdown().
   StatusOr<Message> Recv(Rank src, Rank dst, std::uint32_t expected_tag);
 
-  /// Closes every channel, releasing any blocked receiver.
+  /// Closes every channel (releasing any blocked receiver), then drains
+  /// queued messages so their slabs return to the pool even when no
+  /// receiver will ever claim them (e.g. a dearcheck trip mid-collective).
   void Shutdown();
 
  private:
   Channel<Message>& ChannelFor(Rank src, Rank dst);
 
   int size_;
+  BufferPool pool_;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;  // size*size
 };
 

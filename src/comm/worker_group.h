@@ -20,7 +20,9 @@ class WorkerGroup {
  public:
   using Body = std::function<void(Communicator&)>;
 
-  WorkerGroup(int world_size, const Body& body) : hub_(world_size) {
+  WorkerGroup(int world_size, const Body& body,
+              TransportOptions options = {})
+      : hub_(world_size, options) {
     threads_.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
       threads_.emplace_back([this, r, &body] {
@@ -53,8 +55,9 @@ class WorkerGroup {
 };
 
 /// Convenience wrapper: construct, run, join.
-inline void RunOnRanks(int world_size, const WorkerGroup::Body& body) {
-  WorkerGroup group(world_size, body);
+inline void RunOnRanks(int world_size, const WorkerGroup::Body& body,
+                       TransportOptions options = {}) {
+  WorkerGroup group(world_size, body, options);
   group.Join();
 }
 

@@ -5,15 +5,24 @@
 // safe for multiple producers/consumers, which the async comm engine relies
 // on for its request queue.
 //
+// The queue is a power-of-two ring over default-constructed slots rather
+// than a std::deque: a deque recycles a ~512-byte block every dozen
+// push/pop cycles, which would count as per-message heap traffic on the
+// zero-copy transport path (bench/transport_path gates steady-state sends
+// at 0 allocations). Once the ring has grown to the high-water mark,
+// send/recv never touch the allocator. T must be default-constructible and
+// move-assignable.
+//
 // Close semantics follow Go channels: Send on a closed channel fails,
 // Recv drains remaining items and then reports closed.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
+#include <cstddef>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/schedule_point.h"
 
@@ -32,7 +41,9 @@ class Channel {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
-      queue_.push_back(std::move(item));
+      if (count_ == buffer_.size()) GrowLocked();
+      buffer_[(head_ + count_) & (buffer_.size() - 1)] = std::move(item);
+      ++count_;
     }
     cv_.notify_one();
     return true;
@@ -45,20 +56,16 @@ class Channel {
     // wait on the schedlab controller) runs after the lock is released.
     schedpoint::ScopedBlock block(schedpoint::Site::kChannelRecv);
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;
-    T item = std::move(queue_.front());
-    queue_.pop_front();
-    return item;
+    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    return PopLocked();
   }
 
   /// Non-blocking receive.
   std::optional<T> TryRecv() {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    T item = std::move(queue_.front());
-    queue_.pop_front();
-    return item;
+    if (count_ == 0) return std::nullopt;
+    return PopLocked();
   }
 
   /// Closes the channel; wakes all blocked receivers.
@@ -70,6 +77,20 @@ class Channel {
     cv_.notify_all();
   }
 
+  /// Destroys every queued item and returns how many were discarded.
+  /// Queued pooled payloads release their slabs here — the drain step of
+  /// TransportHub::Shutdown.
+  std::size_t Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t dropped = count_;
+    while (count_ > 0) {
+      buffer_[head_] = T{};
+      head_ = (head_ + 1) & (buffer_.size() - 1);
+      --count_;
+    }
+    return dropped;
+  }
+
   [[nodiscard]] bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
@@ -77,13 +98,36 @@ class Channel {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return count_;
   }
 
  private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  /// Doubles the ring (called full), re-packing live items from slot 0.
+  void GrowLocked() {
+    const std::size_t cap = buffer_.size();
+    std::vector<T> next(cap == 0 ? kInitialCapacity : cap * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = std::move(buffer_[(head_ + i) & (cap - 1)]);
+    buffer_ = std::move(next);
+    head_ = 0;
+  }
+
+  /// Pops the front item; the vacated slot keeps a moved-from shell that
+  /// the next Send overwrites.
+  T PopLocked() {
+    T item = std::move(buffer_[head_]);
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --count_;
+    return item;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<T> queue_;
+  std::vector<T> buffer_;  // power-of-two ring; [head_, head_+count_) live
+  std::size_t head_{0};
+  std::size_t count_{0};
   bool closed_{false};
 };
 

@@ -166,6 +166,38 @@ void MeasureSimulator(SuiteBuilder& b, const std::string& model_name,
         /*higher_is_better=*/false, kSimGateRatio);
 }
 
+/// Deterministic: steady-state heap allocations per pooled transport
+/// message, observed as the pool's miss-count delta over a settled
+/// send/recv loop. Any regression off the zero-copy path (a dropped size
+/// class, a payload that stops riding the slab) shows up as misses, so the
+/// recorded value moves and the tight gate fails. Recorded as
+/// 1 + allocs/msg because perf_gate cannot ratio-gate a 0 median — the
+/// scale floors at exactly 1.0 and the kSimGateRatio ceiling rejects any
+/// new per-message allocation. bench/transport_path holds the exact
+/// operator-new count for the same path.
+void MeasureTransportPath(SuiteBuilder& b, int repeats) {
+  constexpr std::size_t kMsgElems = 64 * 1024;  // 256 KiB payload
+  constexpr int kWarmup = 8;
+  constexpr int kCounted = 64;
+  comm::TransportHub hub(1);
+  const std::vector<float> payload(kMsgElems, 1.0f);
+  std::uint32_t tag = 0;
+  auto roundtrip = [&] {
+    hub.Send(0, 0, tag, payload);
+    (void)hub.Recv(0, 0, tag);
+    ++tag;
+  };
+  for (int i = 0; i < kWarmup; ++i) roundtrip();
+  for (int rep = 0; rep < repeats; ++rep) {
+    const std::int64_t before = hub.pool().stats().misses;
+    for (int i = 0; i < kCounted; ++i) roundtrip();
+    const double allocs_per_msg =
+        static_cast<double>(hub.pool().stats().misses - before) / kCounted;
+    b.Add("transport.alloc_per_msg", {{"kb", "256"}}, 1.0 + allocs_per_msg,
+          "1+allocs", /*higher_is_better=*/false, kSimGateRatio);
+  }
+}
+
 /// Wall-clock: cost of one *disabled* schedule point — the acquire load
 /// every instrumented blocking primitive pays in production. Gated in the
 /// quick suite so the schedlab hooks can never silently grow a hot-path
@@ -186,19 +218,21 @@ void MeasureSchedulePoint(SuiteBuilder& b, int repeats) {
 BenchSuite RunQuick(const SuiteRunOptions& options) {
   SuiteBuilder b("quick", options);
   const int r = b.repeats(5);
-  b.Note("[1/4] runtime: threaded training (dear, wfbp) ...");
+  b.Note("[1/5] runtime: threaded training (dear, wfbp) ...");
   MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
                          /*iters=*/4, r);
   MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
                          /*iters=*/4, r);
-  b.Note("[2/4] comm: ring all-reduce ...");
+  b.Note("[2/5] comm: ring all-reduce ...");
   MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
-  b.Note("[3/4] simulator: evaluate + deterministic figures ...");
+  b.Note("[3/5] comm: pooled transport allocations ...");
+  MeasureTransportPath(b, r);
+  b.Note("[4/5] simulator: evaluate + deterministic figures ...");
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
                    r);
   MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
-  b.Note("[4/4] schedlab: disabled schedule-point cost ...");
+  b.Note("[5/5] schedlab: disabled schedule-point cost ...");
   MeasureSchedulePoint(b, r);
   return b.Take();
 }

@@ -155,13 +155,16 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
     sum_ref.push_back(MakeInput(options.payload_seed, r, n));
     avg_ref.push_back(sum_ref.back());
   }
-  comm::RunOnRanks(world, [&](comm::Communicator& comm) {
-    const auto r = static_cast<std::size_t>(comm.rank());
-    (void)comm::RingAllReduce(comm, std::span<float>(sum_ref[r]),
-                              comm::ReduceOp::kSum);
-    (void)comm::RingAllReduce(comm, std::span<float>(avg_ref[r]),
-                              comm::ReduceOp::kAvg);
-  });
+  comm::RunOnRanks(
+      world,
+      [&](comm::Communicator& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        (void)comm::RingAllReduce(comm, std::span<float>(sum_ref[r]),
+                                  comm::ReduceOp::kSum);
+        (void)comm::RingAllReduce(comm, std::span<float>(avg_ref[r]),
+                                  comm::ReduceOp::kAvg);
+      },
+      {.use_pool = options.use_pool});
 
   std::vector<std::vector<float>> sum_out;
   std::vector<std::vector<float>> avg_out;
@@ -171,7 +174,7 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
   }
   std::vector<Status> status(static_cast<std::size_t>(world), Status::Ok());
 
-  comm::TransportHub hub(world);
+  comm::TransportHub hub(world, {.use_pool = options.use_pool});
   report.schedule =
       RunRanked(picker, world, world, hub, [&](comm::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
@@ -260,7 +263,7 @@ PropertyReport CheckAllCollectives(Picker& picker,
 
   std::vector<Status> status(uw, Status::Ok());
 
-  comm::TransportHub hub(world);
+  comm::TransportHub hub(world, {.use_pool = options.use_pool});
   report.schedule =
       RunRanked(picker, world, world, hub, [&](comm::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
@@ -405,7 +408,7 @@ PropertyReport CheckTrainingStep(Picker& picker,
   checker_options.watchdog_timeout_s = 0;
   checker.Enable(world, checker_options);
 
-  comm::TransportHub hub(world);
+  comm::TransportHub hub(world, {.use_pool = options.use_pool});
   checker.SetTripHandler([&hub] { hub.Shutdown(); });
 
   std::vector<std::vector<std::vector<float>>> params(uw);

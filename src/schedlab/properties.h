@@ -35,6 +35,10 @@ struct PropertyOptions {
   /// divisibility constraints.
   std::size_t elems{24};
   std::uint64_t payload_seed{1234};
+  /// Transport slab pooling (comm/buffer_pool.h). Running the same seeds
+  /// with the pool on and off must produce identical digests — slab reuse
+  /// is invisible to the collectives' arithmetic.
+  bool use_pool{true};
 };
 
 struct PropertyReport {

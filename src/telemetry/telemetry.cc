@@ -37,6 +37,11 @@ void Runtime::Enable(int world_size) {
                           &reg.GetCounter("comm.bytes_received")});
   }
   global_.Reset();
+  pool_ = {&global_.GetCounter("transport.pool.hits"),
+           &global_.GetCounter("transport.pool.misses"),
+           &global_.GetCounter("transport.pool.releases"),
+           &global_.GetCounter("transport.pool.bytes_acquired"),
+           &global_.GetGauge("transport.pool.bytes_in_flight")};
   trace_.Clear();
   origin_ = std::chrono::steady_clock::now();
   session_.fetch_add(1, std::memory_order_relaxed);
@@ -59,6 +64,24 @@ void OnMessageReceived(int dst, std::size_t bytes) noexcept {
   if (!tc) return;
   tc->messages_received->Add(1);
   tc->bytes_received->Add(static_cast<std::int64_t>(bytes));
+}
+
+void OnPoolAcquire(bool hit, std::size_t bytes,
+                   std::int64_t in_flight_bytes) noexcept {
+  Runtime& rt = Runtime::Get();
+  if (!rt.enabled()) return;
+  Runtime::PoolCounters* pc = rt.pool_counters();
+  (hit ? pc->hits : pc->misses)->Add(1);
+  pc->bytes_acquired->Add(static_cast<std::int64_t>(bytes));
+  pc->bytes_in_flight->Set(static_cast<double>(in_flight_bytes));
+}
+
+void OnPoolRelease(std::int64_t in_flight_bytes) noexcept {
+  Runtime& rt = Runtime::Get();
+  if (!rt.enabled()) return;
+  Runtime::PoolCounters* pc = rt.pool_counters();
+  pc->releases->Add(1);
+  pc->bytes_in_flight->Set(static_cast<double>(in_flight_bytes));
 }
 
 // Per-thread cache of resolved per-(rank, kind) metric pointers: each comm

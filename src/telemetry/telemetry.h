@@ -94,6 +94,18 @@ class Runtime {
     return &transport_[static_cast<std::size_t>(rank)];
   }
 
+  /// Pre-resolved buffer-pool counters (global registry — pools are
+  /// per-hub, not per-rank) so the Acquire/Release hooks stay two relaxed
+  /// adds plus a gauge store.
+  struct PoolCounters {
+    Counter* hits{nullptr};
+    Counter* misses{nullptr};
+    Counter* releases{nullptr};
+    Counter* bytes_acquired{nullptr};
+    Gauge* bytes_in_flight{nullptr};
+  };
+  [[nodiscard]] PoolCounters* pool_counters() noexcept { return &pool_; }
+
   /// Wall-clock nanoseconds since Enable() (monotonic).
   [[nodiscard]] SimTime NowNs() const noexcept {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -108,6 +120,7 @@ class Runtime {
   int world_size_{0};
   std::vector<std::unique_ptr<MetricsRegistry>> ranks_;
   std::vector<TransportCounters> transport_;
+  PoolCounters pool_;
   MetricsRegistry global_;
   TraceRecorder trace_;
   std::chrono::steady_clock::time_point origin_{};
@@ -119,6 +132,14 @@ class Runtime {
 /// arrived at rank `dst`.
 void OnMessageSent(int src, std::size_t bytes) noexcept;
 void OnMessageReceived(int dst, std::size_t bytes) noexcept;
+
+/// Buffer-pool accounting (global registry, "transport.pool.*"): one slab
+/// of `bytes` capacity was acquired from the free list (`hit`) or the heap
+/// (miss), or released. `in_flight_bytes` is the pool's outstanding
+/// capacity after the operation, mirrored into a gauge.
+void OnPoolAcquire(bool hit, std::size_t bytes,
+                   std::int64_t in_flight_bytes) noexcept;
+void OnPoolRelease(std::int64_t in_flight_bytes) noexcept;
 
 /// One completed collective on `rank`: bumps per-kind counters, observes
 /// the latency and payload-size histograms, and emits a comm-lane trace

@@ -148,5 +148,56 @@ TEST(ChannelTest, MoveOnlyPayload) {
   EXPECT_EQ(**v, 5);
 }
 
+TEST(ChannelTest, ClearDropsQueuedItemsAndReportsCount) {
+  Channel<int> ch;
+  for (int i = 0; i < 5; ++i) ch.Send(i);
+  EXPECT_EQ(ch.Clear(), 5u);
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_EQ(ch.Clear(), 0u);
+  // The channel is still usable after a Clear (Shutdown Closes first; a
+  // bare Clear only empties the queue).
+  ch.Send(42);
+  EXPECT_EQ(*ch.Recv(), 42);
+}
+
+// Clear must run queued items' destructors — the transport relies on this
+// to return stranded pooled slabs on Shutdown.
+TEST(ChannelTest, ClearDestroysQueuedItems) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> count;
+    Probe() = default;
+    explicit Probe(std::shared_ptr<int> c) : count(std::move(c)) {}
+    Probe(Probe&&) = default;
+    Probe& operator=(Probe&& other) {
+      if (count) ++*count;
+      count = std::move(other.count);
+      return *this;
+    }
+    ~Probe() {
+      if (count) ++*count;
+    }
+  };
+  Channel<Probe> ch;
+  ch.Send(Probe(counter));
+  ch.Send(Probe(counter));
+  ASSERT_EQ(counter.use_count(), 3);
+  ch.Clear();
+  EXPECT_EQ(counter.use_count(), 1);  // both queued probes released
+}
+
+// FIFO order must survive ring-buffer growth, including growth from a
+// wrapped state (head mid-buffer when the capacity doubles).
+TEST(ChannelTest, FifoSurvivesGrowthWhileWrapped) {
+  Channel<int> ch;
+  int next_send = 0, next_recv = 0;
+  // Offset the head so the ring is wrapped when it fills.
+  for (int i = 0; i < 11; ++i) ch.Send(next_send++);
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(*ch.Recv(), next_recv++);
+  for (int i = 0; i < 100; ++i) ch.Send(next_send++);  // forces regrowth
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(*ch.Recv(), next_recv++);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
 }  // namespace
 }  // namespace dear

@@ -128,58 +128,72 @@ struct OpCase {
   int world;
   std::size_t elems;
   ReduceOp op;
+  /// Each case runs with the slab pool on and off: recycled buffers must be
+  /// arithmetically invisible (same bits either way).
+  bool use_pool;
 };
 
 class ReduceOpSweep : public ::testing::TestWithParam<OpCase> {};
 
 TEST_P(ReduceOpSweep, RingAllReduceMatchesReference) {
-  const auto [world, elems, op] = GetParam();
+  const auto [world, elems, op, use_pool] = GetParam();
   const auto ref = Reference(world, elems, op);
   const bool exact = op == ReduceOp::kMax || op == ReduceOp::kMin;
-  RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
-    auto data = MakeInput(comm.rank(), n);
-    ASSERT_TRUE(RingAllReduce(comm, data, o).ok());
-    ExpectNear(data, ref, exact ? 0.0f : 1e-4f);
-  });
+  RunOnRanks(
+      world,
+      [&, n = elems, o = op](Communicator& comm) {
+        auto data = MakeInput(comm.rank(), n);
+        ASSERT_TRUE(RingAllReduce(comm, data, o).ok());
+        ExpectNear(data, ref, exact ? 0.0f : 1e-4f);
+      },
+      {.use_pool = use_pool});
 }
 
 TEST_P(ReduceOpSweep, ReduceScatterOwnChunkMatchesReference) {
-  const auto [world, elems, op] = GetParam();
+  const auto [world, elems, op, use_pool] = GetParam();
   const auto ref = Reference(world, elems, op);
   const bool exact = op == ReduceOp::kMax || op == ReduceOp::kMin;
-  RunOnRanks(world, [&, w = world, n = elems, o = op](Communicator& comm) {
-    auto data = MakeInput(comm.rank(), n);
-    ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
-    const Range own = ChunkRange(n, static_cast<std::size_t>(w),
-                                 static_cast<std::size_t>(comm.rank()));
-    for (std::size_t i = own.begin; i < own.end; ++i) {
-      if (exact) {
-        ASSERT_EQ(data[i], ref[i]) << "at index " << i;
-      } else {
-        ASSERT_NEAR(data[i], ref[i], 1e-4f) << "at index " << i;
-      }
-    }
-  });
+  RunOnRanks(
+      world,
+      [&, w = world, n = elems, o = op](Communicator& comm) {
+        auto data = MakeInput(comm.rank(), n);
+        ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
+        const Range own = ChunkRange(n, static_cast<std::size_t>(w),
+                                     static_cast<std::size_t>(comm.rank()));
+        for (std::size_t i = own.begin; i < own.end; ++i) {
+          if (exact) {
+            ASSERT_EQ(data[i], ref[i]) << "at index " << i;
+          } else {
+            ASSERT_NEAR(data[i], ref[i], 1e-4f) << "at index " << i;
+          }
+        }
+      },
+      {.use_pool = use_pool});
 }
 
 TEST_P(ReduceOpSweep, DecoupledPairMatchesFusedBitwise) {
-  const auto [world, elems, op] = GetParam();
-  // Fused reference per rank, computed first on its own cluster.
+  const auto [world, elems, op, use_pool] = GetParam();
+  // Fused reference per rank, computed first on its own cluster. It always
+  // runs pooled, so the pool-off pair cases also prove pooled == unpooled
+  // bitwise, not just RS;AG == fused.
   std::vector<std::vector<float>> fused(static_cast<std::size_t>(world));
   RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
     auto data = MakeInput(comm.rank(), n);
     ASSERT_TRUE(RingAllReduce(comm, data, o).ok());
     fused[static_cast<std::size_t>(comm.rank())] = std::move(data);
   });
-  RunOnRanks(world, [&, n = elems, o = op](Communicator& comm) {
-    auto data = MakeInput(comm.rank(), n);
-    ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
-    ASSERT_TRUE(RingAllGather(comm, data).ok());
-    const auto& want = fused[static_cast<std::size_t>(comm.rank())];
-    ASSERT_EQ(data.size(), want.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-      ASSERT_EQ(data[i], want[i]) << "bit divergence at index " << i;
-  });
+  RunOnRanks(
+      world,
+      [&, n = elems, o = op](Communicator& comm) {
+        auto data = MakeInput(comm.rank(), n);
+        ASSERT_TRUE(RingReduceScatter(comm, data, o).ok());
+        ASSERT_TRUE(RingAllGather(comm, data).ok());
+        const auto& want = fused[static_cast<std::size_t>(comm.rank())];
+        ASSERT_EQ(data.size(), want.size());
+        for (std::size_t i = 0; i < data.size(); ++i)
+          ASSERT_EQ(data[i], want[i]) << "bit divergence at index " << i;
+      },
+      {.use_pool = use_pool});
 }
 
 std::vector<OpCase> AllOpCases() {
@@ -189,7 +203,8 @@ std::vector<OpCase> AllOpCases() {
                                     std::size_t{13}, std::size_t{48}})
       for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kAvg,
                                 ReduceOp::kMax, ReduceOp::kMin})
-        cases.push_back({world, elems, op});
+        for (const bool use_pool : {true, false})
+          cases.push_back({world, elems, op, use_pool});
   return cases;
 }
 
@@ -198,7 +213,8 @@ INSTANTIATE_TEST_SUITE_P(OpSweep, ReduceOpSweep,
                          [](const auto& info) {
                            return "p" + std::to_string(info.param.world) +
                                   "_n" + std::to_string(info.param.elems) +
-                                  "_" + std::string(ReduceOpName(info.param.op));
+                                  "_" + std::string(ReduceOpName(info.param.op)) +
+                                  (info.param.use_pool ? "_pool" : "_nopool");
                          });
 
 TEST(ReduceScatterTest, OwnChunkIsFullyReduced) {

@@ -1,0 +1,83 @@
+#include "comm/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dear::comm {
+namespace {
+
+std::vector<float> RandomVec(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  return v;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;  // data() may be null; memcmp forbids that
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// The unrolled kernels must be bitwise identical to the scalar ApplyOp
+// reference for every op and for every tail length (n % 4 in 0..3).
+TEST(KernelsTest, ReduceIntoMatchesScalarReferenceBitwise) {
+  for (const ReduceOp op :
+       {ReduceOp::kSum, ReduceOp::kAvg, ReduceOp::kMax, ReduceOp::kMin}) {
+    for (const std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 1001u}) {
+      std::vector<float> acc = RandomVec(11, n);
+      std::vector<float> ref = acc;
+      const std::vector<float> in = RandomVec(22, n);
+      kernels::ReduceInto(op, acc, in);
+      kernels::internal::ReduceIntoScalar(op, ref, in);
+      EXPECT_TRUE(BitwiseEqual(acc, ref))
+          << "op=" << static_cast<int>(op) << " n=" << n;
+    }
+  }
+}
+
+// Folding the scale into the reduce must equal sum-then-scale exactly:
+// per element, both paths compute fl(fl(a+b) * s).
+TEST(KernelsTest, ReduceIntoScaledEqualsSumThenScaleBitwise) {
+  for (const std::size_t n : {1u, 5u, 64u, 333u}) {
+    const float inv = 1.0f / 7.0f;
+    std::vector<float> fused = RandomVec(33, n);
+    std::vector<float> staged = fused;
+    const std::vector<float> in = RandomVec(44, n);
+    kernels::ReduceIntoScaled(fused, in, inv);
+    kernels::ReduceInto(ReduceOp::kSum, staged, in);
+    kernels::Scale(staged, inv);
+    EXPECT_TRUE(BitwiseEqual(fused, staged)) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ScaleMultipliesEveryElement) {
+  std::vector<float> v{1.0f, -2.0f, 4.0f, 8.0f, 16.0f};
+  kernels::Scale(v, 0.5f);
+  EXPECT_EQ(v, (std::vector<float>{0.5f, -1.0f, 2.0f, 4.0f, 8.0f}));
+}
+
+TEST(KernelsTest, MaxMinHandleEqualValuesLikeReference) {
+  // Ties must keep the accumulator (strict > / < select), matching the
+  // scalar reference's `if (v > acc)` behavior — including signed zeros.
+  std::vector<float> acc{0.0f, 1.0f, -1.0f};
+  std::vector<float> in{-0.0f, 1.0f, -1.0f};
+  std::vector<float> ref = acc;
+  kernels::ReduceInto(ReduceOp::kMax, acc, in);
+  kernels::internal::ReduceIntoScalar(ReduceOp::kMax, ref, in);
+  EXPECT_TRUE(BitwiseEqual(acc, ref));
+}
+
+TEST(KernelsTest, EmptySpansAreNoOps) {
+  std::vector<float> empty;
+  kernels::ReduceInto(ReduceOp::kSum, empty, {});
+  kernels::ReduceIntoScaled(empty, {}, 0.5f);
+  kernels::Scale(empty, 0.5f);
+}
+
+}  // namespace
+}  // namespace dear::comm

@@ -105,6 +105,30 @@ TEST(SchedLab, PropertySuitePassesAcrossSeeds) {
       << "schedule changed a result bit across fuzz seeds";
 }
 
+TEST(SchedLab, PoolOnAndOffProduceIdenticalDigests) {
+  // Transport slab pooling must be invisible to the results: the same
+  // fuzz seeds with the pool enabled and disabled (fresh allocation per
+  // message) must agree on every output bit, under fuzzed schedules.
+  PropertyOptions pooled;
+  pooled.world = 2;
+  pooled.elems = 16;
+  pooled.use_pool = true;
+  PropertyOptions unpooled = pooled;
+  unpooled.use_pool = false;
+
+  const int seeds = testenv::FuzzSchedules(/*fallback=*/2);
+  for (int i = 0; i < seeds; ++i) {
+    const auto seed = 4000ULL + static_cast<std::uint64_t>(i);
+    const PropertyReport with = RunPropertySuite(seed, pooled);
+    const PropertyReport without = RunPropertySuite(seed, unpooled);
+    ASSERT_TRUE(with.ok) << "pooled, seed " << seed << ": " << with.failure;
+    ASSERT_TRUE(without.ok)
+        << "unpooled, seed " << seed << ": " << without.failure;
+    EXPECT_EQ(with.result_digest, without.result_digest)
+        << "slab pooling changed a result bit (seed " << seed << ")";
+  }
+}
+
 TEST(SchedLab, PropertySuiteHandlesThreeRanks) {
   PropertyOptions options;
   options.world = 3;  // odd world: exercises non-divisible chunking paths

@@ -5,33 +5,38 @@
 #include "test_env.h"
 
 #include <thread>
+#include <vector>
 
 namespace dear::comm {
 namespace {
 
+std::vector<float> ToVector(const PooledBuffer& buf) {
+  return {buf.begin(), buf.end()};
+}
+
 TEST(TransportTest, PointToPointDelivery) {
   TransportHub hub(2);
-  hub.Send(0, 1, {42, {1.0f, 2.0f}});
+  hub.Send(0, 1, 42, std::vector<float>{1.0f, 2.0f});
   auto msg = hub.Recv(0, 1, 42);
   ASSERT_TRUE(msg.ok());
-  EXPECT_EQ(msg->payload, (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(ToVector(msg->payload), (std::vector<float>{1.0f, 2.0f}));
 }
 
 TEST(TransportTest, ChannelsAreDirectional) {
   TransportHub hub(2);
-  hub.Send(0, 1, {1, {5.0f}});
-  hub.Send(1, 0, {2, {7.0f}});
+  hub.Send(0, 1, 1, std::vector<float>{5.0f});
+  hub.Send(1, 0, 2, std::vector<float>{7.0f});
   auto a = hub.Recv(0, 1, 1);
   auto b = hub.Recv(1, 0, 2);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_EQ(a->payload[0], 5.0f);
-  EXPECT_EQ(b->payload[0], 7.0f);
+  EXPECT_EQ(a->payload.data()[0], 5.0f);
+  EXPECT_EQ(b->payload.data()[0], 7.0f);
 }
 
 TEST(TransportTest, TagMismatchReturnsInternal) {
   TransportHub hub(2);
-  hub.Send(0, 1, {10, {}});
+  hub.Send(0, 1, 10, {});
   auto msg = hub.Recv(0, 1, 11);
   ASSERT_FALSE(msg.ok());
   EXPECT_EQ(msg.status().code(), StatusCode::kInternal);
@@ -39,12 +44,14 @@ TEST(TransportTest, TagMismatchReturnsInternal) {
 
 TEST(TransportTest, FifoPerDirectedPair) {
   TransportHub hub(2);
-  for (std::uint32_t i = 0; i < 16; ++i)
-    hub.Send(0, 1, {i, {static_cast<float>(i)}});
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    const float v = static_cast<float>(i);
+    hub.Send(0, 1, i, std::span<const float>(&v, 1));
+  }
   for (std::uint32_t i = 0; i < 16; ++i) {
     auto msg = hub.Recv(0, 1, i);
     ASSERT_TRUE(msg.ok());
-    EXPECT_EQ(msg->payload[0], static_cast<float>(i));
+    EXPECT_EQ(msg->payload.data()[0], static_cast<float>(i));
   }
 }
 
@@ -63,28 +70,64 @@ TEST(TransportTest, ShutdownUnblocksReceiver) {
 TEST(TransportTest, SendAfterShutdownFails) {
   TransportHub hub(2);
   hub.Shutdown();
-  EXPECT_FALSE(hub.Send(0, 1, {0, {}}));
+  EXPECT_FALSE(hub.Send(0, 1, 0, {}));
 }
 
 TEST(TransportTest, SelfChannelWorks) {
   TransportHub hub(1);
-  hub.Send(0, 0, {3, {9.0f}});
+  hub.Send(0, 0, 3, std::vector<float>{9.0f});
   auto msg = hub.Recv(0, 0, 3);
   ASSERT_TRUE(msg.ok());
-  EXPECT_EQ(msg->payload[0], 9.0f);
+  EXPECT_EQ(msg->payload.data()[0], 9.0f);
 }
 
 TEST(TransportTest, CrossThreadBlockingDelivery) {
   TransportHub hub(2);
   std::thread sender([&] {
     testenv::SleepMs(5);
-    hub.Send(1, 0, {77, {3.5f}});
+    hub.Send(1, 0, 77, std::vector<float>{3.5f});
   });
   auto msg = hub.Recv(1, 0, 77);
   ASSERT_TRUE(msg.ok());
-  EXPECT_EQ(msg->payload[0], 3.5f);
+  EXPECT_EQ(msg->payload.data()[0], 3.5f);
   sender.join();
 }
+
+// The payload of a delivered message is the same slab the sender wrote
+// into — consuming it in place and letting the Message die returns it to
+// the pool, where the next same-size Send picks it up (a pool hit).
+TEST(TransportTest, SteadyStateSendsReuseSlabs) {
+  TransportHub hub(2);
+  const std::vector<float> data(256, 1.5f);
+  for (int i = 0; i < 10; ++i) {
+    hub.Send(0, 1, 7, data);
+    auto msg = hub.Recv(0, 1, 7);
+    ASSERT_TRUE(msg.ok());
+  }
+  const PoolStats stats = hub.pool().stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the first Send allocates
+  EXPECT_EQ(stats.hits, 9u);
+  EXPECT_EQ(stats.in_flight_buffers, 0u);
+}
+
+TEST(TransportTest, PoolDisabledStillDelivers) {
+  TransportHub hub(2, {.use_pool = false});
+  hub.Send(0, 1, 5, std::vector<float>{4.0f, 8.0f});
+  auto msg = hub.Recv(0, 1, 5);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(ToVector(msg->payload), (std::vector<float>{4.0f, 8.0f}));
+  EXPECT_EQ(hub.pool().stats().hits, 0u);
+}
+
+// Messages still queued at Shutdown (receiver never claimed them) must
+// have their slabs drained back so the hub's quiescence check passes.
+TEST(TransportTest, ShutdownReleasesQueuedPayloads) {
+  TransportHub hub(2);
+  hub.Send(0, 1, 1, std::vector<float>(128, 2.0f));
+  hub.Send(0, 1, 2, std::vector<float>(128, 3.0f));
+  hub.Shutdown();
+  EXPECT_EQ(hub.pool().stats().in_flight_buffers, 0u);
+}  // ~TransportHub re-checks quiescence
 
 }  // namespace
 }  // namespace dear::comm

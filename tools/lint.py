@@ -16,6 +16,12 @@ Rules (suppress one occurrence with `// lint: allow(<rule>)` on the line):
                       sender and receiver.
   using-namespace-in-header
                       Headers must not hoist namespaces into every includer.
+  raw-payload-buffer  (src/comm only) Transport payloads ride pooled slabs
+                      (comm::PooledBuffer). Declaring a std::vector<float>
+                      payload, assigning one as a payload, or copying a
+                      message payload into a fresh vector reintroduces the
+                      per-message heap traffic the zero-copy transport
+                      removed (bench/transport_path gates it at 0 allocs).
 
 Usage: python3 tools/lint.py [--root DIR] [paths...]
 Exits 1 if any finding survives suppression, 0 on a clean tree.
@@ -125,6 +131,14 @@ ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<[^;{}]*?>|_flag|_bool|_int)\s+(\w+)
 
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 
+# Directory whose payloads must ride comm::PooledBuffer, never raw vectors.
+RAW_PAYLOAD_DIR = "src/comm/"
+RAW_PAYLOAD_RE = re.compile(
+    r"std::vector<\s*float\s*>\s+payload\b"        # vector declared as payload
+    r"|payload\s*=\s*std::vector<\s*float\s*>"     # vector assigned as payload
+    r"|std::vector<\s*float\s*>\s+\w+\s*[({][^;]*payload"  # payload copied out
+)
+
 SHIFT_BY_LITERAL_RE = re.compile(r"(<<|>>)\s*\d")
 HEX_MASK_RE = re.compile(r"&\s*0[xX][0-9a-fA-F]+|0[xX][0-9a-fA-F]+\s*&")
 TAG_CONTEXT_RE = re.compile(r"\btags?\b|\bTag[A-Z]|_tag\b|\btag_|MakeTag|msg->tag")
@@ -212,6 +226,17 @@ class Linter:
                         "ChunkOf)",
                         raw_line(i))
 
+        # Rule: raw-payload-buffer (transport layer only).
+        if RAW_PAYLOAD_DIR in path.replace(os.sep, "/"):
+            for i, line in enumerate(lines):
+                if RAW_PAYLOAD_RE.search(line):
+                    self.report(
+                        path, i + 1, "raw-payload-buffer",
+                        "raw std::vector<float> message payload — transport "
+                        "payloads must ride comm::PooledBuffer (pooled "
+                        "zero-copy slabs)",
+                        raw_line(i))
+
         # Rule: using-namespace-in-header.
         if is_header:
             for i, line in enumerate(lines):
@@ -250,6 +275,11 @@ struct Bad {
     (void)tag;
     mutex_.unlock();  // suppressed: lint: allow(raw-mutex-lock)
   }
+  std::vector<float> payload;  // finding: raw-payload-buffer
+  void CopyOut(const Message& m) {
+    std::vector<float> copy(m.payload.begin(), m.payload.end());  // finding: raw-payload-buffer
+    (void)copy;
+  }
 };
 """
 
@@ -258,6 +288,7 @@ SELFTEST_EXPECT = {
     "raw-mutex-lock": 1,  # the .unlock() is suppressed
     "atomic-memory-order": 2,
     "tag-magic-bits": 1,
+    "raw-payload-buffer": 2,
 }
 
 
@@ -266,15 +297,16 @@ def selftest():
     expected — guards the linter itself against silent regressions."""
     import tempfile
 
-    with tempfile.NamedTemporaryFile(
-            "w", suffix=".h", delete=False) as f:
-        f.write(SELFTEST_SOURCE)
-        path = f.name
-    try:
+    # The snippet lives under src/comm/ so the path-scoped
+    # raw-payload-buffer rule also fires on it.
+    with tempfile.TemporaryDirectory() as tmpdir:
+        comm_dir = os.path.join(tmpdir, "src", "comm")
+        os.makedirs(comm_dir)
+        path = os.path.join(comm_dir, "selftest_snippet.h")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(SELFTEST_SOURCE)
         linter = Linter()
         linter.lint_file(path)
-    finally:
-        os.unlink(path)
     got = {}
     for _, _, rule, _ in linter.findings:
         got[rule] = got.get(rule, 0) + 1
