@@ -1,0 +1,93 @@
+// Post-hoc merger for the flight recorder: reconstructs the cross-rank
+// happens-before DAG from per-rank journal snapshots and computes the
+// message-chain critical path.
+//
+// Complements src/analysis/timeline.h (PR 3): that attribution subtracts
+// *intervals* on one rank ("40 us exposed in AG"); this one follows
+// *messages* between ranks — each Recv record carries the causal ID
+// (src_rank, send_seq) its matching Send stamped into the comm::Message,
+// so the merger can pair them into edges, chain edges through per-rank
+// program order, and name the chain of sends whose cumulative in-flight
+// latency dominated the run (the straggler's path, HTA/Dapper style).
+//
+// `dearsim timeline` turns the same graph into a Chrome/Perfetto trace
+// with flow arrows from every Send slice to its Recv slice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "flightrec/journal.h"
+
+namespace dear::analysis {
+
+/// One journal record placed in the global event list.
+struct CausalEvent {
+  int rank{0};
+  flightrec::Record rec;
+};
+
+/// A matched Send -> Recv pair.
+struct MessageEdge {
+  std::size_t send_event{0};  // index into CausalGraph::events
+  std::size_t recv_event{0};
+  std::uint64_t causal{0};
+  std::uint64_t latency_ns{0};  // recv ts - send ts (0 if clock skewed)
+};
+
+struct CausalGraph {
+  std::vector<CausalEvent> events;
+  /// Per-rank event indices in journal (program) order.
+  std::vector<std::vector<std::size_t>> by_rank;
+  std::vector<MessageEdge> edges;
+  /// Send records whose matching recv is missing from the snapshot (in
+  /// flight at snapshot time, or evicted from the ring) and vice versa.
+  std::size_t unmatched_sends{0};
+  std::size_t unmatched_recvs{0};
+  /// False if any edge violates Lamport order (send stamp >= recv stamp)
+  /// — would indicate a recorder bug, not a schedule property.
+  bool lamport_consistent{true};
+};
+
+/// Builds the DAG from Recorder::SnapshotAll() output. Nodes are records;
+/// edges are per-rank program order (implicit, via by_rank) plus one
+/// MessageEdge per (send, recv) pair sharing a causal ID.
+[[nodiscard]] CausalGraph BuildCausalGraph(
+    const std::vector<std::vector<flightrec::Record>>& per_rank);
+
+/// The message-chain critical path: the sequence of message edges
+/// e1 -> e2 -> ... maximizing total in-flight latency, where consecutive
+/// edges are linked by program order on the relaying rank (e_i is received
+/// by the rank that later sends e_{i+1}). This is the cross-rank chain a
+/// straggler propagates along.
+struct CriticalChain {
+  std::vector<std::size_t> edge_indices;  // into CausalGraph::edges
+  std::uint64_t total_latency_ns{0};
+};
+[[nodiscard]] CriticalChain MessageCriticalPath(const CausalGraph& graph);
+
+/// Human-readable rendering of the chain (one hop per line).
+[[nodiscard]] std::string DescribeChain(const CausalGraph& graph,
+                                        const CriticalChain& chain);
+
+/// Fingerprint of the edge *set* — FNV-1a over the sorted multiset of
+/// (src, dst, per-channel rebased seq, tag, payload) tuples. Timestamps
+/// and Lamport values are excluded on purpose, and each channel's
+/// sequence numbers are rebased to their first value in the graph (the
+/// recorder's counters span the whole process): for a fixed workload the
+/// fingerprint must be invariant across thread schedules AND across
+/// earlier traffic in the same process (the schedlab DAG-invariance
+/// property), while any reordering of the actual message pairing changes
+/// it.
+[[nodiscard]] std::uint64_t EdgeSetFingerprint(const CausalGraph& graph);
+
+/// Renders the graph into `out` as one Perfetto process per rank:
+/// collective brackets on the "collectives" lane, send/recv instants on
+/// the "messages" lane with a flow arrow (bind_id = causal ID) from every
+/// send to its recv, and DistOptim group events on the "groups" lane.
+void BuildTimelineTrace(const CausalGraph& graph, TraceRecorder& out);
+
+}  // namespace dear::analysis

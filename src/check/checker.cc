@@ -22,6 +22,9 @@ double SecondsSince(Clock::time_point since, Clock::time_point now) {
 /// protocol-level ledger entry.
 thread_local int t_guard_depth = 0;
 
+/// Flight-recorder records appended to every diagnosis dump, per rank.
+constexpr std::size_t kDumpTailRecords = 8;
+
 }  // namespace
 
 Checker& Checker::Get() {
@@ -288,6 +291,12 @@ std::function<void()> Checker::TripLocked(const std::string& verdict) {
   if (tripped_.exchange(true, std::memory_order_acq_rel)) return {};
   report_ = verdict + "\n" + DumpLocked();
   DEAR_LOG(kError) << "dearcheck tripped: " << verdict;
+  // Persist the black box next to the report when DEAR_FLIGHTREC_DUMP is
+  // set (CI uploads these as artifacts alongside the replay log).
+  const std::string dump = flightrec::Recorder::Get().MaybeWriteDump("trip");
+  if (!dump.empty()) {
+    DEAR_LOG(kError) << "flight-recorder dump written to " << dump;
+  }
   return trip_handler_;
 }
 
@@ -337,6 +346,10 @@ std::string Checker::DumpLocked() const {
          std::to_string(sends_.load(std::memory_order_relaxed)) + " (" +
          std::to_string(send_bytes_.load(std::memory_order_relaxed)) +
          " payload bytes)";
+  // Black-box appendix: the last few flight-recorder events per rank put
+  // the wait-for graph above in message-level context (which send/recv
+  // each rank last completed, with causal IDs a timeline can follow).
+  out += "\n" + flightrec::Recorder::Get().DumpTail(kDumpTailRecords);
   return out;
 }
 
@@ -479,13 +492,20 @@ std::int64_t Checker::ledger_size(int rank) const {
 
 CollectiveGuard::CollectiveGuard(int rank, const char* kind,
                                  std::size_t elems) noexcept
-    : active_(t_guard_depth++ == 0 && Checker::Get().enabled()),
-      rank_(rank) {
+    : outermost_(t_guard_depth++ == 0), rank_(rank) {
+  active_ = outermost_ && Checker::Get().enabled();
+  if (outermost_) {
+    // Always-on black box: journal the protocol-level bracket even with
+    // no checker session, so hang dumps name the in-flight collective.
+    flight_name_ =
+        flightrec::Recorder::Get().OnCollectiveBegin(rank, kind, elems);
+  }
   if (active_) Checker::Get().OnCollectiveBegin(rank, kind, elems);
 }
 
 CollectiveGuard::~CollectiveGuard() {
   --t_guard_depth;
+  if (outermost_) flightrec::Recorder::Get().OnCollectiveEnd(rank_, flight_name_);
   if (active_) Checker::Get().OnCollectiveEnd(rank_);
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "comm/types.h"
+#include "flightrec/recorder.h"
 
 namespace dear::check {
 
@@ -224,7 +225,10 @@ class Checker {
 /// Top-level collective bracket for the blocking collectives. Nested
 /// collectives (the RS inside RingAllReduce, the leader ring inside the
 /// hierarchical pair) are suppressed by a per-thread depth counter, so the
-/// ledger records exactly the protocol-level operation sequence.
+/// ledger records exactly the protocol-level operation sequence. The same
+/// outermost bracket also journals an always-on flight-recorder
+/// begin/end pair (the checker ledger needs an enabled session, the black
+/// box does not).
 class CollectiveGuard {
  public:
   CollectiveGuard(int rank, const char* kind, std::size_t elems) noexcept;
@@ -234,7 +238,9 @@ class CollectiveGuard {
 
  private:
   bool active_;
+  bool outermost_;
   int rank_;
+  std::uint16_t flight_name_{0};
 };
 
 /// Wait-for-graph registration around a potentially blocking channel Recv.
@@ -250,8 +256,30 @@ class ScopedRecvWait {
   int dst_;
 };
 
-/// Terse call-site helper for DistOptim's schedule hooks.
+/// Terse call-site helper for DistOptim's schedule hooks. The checker's
+/// state machine only runs inside an enabled session; the flight-recorder
+/// journal entry is unconditional, so a post-mortem dump always shows
+/// where each group's decoupled RS/AG pair stood.
 inline void OnGroup(int rank, int group, Checker::GroupEvent event) {
+  flightrec::EventKind kind = flightrec::EventKind::kUnpack;
+  switch (event) {
+    case Checker::GroupEvent::kRsLaunch:
+      kind = flightrec::EventKind::kRsLaunch;
+      break;
+    case Checker::GroupEvent::kRsComplete:
+      kind = flightrec::EventKind::kRsComplete;
+      break;
+    case Checker::GroupEvent::kAgLaunch:
+      kind = flightrec::EventKind::kAgLaunch;
+      break;
+    case Checker::GroupEvent::kAgComplete:
+      kind = flightrec::EventKind::kAgComplete;
+      break;
+    case Checker::GroupEvent::kUnpack:
+      kind = flightrec::EventKind::kUnpack;
+      break;
+  }
+  flightrec::Recorder::Get().OnGroupEvent(rank, group, kind);
   Checker& checker = Checker::Get();
   if (checker.enabled()) checker.OnGroupEvent(rank, group, event);
 }

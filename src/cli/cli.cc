@@ -6,8 +6,10 @@
 #include <iomanip>
 #include <map>
 
+#include "analysis/causal.h"
 #include "analysis/timeline.h"
 #include "check/checker.h"
+#include "flightrec/recorder.h"
 #include "comm/async.h"
 #include "comm/communicator.h"
 #include "comm/transport.h"
@@ -28,7 +30,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: dearsim "
-    "<models|simulate|compare|tune|sweep|profile|bench|check|fuzz> "
+    "<models|simulate|compare|tune|sweep|profile|bench|check|fuzz|timeline> "
     "[flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
@@ -727,6 +729,64 @@ int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// `dearsim timeline` — run every collective once under a controlled
+// schedule with the always-on flight recorder, merge the per-rank journals
+// into the cross-rank happens-before DAG, and emit a Chrome/Perfetto trace
+// whose flow arrows connect every Send slice to its Recv slice. The
+// companion text output prints the message-chain critical path (the
+// cross-rank analogue of `profile`'s per-rank interval attribution).
+int CmdTimeline(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const int world = flags.GetInt("world");
+  if (world < 2) {
+    err << "timeline needs --world >= 2\n";
+    return 1;
+  }
+  std::string path = flags.GetString("trace-out");
+  if (path.empty()) path = "timeline.json";
+  schedlab::PropertyOptions popts;
+  popts.world = world;
+
+  // Fresh journals so the trace covers exactly this sweep, then drive all
+  // 18 collectives (with their oracles) under one controlled schedule.
+  auto& recorder = flightrec::Recorder::Get();
+  recorder.Reset();
+  schedlab::RandomWalkPicker picker(
+      static_cast<std::uint64_t>(flags.GetInt("seed")));
+  const auto report = schedlab::CheckAllCollectives(picker, popts);
+  if (!report.ok) {
+    err << "collective sweep failed: " << report.failure << "\n";
+    return 1;
+  }
+
+  const auto graph = analysis::BuildCausalGraph(recorder.SnapshotAll());
+  TraceRecorder trace;
+  analysis::BuildTimelineTrace(graph, trace);
+  if (!trace.WriteFile(path)) {
+    err << "cannot write " << path << "\n";
+    return 1;
+  }
+
+  out << "timeline: world=" << world << " events=" << graph.events.size()
+      << " message-edges=" << graph.edges.size()
+      << " unmatched-sends=" << graph.unmatched_sends
+      << " unmatched-recvs=" << graph.unmatched_recvs << "\n";
+  out << analysis::DescribeChain(graph, analysis::MessageCriticalPath(graph));
+  out << "wrote " << path << " (load in ui.perfetto.dev; flow arrows = "
+      << "Send->Recv causal edges)\n";
+  if (graph.unmatched_sends != 0 || graph.unmatched_recvs != 0) {
+    err << "FAIL: " << graph.unmatched_sends << " sends / "
+        << graph.unmatched_recvs
+        << " recvs without a causal match (ring too small? raise "
+        << "DEAR_FLIGHTREC_CAPACITY)\n";
+    return 1;
+  }
+  if (!graph.lamport_consistent) {
+    err << "FAIL: Lamport order violated on a message edge\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(int argc, const char* const* argv, std::ostream& out,
@@ -753,7 +813,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddString("schedule", "dear",
                   "runtime schedule: dear|wfbp|sequential|zero|localsgd");
   flags.AddInt("buffer-kb", 64, "runtime fusion buffer in KB (profile)");
-  flags.AddString("trace-out", "", "write Chrome trace JSON here (profile)");
+  flags.AddString("trace-out", "",
+                  "write Chrome trace JSON here (profile, timeline)");
   flags.AddString("metrics-out", "", "write metrics JSON here (profile)");
   flags.AddString("suite", "quick", "bench: suite to run (quick|full)");
   flags.AddInt("repeats", 0,
@@ -791,6 +852,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "bench") return CmdBench(flags, out, err);
   if (cmd == "check") return CmdCheck(flags, out, err);
   if (cmd == "fuzz") return CmdFuzz(flags, out, err);
+  if (cmd == "timeline") return CmdTimeline(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;
 }

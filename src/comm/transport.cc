@@ -7,6 +7,7 @@
 #include "check/checker.h"
 #include "common/logging.h"
 #include "common/schedule_point.h"
+#include "flightrec/recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace dear::comm {
@@ -14,6 +15,9 @@ namespace dear::comm {
 TransportHub::TransportHub(int size, TransportOptions options)
     : size_(size), pool_(options.use_pool) {
   DEAR_CHECK_MSG(size >= 1, "TransportHub needs at least one rank");
+  // The flight recorder journals every rank of every hub; rings persist
+  // across hubs so a post-mortem dump spans the whole process lifetime.
+  flightrec::Recorder::Get().EnsureRanks(size);
   channels_.reserve(static_cast<std::size_t>(size) * size);
   for (int i = 0; i < size * size; ++i)
     channels_.push_back(std::make_unique<Channel<Message>>());
@@ -39,6 +43,10 @@ bool TransportHub::Send(Rank src, Rank dst, Message msg) {
   const std::size_t bytes = msg.payload.size() * sizeof(float);
   telemetry::OnMessageSent(src, bytes);
   check::Checker::Get().OnTransportSend(bytes);
+  // Always-on black box: assigns the message's causal ID (src, send_seq)
+  // and Lamport stamp, then journals the send edge endpoint.
+  flightrec::Recorder::Get().OnSend(src, dst, msg.tag, bytes, &msg.causal,
+                                    &msg.lamport);
   // The schedule point for the send is the channel's own kChannelSend.
   return ChannelFor(src, dst).Send(std::move(msg));
 }
@@ -70,6 +78,11 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
   if (!msg.has_value())
     return Status::Unavailable("transport shut down while receiving");
   telemetry::OnMessageReceived(dst, msg->payload.size() * sizeof(float));
+  // Journal the matching edge endpoint even on a tag mismatch — the
+  // message did arrive, and the causal edge is what diagnoses the bug.
+  flightrec::Recorder::Get().OnRecv(dst, src, msg->tag,
+                                    msg->payload.size() * sizeof(float),
+                                    msg->causal, msg->lamport);
   if (msg->tag != expected_tag) {
     return Status::Internal("tag mismatch: expected [" +
                             tags::Describe(expected_tag) + "] got [" +
@@ -79,6 +92,10 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
 }
 
 void TransportHub::Shutdown() {
+  // Black-box checkpoint: journal the shutdown on every rank and, when
+  // DEAR_FLIGHTREC_DUMP is set, persist the last-N records per rank so a
+  // trip-initiated teardown leaves a post-mortem timeline on disk.
+  flightrec::Recorder::Get().OnShutdown(size_);
   // Close first so no sender can slip a message in behind the drain.
   for (auto& ch : channels_) ch->Close();
   for (auto& ch : channels_) ch->Clear();

@@ -33,8 +33,17 @@ namespace dear::comm {
 /// blocked message can be decoded back to the collective that produced it
 /// (tags::Describe; used by the dearcheck diagnosis in src/check).
 /// Move-only: the payload is a pooled slab, not a copyable vector.
+///
+/// `causal` and `lamport` are the flight-recorder's cross-rank tracing
+/// headers, stamped by TransportHub::Send: causal is the 64-bit
+/// (src_rank, send_seq) message identity (flightrec::causal::Make, with
+/// the sequence striped per destination so it is unique per channel) that
+/// lets the receiver journal a matching happens-before edge, and lamport
+/// is the sender's logical clock, max-merged into the receiver's on Recv.
 struct Message {
   std::uint32_t tag{0};
+  std::uint32_t lamport{0};
+  std::uint64_t causal{0};
   PooledBuffer payload;
 };
 

@@ -11,6 +11,7 @@
 #include "common/schedule_point.h"
 #include "common/sim_time.h"
 #include "core/trainer.h"
+#include "flightrec/recorder.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
 #include "sched/policies.h"
@@ -215,25 +216,52 @@ void MeasureSchedulePoint(SuiteBuilder& b, int repeats) {
   }
 }
 
+/// Wall-clock: cost of one recorded flight-recorder event on the hottest
+/// hook (OnSend: clock read + causal ID + Lamport tick + ring append).
+/// The journal is always on, so this is a production cost on every
+/// transport message. Gated here against the checked-in baseline; the
+/// hard <1%-of-a-collective bar (with exact alloc counting) lives in
+/// bench/flightrec_overhead.
+void MeasureFlightRecorder(SuiteBuilder& b, int repeats) {
+  constexpr int kReps = 1'000'000;
+  auto& recorder = flightrec::Recorder::Get();
+  recorder.EnsureRanks(2);
+  std::uint64_t causal = 0;
+  std::uint32_t lamport = 0;
+  for (int i = 0; i < 10'000; ++i) {  // warm-up: ring, clock calibration
+    recorder.OnSend(0, 1, 7, 4096, &causal, &lamport);
+  }
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      recorder.OnSend(0, 1, 7, 4096, &causal, &lamport);
+    }
+    b.Add("flightrec.event_ns", {}, ElapsedMs(t0) * 1e6 / kReps, "ns",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+}
+
 BenchSuite RunQuick(const SuiteRunOptions& options) {
   SuiteBuilder b("quick", options);
   const int r = b.repeats(5);
-  b.Note("[1/5] runtime: threaded training (dear, wfbp) ...");
+  b.Note("[1/6] runtime: threaded training (dear, wfbp) ...");
   MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
                          /*iters=*/4, r);
   MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
                          /*iters=*/4, r);
-  b.Note("[2/5] comm: ring all-reduce ...");
+  b.Note("[2/6] comm: ring all-reduce ...");
   MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
-  b.Note("[3/5] comm: pooled transport allocations ...");
+  b.Note("[3/6] comm: pooled transport allocations ...");
   MeasureTransportPath(b, r);
-  b.Note("[4/5] simulator: evaluate + deterministic figures ...");
+  b.Note("[4/6] simulator: evaluate + deterministic figures ...");
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
                    r);
   MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
-  b.Note("[5/5] schedlab: disabled schedule-point cost ...");
+  b.Note("[5/6] schedlab: disabled schedule-point cost ...");
   MeasureSchedulePoint(b, r);
+  b.Note("[6/6] flightrec: recorded-event cost ...");
+  MeasureFlightRecorder(b, r);
   return b.Take();
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/causal.h"
 #include "comm/async.h"
 #include "comm/collectives.h"
 #include "comm/communicator.h"
@@ -18,6 +19,7 @@
 #include "common/rng.h"
 #include "common/schedule_point.h"
 #include "core/dist_optim.h"
+#include "flightrec/recorder.h"
 #include "train/data.h"
 #include "train/mlp.h"
 
@@ -473,6 +475,53 @@ PropertyReport CheckTrainingStep(Picker& picker,
   report.ok = v.ok;
   report.failure = std::move(v.failure);
   report.result_digest = digest;
+  return report;
+}
+
+PropertyReport CheckMessageDagInvariance(std::uint64_t seed,
+                                         const PropertyOptions& options) {
+  PropertyReport report;
+  std::uint64_t fingerprint[2] = {0, 0};
+  std::size_t edge_count[2] = {0, 0};
+  for (int run = 0; run < 2 && report.ok; ++run) {
+    flightrec::Recorder::Get().Reset();
+    RandomWalkPicker picker(seed +
+                            static_cast<std::uint64_t>(run) *
+                                0x9E3779B97F4A7C15ULL);
+    PropertyReport sweep = CheckAllCollectives(picker, options);
+    if (!sweep.ok) {
+      report.ok = false;
+      report.failure = "collective sweep failed under schedule " +
+                       std::to_string(run) + ": " + sweep.failure;
+      break;
+    }
+    const auto graph = analysis::BuildCausalGraph(
+        flightrec::Recorder::Get().SnapshotAll());
+    if (graph.unmatched_sends != 0 || graph.unmatched_recvs != 0) {
+      report.ok = false;
+      report.failure =
+          "causal matching incomplete: " +
+          std::to_string(graph.unmatched_sends) + " unmatched sends, " +
+          std::to_string(graph.unmatched_recvs) + " unmatched recvs";
+      break;
+    }
+    if (!graph.lamport_consistent) {
+      report.ok = false;
+      report.failure = "Lamport order violated on a message edge";
+      break;
+    }
+    fingerprint[run] = analysis::EdgeSetFingerprint(graph);
+    edge_count[run] = graph.edges.size();
+    report.schedule = sweep.schedule;
+  }
+  if (report.ok && fingerprint[0] != fingerprint[1]) {
+    report.ok = false;
+    report.failure = "message DAG is schedule-dependent: " +
+                     std::to_string(edge_count[0]) + " vs " +
+                     std::to_string(edge_count[1]) +
+                     " edges with different fingerprints";
+  }
+  report.result_digest = fingerprint[0];
   return report;
 }
 

@@ -62,6 +62,16 @@ PropertyReport CheckAllCollectives(Picker& picker,
 PropertyReport CheckTrainingStep(Picker& picker,
                                  const PropertyOptions& options);
 
+/// Flight-recorder DAG invariance: runs the all-collectives sweep under
+/// two schedules derived from `seed` and requires the reconstructed
+/// happens-before edge set (analysis::EdgeSetFingerprint over the matched
+/// Send->Recv pairs) to be bitwise identical — the thread schedule may
+/// reorder wall-clock time, never the message pairing. Also requires every
+/// send matched to a recv and Lamport order to hold on every edge.
+/// Resets the process-wide flight recorder; callers must be quiescent.
+PropertyReport CheckMessageDagInvariance(std::uint64_t seed,
+                                         const PropertyOptions& options);
+
 /// One fuzz schedule of the full suite (all three properties, pickers
 /// seeded deterministically from `seed`). The combined fingerprint and
 /// digest are what `dearsim fuzz` prints per schedule.

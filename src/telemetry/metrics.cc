@@ -56,6 +56,40 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// Help text for the # HELP line of each exported family. Exact names
+/// first, then prefix rules for the per-collective families minted at
+/// runtime ("comm.<kind>.calls" etc.), then a generic fallback so every
+/// family always carries a HELP line.
+std::string HelpFor(const std::string& name, const char* family_kind) {
+  static const std::map<std::string, const char*> kExact = {
+      {"comm.messages_sent", "Transport messages enqueued by this rank."},
+      {"comm.bytes_sent", "Payload bytes enqueued by this rank."},
+      {"comm.messages_received",
+       "Transport messages dequeued by this rank."},
+      {"comm.bytes_received", "Payload bytes dequeued by this rank."},
+      {"transport.pool.hits",
+       "Buffer-pool acquisitions served from a recycled slab."},
+      {"transport.pool.misses",
+       "Buffer-pool acquisitions that allocated a fresh slab."},
+      {"transport.pool.releases", "Pooled slabs returned to the free list."},
+      {"transport.pool.bytes_acquired",
+       "Total payload bytes handed out by the buffer pool."},
+      {"transport.pool.bytes_in_flight",
+       "Payload bytes currently held by live messages."},
+  };
+  const auto it = kExact.find(name);
+  if (it != kExact.end()) return it->second;
+  if (name.rfind("comm.", 0) == 0) {
+    if (name.size() >= 6 && name.compare(name.size() - 6, 6, ".calls") == 0)
+      return "Completed top-level collectives of this kind on this rank.";
+    if (name.size() >= 8 && name.compare(name.size() - 8, 8, ".seconds") == 0)
+      return "Wall-clock duration of this collective kind, in seconds.";
+    if (name.size() >= 6 && name.compare(name.size() - 6, 6, ".bytes") == 0)
+      return "Payload size of this collective kind, in bytes.";
+  }
+  return std::string("DeAR runtime ") + family_kind + " \"" + name + "\".";
+}
+
 }  // namespace
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -169,11 +203,13 @@ std::string MetricsRegistry::ToPrometheus(const std::string& labels) const {
   std::string out;
   for (const auto& [name, v] : Counters()) {
     const std::string pname = PrometheusName(name);
+    out += "# HELP " + pname + " " + HelpFor(name, "counter") + "\n";
     out += "# TYPE " + pname + " counter\n";
     out += pname + plain + " " + std::to_string(v) + "\n";
   }
   for (const auto& [name, v] : Gauges()) {
     const std::string pname = PrometheusName(name);
+    out += "# HELP " + pname + " " + HelpFor(name, "gauge") + "\n";
     out += "# TYPE " + pname + " gauge\n";
     out += pname + plain + " ";
     AppendDouble(out, v);
@@ -181,6 +217,7 @@ std::string MetricsRegistry::ToPrometheus(const std::string& labels) const {
   }
   for (const auto& [name, h] : Histograms()) {
     const std::string pname = PrometheusName(name);
+    out += "# HELP " + pname + " " + HelpFor(name, "summary") + "\n";
     out += "# TYPE " + pname + " summary\n";
     for (double q : {0.5, 0.95, 0.99}) {
       out += pname + with_quantile(q) + " ";

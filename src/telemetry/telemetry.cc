@@ -43,6 +43,17 @@ void Runtime::Enable(int world_size) {
            &global_.GetCounter("transport.pool.bytes_acquired"),
            &global_.GetGauge("transport.pool.bytes_in_flight")};
   trace_.Clear();
+  // Label the trace lanes up front so Perfetto shows "rank N / comm"
+  // instead of bare pid/tid numbers (satisfies the process_name /
+  // thread_name metadata Chrome's trace format expects).
+  for (int r = 0; r < world_size_; ++r) {
+    trace_.SetProcessName(r, "rank " + std::to_string(r));
+    trace_.SetThreadName(r, kComputeLane, "compute");
+    trace_.SetThreadName(r, kCommLane, "comm");
+    trace_.SetThreadName(r, kWaitLane, "wait");
+    trace_.SetThreadName(r, kGroupLane, "group");
+    trace_.SetThreadName(r, kIterationLane, "iteration");
+  }
   origin_ = std::chrono::steady_clock::now();
   session_.fetch_add(1, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_release);

@@ -231,6 +231,39 @@ TEST(CliTest, CheckInjectedFaultsAreDiagnosedNotHung) {
   }
 }
 
+TEST(CliTest, TimelineWritesPerfettoTraceWithFlowArrows) {
+  const std::string trace_path = ::testing::TempDir() + "/cli_timeline.json";
+  const std::string trace_flag = "--trace-out=" + trace_path;
+  const auto r = RunDearsim({"timeline", "--world=2", trace_flag.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("timeline: world=2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("message-edges="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("unmatched-sends=0"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("message-chain critical path"), std::string::npos)
+      << r.out;
+
+  std::ifstream f(trace_path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.front(), '[');
+  // Lanes are named and every Send slice flows to its Recv slice.
+  EXPECT_NE(content.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(content.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(content.find("\"bind_id\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"f\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliTest, TimelineRejectsBadInputs) {
+  EXPECT_NE(RunDearsim({"timeline", "--world=1"}).code, 0);
+  const auto r = RunDearsim({"timeline", "--world=2",
+                             "--trace-out=/nonexistent-dir/t.json"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_FALSE(r.err.empty());
+}
+
 TEST(CliTest, CheckRejectsBadInputs) {
   EXPECT_NE(RunDearsim({"check", "--world=1"}).code, 0);
   EXPECT_NE(RunDearsim({"check", "--inject=meteor"}).code, 0);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,6 +85,56 @@ TEST(MetricsRegistryTest, PrometheusExportSanitizesNames) {
   EXPECT_NE(text.find("# TYPE dear_comm_bytes_sent counter"),
             std::string::npos);
   EXPECT_NE(text.find("dear_comm_bytes_sent{rank=\"3\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusEveryFamilyHasHelpAndType) {
+  // Prometheus exposition hygiene: every metric family must carry a
+  // `# HELP` line immediately followed by its `# TYPE` line. Exercise one
+  // family of each kind plus names covered by the curated help table.
+  MetricsRegistry reg;
+  reg.GetCounter("comm.messages_sent").Add(3);
+  reg.GetCounter("comm.all_reduce.calls").Add(1);
+  reg.GetGauge("transport.pool.bytes_in_flight").Set(42);
+  reg.GetHistogram("comm.all_reduce.seconds").Observe(0.5);
+  const std::string text = reg.ToPrometheus("");
+
+  std::istringstream lines(text);
+  std::string line;
+  std::string pending_help_family;
+  std::size_t families = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      // "# HELP <family> <non-empty text>"
+      std::istringstream fields(line.substr(7));
+      std::string family, word;
+      fields >> family;
+      ASSERT_TRUE(fields >> word) << "empty HELP text: " << line;
+      EXPECT_TRUE(pending_help_family.empty())
+          << "two HELP lines without a TYPE between: " << line;
+      pending_help_family = family;
+      ++families;
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string family, kind;
+      fields >> family >> kind;
+      EXPECT_EQ(family, pending_help_family)
+          << "TYPE family does not match the preceding HELP";
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << "unknown TYPE kind: " << line;
+      pending_help_family.clear();
+    }
+  }
+  EXPECT_TRUE(pending_help_family.empty()) << "trailing HELP without TYPE";
+  // counter x2, gauge, and the summary family all made it out.
+  EXPECT_EQ(families, 4u);
+
+  // Curated help text for the hot families, not just the fallback.
+  EXPECT_NE(text.find("# HELP dear_comm_messages_sent "), std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE dear_transport_pool_bytes_in_flight gauge"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE dear_comm_all_reduce_seconds summary"),
             std::string::npos);
 }
 

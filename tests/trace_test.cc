@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <thread>
@@ -85,6 +86,71 @@ TEST(TraceTest, ClearEmpties) {
   rec.Record({"x", "y", 0, 0, 0, 0});
   rec.Clear();
   EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceTest, MetadataEventsNameProcessesAndThreads) {
+  TraceRecorder rec;
+  rec.SetProcessName(0, "rank 0");
+  rec.SetThreadName(0, 1, "comm");
+  rec.Record({"step", "compute", 0, 1, Microseconds(1), Microseconds(2)});
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"rank 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"comm\"}"), std::string::npos);
+  // Metadata must precede the slices so viewers name lanes up front.
+  EXPECT_LT(json.find("process_name"), json.find("\"step\""));
+}
+
+TEST(TraceTest, MetadataOnlyTraceIsValidJson) {
+  // Regression: metadata with zero events must not leave a trailing comma.
+  TraceRecorder rec;
+  rec.SetProcessName(3, "rank 3");
+  const std::string json = rec.ToJson();
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"rank 3\""), std::string::npos);
+}
+
+TEST(TraceTest, FlowEventsEmitBindAndCompanionPair) {
+  TraceRecorder rec;
+  TraceEvent send{"send", "messages", 0, 1, Microseconds(1), Microseconds(1)};
+  send.flow_id = 0x2A;
+  send.flow_out = true;
+  TraceEvent recv{"recv", "messages", 1, 1, Microseconds(5), Microseconds(1)};
+  recv.flow_id = 0x2A;
+  recv.flow_in = true;
+  rec.Record(send);
+  rec.Record(recv);
+  const std::string json = rec.ToJson();
+  // The slices carry the binding; the companion "s"/"f" pair draws the
+  // arrow. All three spellings of the ID must agree.
+  EXPECT_NE(json.find("\"bind_id\":\"0x2a\""), std::string::npos);
+  EXPECT_NE(json.find("\"flow_out\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"flow_in\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x2a\""), std::string::npos);
+}
+
+TEST(TraceTest, EventsWithoutFlowIdsEmitNoFlowKeys) {
+  TraceRecorder rec;
+  rec.Record({"plain", "cat", 0, 0, 0, 0});
+  const std::string json = rec.ToJson();
+  EXPECT_EQ(json.find("bind_id"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(TraceTest, ClearDropsMetadataToo) {
+  TraceRecorder rec;
+  rec.SetProcessName(0, "rank 0");
+  rec.Record({"x", "y", 0, 0, 0, 0});
+  rec.Clear();
+  EXPECT_EQ(rec.ToJson(), "[\n]\n");
 }
 
 TEST(SimTimeTest, ConversionsRoundTrip) {

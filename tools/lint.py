@@ -22,6 +22,14 @@ Rules (suppress one occurrence with `// lint: allow(<rule>)` on the line):
                       message payload into a fresh vector reintroduces the
                       per-message heap traffic the zero-copy transport
                       removed (bench/transport_path gates it at 0 allocs).
+  steady-clock-in-comm
+                      (src/comm only) Hot-path instrumentation reads time
+                      through flightrec::NowNs() / CachedNowNs() — one
+                      calibrated origin, one benchmarked cost
+                      (bench/flightrec_overhead). A direct
+                      steady_clock::now() in the transport adds an
+                      unbudgeted ~35 ns vDSO call and a second time base
+                      the post-hoc trace merger cannot align.
 
 Usage: python3 tools/lint.py [--root DIR] [paths...]
 Exits 1 if any finding survives suppression, 0 on a clean tree.
@@ -131,6 +139,10 @@ ATOMIC_DECL_RE = re.compile(r"std::atomic(?:<[^;{}]*?>|_flag|_bool|_int)\s+(\w+)
 
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 
+# Directory whose time reads must go through the flight recorder's clock.
+STEADY_CLOCK_DIR = "src/comm/"
+STEADY_CLOCK_RE = re.compile(r"steady_clock\s*::\s*now\s*\(")
+
 # Directory whose payloads must ride comm::PooledBuffer, never raw vectors.
 RAW_PAYLOAD_DIR = "src/comm/"
 RAW_PAYLOAD_RE = re.compile(
@@ -237,6 +249,17 @@ class Linter:
                         "zero-copy slabs)",
                         raw_line(i))
 
+        # Rule: steady-clock-in-comm (transport layer only).
+        if STEADY_CLOCK_DIR in path.replace(os.sep, "/"):
+            for i, line in enumerate(lines):
+                if STEADY_CLOCK_RE.search(line):
+                    self.report(
+                        path, i + 1, "steady-clock-in-comm",
+                        "direct steady_clock::now() in the transport — read "
+                        "time via flightrec::NowNs()/CachedNowNs() (single "
+                        "calibrated origin, benchmarked cost)",
+                        raw_line(i))
+
         # Rule: using-namespace-in-header.
         if is_header:
             for i, line in enumerate(lines):
@@ -280,6 +303,10 @@ struct Bad {
     std::vector<float> copy(m.payload.begin(), m.payload.end());  // finding: raw-payload-buffer
     (void)copy;
   }
+  void Stamp() {
+    auto t = std::chrono::steady_clock::now();  // finding: steady-clock-in-comm
+    (void)t;
+  }
 };
 """
 
@@ -289,6 +316,7 @@ SELFTEST_EXPECT = {
     "atomic-memory-order": 2,
     "tag-magic-bits": 1,
     "raw-payload-buffer": 2,
+    "steady-clock-in-comm": 1,
 }
 
 
