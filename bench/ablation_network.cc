@@ -26,7 +26,7 @@ int main() {
   std::printf("%16s %12s\n", "bandwidth(Gb/s)", "dear/horovod");
   bench::PrintRule(30);
   for (double gbps : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
-    comm::NetworkModel net{23.5e-6, 8.0 / (gbps * 1e9), "sweep"};
+    comm::NetworkModel net{23.5e-6, 8.0 / (gbps * 1e9), 0.0, "sweep"};
     std::printf("%16.0f %12.3f\n", gbps, gain(bench::MakeCluster(64, net)));
   }
 
@@ -34,7 +34,7 @@ int main() {
   std::printf("%16s %12s\n", "alpha(us)", "dear/horovod");
   bench::PrintRule(30);
   for (double alpha_us : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
-    comm::NetworkModel net{alpha_us * 1e-6, 1.0 / 1.25e9, "sweep"};
+    comm::NetworkModel net{alpha_us * 1e-6, 1.0 / 1.25e9, 0.0, "sweep"};
     std::printf("%16.0f %12.3f\n", alpha_us,
                 gain(bench::MakeCluster(64, net)));
   }

@@ -1,0 +1,251 @@
+#include "analysis/calib.h"
+
+#include <cmath>
+
+namespace dear::analysis {
+namespace {
+
+int CeilLog2(int p) noexcept {
+  int log = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace
+
+const char* ShapeName(CollectiveShape shape) noexcept {
+  switch (shape) {
+    case CollectiveShape::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveShape::kAllGather:
+      return "all_gather";
+    case CollectiveShape::kRingAllReduce:
+      return "ring_all_reduce";
+    case CollectiveShape::kTreeBroadcast:
+      return "tree_broadcast";
+    case CollectiveShape::kRecursiveHalvingReduceScatter:
+      return "recursive_halving_rs";
+    case CollectiveShape::kRecursiveDoublingAllGather:
+      return "recursive_doubling_ag";
+    case CollectiveShape::kBarrier:
+      return "barrier";
+    case CollectiveShape::kTreeAllReduce:
+      return "tree_all_reduce";
+    case CollectiveShape::kDoubleBinaryTreeAllReduce:
+      return "double_binary_tree";
+    case CollectiveShape::kRecursiveHalvingDoublingAllReduce:
+      return "recursive_halving_doubling";
+  }
+  return "unknown";
+}
+
+ShapeCoeffs ShapeCoefficients(CollectiveShape shape, int world) noexcept {
+  if (world <= 1) return {};
+  const double p = static_cast<double>(world);
+  const double log_p = static_cast<double>(CeilLog2(world));
+  switch (shape) {
+    case CollectiveShape::kReduceScatter:
+    case CollectiveShape::kAllGather:
+      // Eq. 3/4: (P-1)(α + d/P·β)
+      return {p - 1.0, (p - 1.0) / p};
+    case CollectiveShape::kRingAllReduce:
+      // Eq. 5: 2(P-1)α + 2(P-1)/P·d·β
+      return {2.0 * (p - 1.0), 2.0 * (p - 1.0) / p};
+    case CollectiveShape::kTreeBroadcast:
+      // ceil(log2 P)·(α + d·β)
+      return {log_p, log_p};
+    case CollectiveShape::kRecursiveHalvingReduceScatter:
+    case CollectiveShape::kRecursiveDoublingAllGather:
+      // ceil(log2 P)·α + (P-1)/P·d·β
+      return {log_p, (p - 1.0) / p};
+    case CollectiveShape::kBarrier:
+      // Dissemination: ceil(log2 P)·α, no payload
+      return {log_p, 0.0};
+    case CollectiveShape::kTreeAllReduce:
+      return {2.0 * log_p, 2.0 * log_p};
+    case CollectiveShape::kDoubleBinaryTreeAllReduce:
+      // 2·ceil(log2 P)·(α + d/2·β)
+      return {2.0 * log_p, log_p};
+    case CollectiveShape::kRecursiveHalvingDoublingAllReduce:
+      return {2.0 * log_p, 2.0 * (p - 1.0) / p};
+  }
+  return {};
+}
+
+void LinearFit::Add(double x, double y) noexcept {
+  if (n_ == 0) {
+    min_x_ = x;
+    max_x_ = x;
+  } else {
+    if (x < min_x_) min_x_ = x;
+    if (x > max_x_) max_x_ = x;
+  }
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx * inv_n;
+  mean_y_ += dy * inv_n;
+  // Centered cross/second moments: dx uses the *old* mean, (x - mean_x_)
+  // the updated one — the standard numerically stable pairwise form.
+  sxx_ += dx * (x - mean_x_);
+  sxy_ += dx * (y - mean_y_);
+  syy_ += dy * (y - mean_y_);
+}
+
+bool LinearFit::has_spread() const noexcept {
+  if (n_ < 2) return false;
+  // Relative spread guard: sizes differing only by rounding noise cannot
+  // anchor a slope.
+  const double scale = std::fmax(std::fabs(min_x_), std::fabs(max_x_));
+  return (max_x_ - min_x_) > 1e-9 * std::fmax(scale, 1.0);
+}
+
+std::optional<LinearFit::Line> LinearFit::Fit(
+    std::size_t min_samples) const noexcept {
+  if (n_ < min_samples || !has_spread() || sxx_ <= 0.0) return std::nullopt;
+  Line line;
+  line.n = n_;
+  line.slope = sxy_ / sxx_;
+  line.intercept = mean_y_ - line.slope * mean_x_;
+  line.r2 = syy_ > 0.0 ? (sxy_ * sxy_) / (sxx_ * syy_) : 1.0;
+  return line;
+}
+
+std::optional<AlphaBeta> AlphaBetaFromLine(
+    CollectiveShape shape, int world, const LinearFit::Line& line) noexcept {
+  const ShapeCoeffs c = ShapeCoefficients(shape, world);
+  if (c.a <= 0.0 || c.b <= 0.0) return std::nullopt;
+  AlphaBeta ab;
+  ab.alpha_s = line.intercept / c.a;
+  ab.beta_s_per_byte = line.slope / c.b;
+  if (!std::isfinite(ab.alpha_s) || !std::isfinite(ab.beta_s_per_byte) ||
+      ab.alpha_s < 0.0 || ab.beta_s_per_byte <= 0.0) {
+    return std::nullopt;
+  }
+  return ab;
+}
+
+Calibrator::Slot* Calibrator::FindOrClaim(CollectiveShape shape,
+                                          int world) noexcept {
+  // Fast path: bounded scan over already-claimed slots. `used_` is
+  // published with release after the slot's identity is written, so an
+  // acquire load here sees complete entries.
+  const std::size_t used = used_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < used; ++i) {
+    Slot& s = slots_[i];
+    if (s.live.load(std::memory_order_acquire) && s.shape == shape &&
+        s.world == world) {
+      return &s;
+    }
+  }
+  // Slow path (once per distinct population): claim the next slot.
+  std::lock_guard<std::mutex> lock(claim_mutex_);
+  const std::size_t now_used = used_.load(std::memory_order_acquire);
+  for (std::size_t i = used; i < now_used; ++i) {
+    Slot& s = slots_[i];
+    if (s.live.load(std::memory_order_acquire) && s.shape == shape &&
+        s.world == world) {
+      return &s;
+    }
+  }
+  if (now_used >= kMaxSlots) return nullptr;
+  Slot& s = slots_[now_used];
+  s.shape = shape;
+  s.world = world;
+  s.live.store(true, std::memory_order_release);
+  used_.store(now_used + 1, std::memory_order_release);
+  return &s;
+}
+
+void Calibrator::AddSample(CollectiveShape shape, int world, double bytes,
+                           double seconds) noexcept {
+  if (!std::isfinite(bytes) || !std::isfinite(seconds) || bytes < 0.0 ||
+      seconds < 0.0) {
+    return;
+  }
+  Slot* slot = FindOrClaim(shape, world);
+  if (slot == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(slot->mutex);
+  slot->fit.Add(bytes, seconds);
+}
+
+std::vector<ShapeFit> Calibrator::FitAll(std::size_t min_samples) const {
+  std::vector<ShapeFit> out;
+  const std::size_t used = used_.load(std::memory_order_acquire);
+  out.reserve(used);
+  for (std::size_t i = 0; i < used; ++i) {
+    const Slot& s = slots_[i];
+    if (!s.live.load(std::memory_order_acquire)) continue;
+    LinearFit fit_copy;
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      fit_copy = s.fit;
+    }
+    ShapeFit sf;
+    sf.shape = s.shape;
+    sf.world = s.world;
+    sf.samples = fit_copy.count();
+    const auto line = fit_copy.Fit(min_samples);
+    if (!line) {
+      sf.why = fit_copy.count() < min_samples
+                   ? "insufficient data: too few samples"
+                   : "insufficient data: no payload-size spread";
+      out.push_back(sf);
+      continue;
+    }
+    const auto ab = AlphaBetaFromLine(s.shape, s.world, *line);
+    if (!ab) {
+      sf.line = *line;
+      sf.why = ShapeCoefficients(s.shape, s.world).b <= 0.0
+                   ? "insufficient data: latency-only shape"
+                   : "insufficient data: non-physical fit";
+      out.push_back(sf);
+      continue;
+    }
+    sf.ok = true;
+    sf.line = *line;
+    sf.ab = *ab;
+    out.push_back(sf);
+  }
+  return out;
+}
+
+std::optional<AlphaBeta> Calibrator::FitNetwork(
+    std::size_t min_samples) const {
+  double weight = 0.0;
+  AlphaBeta pooled;
+  for (const ShapeFit& sf : FitAll(min_samples)) {
+    if (!sf.ok) continue;
+    const double w = static_cast<double>(sf.samples);
+    pooled.alpha_s += w * sf.ab.alpha_s;
+    pooled.beta_s_per_byte += w * sf.ab.beta_s_per_byte;
+    weight += w;
+  }
+  if (weight <= 0.0) return std::nullopt;
+  pooled.alpha_s /= weight;
+  pooled.beta_s_per_byte /= weight;
+  return pooled;
+}
+
+void Calibrator::Reset() noexcept {
+  const std::size_t used = used_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < used; ++i) {
+    std::lock_guard<std::mutex> lock(slots_[i].mutex);
+    slots_[i].fit.Reset();
+    slots_[i].live.store(false, std::memory_order_release);
+  }
+  used_.store(0, std::memory_order_release);
+  total_samples_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dear::analysis

@@ -6,17 +6,21 @@
 #include <iomanip>
 #include <map>
 
+#include "analysis/calib.h"
 #include "analysis/causal.h"
 #include "analysis/timeline.h"
 #include "check/checker.h"
 #include "flightrec/recorder.h"
 #include "comm/async.h"
+#include "comm/calibration.h"
 #include "comm/communicator.h"
+#include "comm/cost_model.h"
 #include "comm/transport.h"
 #include "common/flags.h"
 #include "core/trainer.h"
 #include "fusion/plan.h"
 #include "model/zoo.h"
+#include "perflab/doctor.h"
 #include "perflab/suites.h"
 #include "sched/runner.h"
 #include "schedlab/properties.h"
@@ -30,16 +34,36 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: dearsim "
-    "<models|simulate|compare|tune|sweep|profile|bench|check|fuzz|timeline> "
-    "[flags]\n"
+    "<models|simulate|compare|tune|sweep|profile|doctor|bench|check|fuzz|"
+    "timeline> [flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
 StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
   if (name == "10gbe") return comm::NetworkModel::TenGbE();
   if (name == "100gbib") return comm::NetworkModel::HundredGbIB();
   if (name == "25gbe") return comm::NetworkModel::TwentyFiveGbE();
+  // Feed-forward path: a `dearsim doctor --json-out` report supplies the
+  // fitted (α, β) as a network model, closing the measure → fit →
+  // re-simulate loop.
+  if (name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+    auto report = perflab::DoctorReport::ReadFile(name);
+    if (!report.ok()) return report.status();
+    if (!report->has_fit) {
+      return Status::InvalidArgument("doctor report '" + name +
+                                     "' carries no fitted network");
+    }
+    comm::NetworkModel net;
+    net.alpha_s = report->fitted.alpha_s;
+    net.beta_s_per_byte = report->fitted.beta_s_per_byte;
+    net.bound_beta_s_per_byte = report->fitted.bound_beta_s_per_byte;
+    // NetworkModel holds a borrowed name; intentionally leak one copy per
+    // load (a CLI run loads O(1) reports).
+    net.name = (new std::string(report->fitted.name))->c_str();
+    return net;
+  }
   return Status::InvalidArgument(
-      "unknown network '" + name + "' (expected 10gbe, 25gbe, or 100gbib)");
+      "unknown network '" + name +
+      "' (expected 10gbe, 25gbe, 100gbib, or a doctor-report .json path)");
 }
 
 StatusOr<sched::PolicyKind> SchedulerByName(const std::string& name) {
@@ -323,10 +347,20 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
   options.buffer_bytes = static_cast<std::size_t>(
       std::max(1, flags.GetInt("buffer-kb")) * 1024);
 
+  auto net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    err << net.status().ToString() << "\n";
+    return 1;
+  }
   auto& rt = telemetry::Runtime::Get();
   rt.Enable(world);
+  // Model-vs-measured residual tracking rides along with every profile run
+  // (enabled after telemetry so its comm.model.* metrics resolve).
+  auto& monitor = comm::CalibrationMonitor::Get();
+  monitor.Enable(*net, world);
   core::TrainDistributed(dims, /*model_seed=*/7, data, iters, batch, world,
                          options);
+  monitor.Disable();
   rt.Disable();
 
   out << "profile: " << model_name << " proxy (";
@@ -455,6 +489,26 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
     }
   }
 
+  // Model-vs-measured residuals: how far each collective's wall time sits
+  // from the --network reference's Hockney prediction (the same numbers the
+  // comm.model.residual.* histograms export).
+  {
+    const auto model_stats = monitor.Stats();
+    if (!model_stats.empty()) {
+      out << "\nmodel residual vs " << monitor.network().name
+          << " (divergence = EWMA |ln measured/predicted|):\n"
+          << "shape                    samples  divergence  mean-ratio  "
+             "anomalies\n";
+      for (const auto& s : model_stats) {
+        out << std::left << std::setw(24) << analysis::ShapeName(s.shape)
+            << std::right << std::setw(8) << s.samples << std::fixed
+            << std::setprecision(3) << std::setw(12) << s.divergence
+            << std::setw(12) << s.mean_ratio << std::setw(11) << s.anomalies
+            << "\n";
+      }
+    }
+  }
+
   out << "\n"
       << analysis::RenderAttributionReport(
              analysis::AttributeIterations(events, world));
@@ -494,6 +548,309 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
     }
   }
   return 0;
+}
+
+/// Drives every monitorable collective shape through the CalibrationMonitor
+/// with CostModel-predicted durations over a geometric size ladder. This is
+/// a genuine selftest, not a tautology: the predictions come from
+/// cost_model.cc's formulas while the recovery inverts calib.h's
+/// ShapeCoefficients — any divergence between the two shows up as fit error.
+void FeedSimBackend(comm::CalibrationMonitor& monitor,
+                    const comm::CostModel& cost) {
+  using analysis::CollectiveShape;
+  constexpr int kSizes = 7;
+  for (int i = 0; i < kSizes; ++i) {
+    const std::size_t bytes = std::size_t{65536} << i;  // 64 KiB .. 4 MiB
+    const auto feed = [&](CollectiveShape shape, SimTime t) {
+      monitor.OnCollective(0, shape, bytes, static_cast<std::uint64_t>(t));
+    };
+    feed(CollectiveShape::kReduceScatter, cost.ReduceScatter(bytes));
+    feed(CollectiveShape::kAllGather, cost.AllGather(bytes));
+    feed(CollectiveShape::kRingAllReduce, cost.RingAllReduce(bytes));
+    feed(CollectiveShape::kTreeBroadcast, cost.TreeBroadcast(bytes));
+    feed(CollectiveShape::kRecursiveHalvingReduceScatter,
+         cost.RecursiveHalvingReduceScatter(bytes));
+    feed(CollectiveShape::kRecursiveDoublingAllGather,
+         cost.RecursiveDoublingAllGather(bytes));
+    feed(CollectiveShape::kTreeAllReduce, cost.TreeAllReduce(bytes));
+    feed(CollectiveShape::kDoubleBinaryTreeAllReduce,
+         cost.DoubleBinaryTreeAllReduce(bytes));
+    feed(CollectiveShape::kRecursiveHalvingDoublingAllReduce,
+         cost.RecursiveHalvingDoublingAllReduce(bytes));
+  }
+  // Zero-byte barriers: latency-only, so the fit must honestly report
+  // "insufficient data" for this shape rather than invent a β.
+  for (int i = 0; i < 3; ++i) {
+    monitor.OnCollective(
+        0, CollectiveShape::kBarrier, 0,
+        static_cast<std::uint64_t>(cost.NegotiationLatency()));
+  }
+}
+
+/// Multi-size collective sweep on real in-process engines: the measured
+/// wall times feed the monitor through the CommEngine hook itself.
+void RunRuntimeSweep(int world) {
+  comm::TransportHub hub(world);
+  std::vector<std::unique_ptr<comm::CommEngine>> engines;
+  engines.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    engines.push_back(
+        std::make_unique<comm::CommEngine>(comm::Communicator(&hub, r)));
+  }
+  const bool pow2 = (world & (world - 1)) == 0;
+  // Element counts per rank: geometric ladder, 3 passes each so every
+  // (shape, size) point is sampled more than once.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t elems = 1024; elems <= 262144; elems *= 4) {
+      const std::size_t n = elems * static_cast<std::size_t>(world);
+      std::vector<std::vector<float>> buffers(
+          static_cast<std::size_t>(world), std::vector<float>(n, 1.0f));
+      std::vector<comm::CollectiveHandle> handles;
+      for (int r = 0; r < world; ++r) {
+        auto& engine = *engines[static_cast<std::size_t>(r)];
+        std::span<float> buf(buffers[static_cast<std::size_t>(r)]);
+        handles.push_back(engine.SubmitReduceScatter(buf));
+        handles.push_back(engine.SubmitAllGather(buf));
+        handles.push_back(engine.SubmitAllReduce(buf));
+        if (pow2) {
+          handles.push_back(engine.SubmitRecursiveHalvingReduceScatter(buf));
+          handles.push_back(engine.SubmitRecursiveDoublingAllGather(buf));
+        }
+        handles.push_back(engine.SubmitBarrier());
+      }
+      for (auto& h : handles) {
+        const Status st = h.Wait();
+        (void)st;  // a failed collective simply contributes no sample
+      }
+    }
+  }
+  for (auto& engine : engines) engine->Shutdown();
+}
+
+/// `dearsim doctor` — online α–β calibration health report: fits the
+/// network parameters from measured (or, with --backend sim, model-predicted)
+/// collective times, compares model vs measurement per shape, ranks
+/// stragglers, and emits a pass/warn/fail verdict. --json-out writes the
+/// `dear.doctor/1` report, which --network accepts back as a fitted model.
+int CmdDoctor(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const std::string backend = flags.GetString("backend");
+  if (backend != "sim" && backend != "runtime") {
+    err << "unknown --backend '" << backend << "' (expected sim or runtime)\n";
+    return 1;
+  }
+  auto net = NetworkByName(flags.GetString("network"));
+  if (!net.ok()) {
+    err << net.status().ToString() << "\n";
+    return 1;
+  }
+  const int world = flags.GetInt("world");
+  if (world < 2) {
+    err << "doctor needs --world >= 2\n";
+    return 1;
+  }
+
+  auto& monitor = comm::CalibrationMonitor::Get();
+  double exposed_fraction = -1.0;
+
+  if (backend == "sim") {
+    monitor.Enable(*net, world);
+    FeedSimBackend(monitor, comm::CostModel(*net, world));
+    monitor.Disable();
+  } else {
+    auto& rt = telemetry::Runtime::Get();
+    rt.Enable(world);
+    monitor.Enable(*net, world);  // after telemetry: resolves its metrics
+    RunRuntimeSweep(world);
+    // A short training run on top of the raw sweep: populates the
+    // pipeline-health gauge and samples the shapes a real schedule uses.
+    {
+      const auto m = model::ByName(flags.GetString("model"));
+      const std::vector<int> dims = ProxyDims(m);
+      const int batch =
+          flags.GetInt("batch-size") > 0 ? flags.GetInt("batch-size") : 8;
+      const int iters = std::max(1, flags.GetInt("iters"));
+      const auto data = train::MakeRegressionDataset(
+          world * batch * 4, dims.front(), dims.back(), /*seed=*/42);
+      core::DistOptimOptions options;
+      options.buffer_bytes = static_cast<std::size_t>(
+          std::max(1, flags.GetInt("buffer-kb")) * 1024);
+      core::TrainDistributed(dims, /*model_seed=*/7, data, iters, batch,
+                             world, options);
+    }
+    monitor.Disable();
+    for (int r = 0; r < world; ++r) {
+      if (auto* reg = rt.rank_metrics(r)) {
+        for (const auto& [name, v] : reg->Gauges()) {
+          if (name == "health.exposed_comm_fraction" &&
+              v > exposed_fraction) {
+            exposed_fraction = v;
+          }
+        }
+      }
+    }
+    rt.Disable();
+  }
+
+  // ---- Assemble the report ------------------------------------------------
+  perflab::DoctorReport report;
+  report.backend = backend;
+  report.world = world;
+  report.reference = {net->name, net->alpha_s, net->beta_s_per_byte,
+                      net->bound_beta_s_per_byte};
+  report.exposed_comm_fraction = exposed_fraction;
+
+  const auto& calib = monitor.calibrator();
+  const auto fits = calib.FitAll();
+  const auto stats = monitor.Stats();
+  for (const auto& f : fits) {
+    perflab::DoctorShape s;
+    s.shape = analysis::ShapeName(f.shape);
+    s.world = f.world;
+    s.samples = f.samples;
+    s.ok = f.ok;
+    if (f.ok) {
+      s.alpha_s = f.ab.alpha_s;
+      s.beta_s_per_byte = f.ab.beta_s_per_byte;
+      s.r2 = f.line.r2;
+    } else {
+      s.why = f.why;
+    }
+    for (const auto& st : stats) {
+      if (st.shape == f.shape) {
+        s.divergence = st.divergence;
+        s.mean_ratio = st.mean_ratio;
+        s.anomalies = st.anomalies;
+      }
+    }
+    report.shapes.push_back(std::move(s));
+  }
+
+  const auto pooled = calib.FitNetwork();
+  if (pooled) {
+    report.has_fit = true;
+    report.fitted = {std::string("fitted:") + net->name, pooled->alpha_s,
+                     pooled->beta_s_per_byte, net->bound_beta_s_per_byte};
+    report.fit_samples = calib.total_samples();
+  }
+
+  const auto anomalies = monitor.AnomaliesByRank();
+  std::vector<perflab::DoctorStraggler> stragglers;
+  for (int r = 0; r < static_cast<int>(anomalies.size()); ++r) {
+    if (anomalies[static_cast<std::size_t>(r)] > 0)
+      stragglers.push_back({r, anomalies[static_cast<std::size_t>(r)]});
+  }
+  std::sort(stragglers.begin(), stragglers.end(),
+            [](const auto& a, const auto& b) {
+              return a.anomalies != b.anomalies ? a.anomalies > b.anomalies
+                                                : a.rank < b.rank;
+            });
+  if (stragglers.size() > 5) stragglers.resize(5);
+  report.stragglers = stragglers;
+
+  // ---- Verdict ------------------------------------------------------------
+  std::string verdict = "pass";
+  if (!report.has_fit) {
+    verdict = "fail";
+    report.notes.push_back(
+        "no usable alpha-beta fit: every shape reported insufficient data");
+  } else {
+    const double alpha_err =
+        std::fabs(report.fitted.alpha_s - net->alpha_s) / net->alpha_s;
+    const double beta_err =
+        std::fabs(report.fitted.beta_s_per_byte - net->beta_s_per_byte) /
+        net->beta_s_per_byte;
+    if (alpha_err > 0.25 || beta_err > 0.25) {
+      verdict = "warn";
+      report.notes.push_back(
+          "fitted alpha-beta deviates >25% from reference '" +
+          std::string(net->name) +
+          "' (expected when measuring the in-process runtime against a "
+          "hardware preset; re-simulate with --network <this report>)");
+    }
+    for (const auto& s : report.shapes) {
+      if (s.ok && s.divergence > 0.25) {
+        verdict = "warn";
+        report.notes.push_back("model-vs-measured divergence high on " +
+                               s.shape);
+      }
+    }
+  }
+  if (!stragglers.empty()) {
+    report.notes.push_back(
+        std::to_string(stragglers.size()) +
+        " rank(s) flagged by the EWMA straggler detector");
+  }
+  report.verdict = verdict;
+
+  // ---- Human-readable report ---------------------------------------------
+  out << "doctor: backend=" << backend << ", world=" << world
+      << ", reference=" << net->name << "\n";
+  out << std::fixed << std::setprecision(3)
+      << "  reference alpha = " << net->alpha_s * 1e6
+      << " us   beta = " << std::setprecision(4)
+      << net->beta_s_per_byte * 1e9 << " ns/B (nominal "
+      << net->bound_beta() * 1e9 << " ns/B)\n";
+  if (report.has_fit) {
+    const double alpha_err =
+        100.0 * std::fabs(report.fitted.alpha_s - net->alpha_s) /
+        net->alpha_s;
+    const double beta_err =
+        100.0 * std::fabs(report.fitted.beta_s_per_byte -
+                          net->beta_s_per_byte) /
+        net->beta_s_per_byte;
+    out << std::setprecision(3)
+        << "  fitted    alpha = " << report.fitted.alpha_s * 1e6
+        << " us   beta = " << std::setprecision(4)
+        << report.fitted.beta_s_per_byte * 1e9 << " ns/B   (err "
+        << std::setprecision(1) << alpha_err << "% / " << beta_err << "%, "
+        << report.fit_samples << " samples)\n";
+  } else {
+    out << "  fitted    (no usable fit)\n";
+  }
+  out << "\nshape                     world  samples  fit  alpha(us)  "
+         "beta(ns/B)      r2     div   ratio  anom\n";
+  for (const auto& s : report.shapes) {
+    out << std::left << std::setw(25) << s.shape << std::right
+        << std::setw(6) << s.world << std::setw(9) << s.samples;
+    if (s.ok) {
+      out << "   ok " << std::fixed << std::setprecision(3) << std::setw(10)
+          << s.alpha_s * 1e6 << std::setprecision(4) << std::setw(12)
+          << s.beta_s_per_byte * 1e9 << std::setprecision(4) << std::setw(8)
+          << s.r2 << std::setprecision(3) << std::setw(8) << s.divergence
+          << std::setw(8) << s.mean_ratio << std::setw(6) << s.anomalies
+          << "\n";
+    } else {
+      out << "   -- " << s.why << "\n";
+    }
+  }
+  out << "\nstragglers: ";
+  if (report.stragglers.empty()) {
+    out << "none\n";
+  } else {
+    for (std::size_t i = 0; i < report.stragglers.size(); ++i) {
+      out << (i ? ", " : "") << "rank " << report.stragglers[i].rank << " ("
+          << report.stragglers[i].anomalies << " anomalies)";
+    }
+    out << "\n";
+  }
+  if (report.exposed_comm_fraction >= 0.0) {
+    out << "health: exposed comm fraction " << std::fixed
+        << std::setprecision(3) << report.exposed_comm_fraction << "\n";
+  }
+  for (const auto& note : report.notes) out << "note: " << note << "\n";
+  out << "verdict: " << verdict << "\n";
+
+  const std::string json_out = flags.GetString("json-out");
+  if (!json_out.empty()) {
+    const Status st = report.WriteFile(json_out);
+    if (!st.ok()) {
+      err << st.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << perflab::kDoctorSchemaVersion << " report to "
+        << json_out << "\n";
+  }
+  return verdict == "fail" ? 1 : 0;
 }
 
 /// `dearsim bench` — run a registered perf-lab suite and write the
@@ -820,7 +1177,11 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddInt("repeats", 0,
                "bench: wall-metric repeats (0 = suite default)");
   flags.AddString("json-out", "",
-                  "bench: results path (default BENCH_<suite>.json)");
+                  "bench: results path (default BENCH_<suite>.json); "
+                  "doctor: dear.doctor/1 report path");
+  flags.AddString("backend", "sim",
+                  "doctor: sim (model selftest) | runtime (measure the "
+                  "in-process engines)");
   flags.AddBool("prometheus", false, "also print Prometheus text (profile)");
   flags.AddString("inject", "none",
                   "check: fault to inject (none|skip|shrink|reorder)");
@@ -849,6 +1210,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "tune") return CmdTune(flags, out, err);
   if (cmd == "sweep") return CmdSweep(flags, out, err);
   if (cmd == "profile") return CmdProfile(flags, out, err);
+  if (cmd == "doctor") return CmdDoctor(flags, out, err);
   if (cmd == "bench") return CmdBench(flags, out, err);
   if (cmd == "check") return CmdCheck(flags, out, err);
   if (cmd == "fuzz") return CmdFuzz(flags, out, err);

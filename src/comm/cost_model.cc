@@ -153,11 +153,12 @@ SimTime CostModel::NegotiationLatency() const noexcept {
 
 SimTime CostModel::AllReduceBandwidthBound(std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  // Exact ring bandwidth term 2(P-1)/P * d * beta; the paper approximates
-  // it as 2m/B (its large-P limit). Using the exact form keeps the bound a
-  // true lower bound on RingAllReduce at every P.
+  // Exact ring bandwidth term 2(P-1)/P * d / B; the paper approximates it
+  // as 2m/B (its large-P limit). B is the nominal link bandwidth — Eq. 6
+  // and Table II divide by the line rate even where the fitted effective
+  // beta is faster.
   return Seconds(2.0 * (p_ - 1) / p_ * static_cast<double>(bytes) *
-                 net_.beta_s_per_byte);
+                 net_.bound_beta());
 }
 
 SimTime CostModel::Dispatch(Algorithm a, std::size_t bytes,

@@ -120,6 +120,8 @@ DistOptim::TelemetryCache* DistOptim::RefreshTelemetryCache() {
         &reg->GetGauge("optim.pre_forward_wait_seconds_total");
     tcache_.synchronize_wait =
         &reg->GetGauge("optim.synchronize_wait_seconds_total");
+    tcache_.exposed_comm_fraction =
+        &reg->GetGauge("health.exposed_comm_fraction");
     tcache_.session = session;
   }
   return &tcache_;
@@ -172,8 +174,9 @@ void DistOptim::ObserveStepEnd() {
   const SimTime now = rt.NowNs();
   if (auto* cache = RefreshTelemetryCache()) {
     if (last_step_end_ns_ >= 0) {
-      cache->iteration_seconds->Observe(
-          static_cast<double>(now - last_step_end_ns_) * 1e-9);
+      const double iter_s = static_cast<double>(now - last_step_end_ns_) * 1e-9;
+      total_iteration_s_ += iter_s;
+      cache->iteration_seconds->Observe(iter_s);
       // Iteration-lane window [previous Step() end, this Step() end): the
       // measured iteration time the attribution report decomposes.
       TraceEvent event;
@@ -190,6 +193,18 @@ void DistOptim::ObserveStepEnd() {
     cache->step_wait->Set(stats_.step_wait_s);
     cache->pre_forward_wait->Set(stats_.pre_forward_wait_s);
     cache->synchronize_wait->Set(stats_.synchronize_wait_s);
+    // Live pipeline-health signal: the fraction of total iteration time the
+    // compute thread spent stalled on collectives — communication the
+    // schedule failed to hide (0 = perfect overlap, 1 = fully exposed).
+    // Pre-forward waits for the first iteration land before any measured
+    // window, so the raw ratio can exceed 1 on short runs; the gauge is
+    // defined on [0, 1] and the raw totals stay in the optim.*_wait gauges.
+    if (total_iteration_s_ > 0.0) {
+      const double exposed = stats_.step_wait_s + stats_.pre_forward_wait_s +
+                             stats_.synchronize_wait_s;
+      cache->exposed_comm_fraction->Set(
+          std::min(1.0, exposed / total_iteration_s_));
+    }
   }
   last_step_end_ns_ = now;
 }

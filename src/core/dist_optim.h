@@ -212,6 +212,7 @@ class DistOptim {
     telemetry::Gauge* step_wait{nullptr};
     telemetry::Gauge* pre_forward_wait{nullptr};
     telemetry::Gauge* synchronize_wait{nullptr};
+    telemetry::Gauge* exposed_comm_fraction{nullptr};
   };
   TelemetryCache* RefreshTelemetryCache();
 
@@ -226,6 +227,7 @@ class DistOptim {
   int micro_step_{0};
   int local_step_{0};  // kLocalSGD round position
   SimTime last_step_end_ns_{-1};  // telemetry: previous Step() end
+  double total_iteration_s_{0.0};  // denominator of exposed-comm fraction
   TelemetryCache tcache_;
 };
 

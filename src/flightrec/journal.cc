@@ -69,6 +69,7 @@ const char* KindName(EventKind kind) noexcept {
     case EventKind::kAgComplete: return "ag-complete";
     case EventKind::kUnpack: return "unpack";
     case EventKind::kShutdown: return "shutdown";
+    case EventKind::kAnomaly: return "anomaly";
   }
   return "?";
 }

@@ -63,6 +63,8 @@ enum class EventKind : std::uint16_t {
   kAgComplete = 8,       //                  OP2 waited      (tag = group)
   kUnpack = 9,           //                  group consumed  (tag = group)
   kShutdown = 10,        // TransportHub::Shutdown observed by this rank
+  kAnomaly = 11,         // collective duration outside its EWMA band
+                         // (tag = CollectiveShape, payload = duration ns)
 };
 
 [[nodiscard]] const char* KindName(EventKind kind) noexcept;

@@ -137,6 +137,20 @@ void Recorder::OnGroupEvent(int rank, int group, EventKind kind) noexcept {
   j->AppendTicked(rec);
 }
 
+void Recorder::OnAnomaly(int rank, std::uint32_t shape,
+                         std::uint64_t duration_ns) noexcept {
+  Journal* j = journal(rank);
+  if (j == nullptr) return;
+  Record rec;
+  rec.ts_ns = detail::NowTicks();
+  rec.tag = shape;
+  rec.payload = duration_ns > 0xFFFFFFFFu
+                    ? 0xFFFFFFFFu
+                    : static_cast<std::uint32_t>(duration_ns);
+  rec.kind = static_cast<std::uint16_t>(EventKind::kAnomaly);
+  j->AppendTicked(rec);
+}
+
 void Recorder::OnShutdown(int world) noexcept {
   const int n = world < ranks() ? world : ranks();
   for (int r = 0; r < n; ++r) {
@@ -206,6 +220,11 @@ std::string Recorder::DumpTail(std::size_t n) const {
         case EventKind::kAgComplete:
         case EventKind::kUnpack:
           std::snprintf(buf, sizeof(buf), " group=%u", rec.tag);
+          out += buf;
+          break;
+        case EventKind::kAnomaly:
+          std::snprintf(buf, sizeof(buf), " shape=%u dur=%uns", rec.tag,
+                        rec.payload);
           out += buf;
           break;
         case EventKind::kShutdown:

@@ -190,6 +190,12 @@ class Recorder {
   /// DistOptim group-schedule transition (kind in kRsLaunch..kUnpack).
   void OnGroupEvent(int rank, int group, EventKind kind) noexcept;
 
+  /// Collective-duration anomaly flagged by the EWMA straggler detector
+  /// (comm::CalibrationMonitor): `shape` is the analysis::CollectiveShape
+  /// and `duration_ns` the outlier's measured duration (saturating).
+  void OnAnomaly(int rank, std::uint32_t shape,
+                 std::uint64_t duration_ns) noexcept;
+
   /// TransportHub::Shutdown: journals a kShutdown record on every rank of
   /// the hub and, when DEAR_FLIGHTREC_DUMP is set, writes the tail dump to
   /// "<prefix>-shutdown.txt" (overwritten; the last shutdown before a

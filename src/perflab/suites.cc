@@ -5,8 +5,11 @@
 #include <span>
 #include <vector>
 
+#include "analysis/calib.h"
 #include "comm/async.h"
+#include "comm/calibration.h"
 #include "comm/communicator.h"
+#include "comm/cost_model.h"
 #include "comm/transport.h"
 #include "common/schedule_point.h"
 #include "common/sim_time.h"
@@ -241,27 +244,55 @@ void MeasureFlightRecorder(SuiteBuilder& b, int repeats) {
   }
 }
 
+/// Wall-clock: cost of one monitored collective completion — the
+/// CalibrationMonitor::OnCollective hook the engine loop pays per
+/// collective when `doctor --backend runtime` or `profile --network`
+/// arms it. Gated here against the checked-in baseline; the hard
+/// <1%-of-a-collective bar (with exact alloc counting) lives in
+/// bench/doctor_overhead.
+void MeasureCalibrationMonitor(SuiteBuilder& b, int repeats) {
+  constexpr int kReps = 1'000'000;
+  auto& monitor = comm::CalibrationMonitor::Get();
+  monitor.Enable(comm::NetworkModel::TenGbE(), /*world=*/2);
+  for (int i = 0; i < 10'000; ++i) {  // warm-up: cells, calibrator slots
+    monitor.OnCollective(0, analysis::CollectiveShape::kRingAllReduce, 4096,
+                         100'000);
+  }
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      monitor.OnCollective(0, analysis::CollectiveShape::kRingAllReduce, 4096,
+                           100'000 + static_cast<std::uint64_t>(i & 1023));
+    }
+    b.Add("doctor.sample_ns", {}, ElapsedMs(t0) * 1e6 / kReps, "ns",
+          /*higher_is_better=*/false, kWallGateRatio);
+  }
+  monitor.Disable();
+}
+
 BenchSuite RunQuick(const SuiteRunOptions& options) {
   SuiteBuilder b("quick", options);
   const int r = b.repeats(5);
-  b.Note("[1/6] runtime: threaded training (dear, wfbp) ...");
+  b.Note("[1/7] runtime: threaded training (dear, wfbp) ...");
   MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
                          /*iters=*/4, r);
   MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
                          /*iters=*/4, r);
-  b.Note("[2/6] comm: ring all-reduce ...");
+  b.Note("[2/7] comm: ring all-reduce ...");
   MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
-  b.Note("[3/6] comm: pooled transport allocations ...");
+  b.Note("[3/7] comm: pooled transport allocations ...");
   MeasureTransportPath(b, r);
-  b.Note("[4/6] simulator: evaluate + deterministic figures ...");
+  b.Note("[4/7] simulator: evaluate + deterministic figures ...");
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
                    r);
   MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
-  b.Note("[5/6] schedlab: disabled schedule-point cost ...");
+  b.Note("[5/7] schedlab: disabled schedule-point cost ...");
   MeasureSchedulePoint(b, r);
-  b.Note("[6/6] flightrec: recorded-event cost ...");
+  b.Note("[6/7] flightrec: recorded-event cost ...");
   MeasureFlightRecorder(b, r);
+  b.Note("[7/7] doctor: monitored-sample cost ...");
+  MeasureCalibrationMonitor(b, r);
   return b.Take();
 }
 

@@ -1,5 +1,6 @@
 #include "telemetry/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace dear::telemetry {
@@ -41,6 +42,27 @@ void AppendJsonString(std::string& out, const std::string& s) {
 }
 
 void AppendDouble(std::string& out, double v) {
+  // JSON cannot represent non-finite values; 0 matches perflab::JsonNumber.
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+// Prometheus value grammar spells non-finite values "NaN", "+Inf", "-Inf"
+// (printf's "nan"/"inf" are not valid exposition-format tokens).
+void AppendPrometheusDouble(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   out += buf;
@@ -76,9 +98,20 @@ std::string HelpFor(const std::string& name, const char* family_kind) {
        "Total payload bytes handed out by the buffer pool."},
       {"transport.pool.bytes_in_flight",
        "Payload bytes currently held by live messages."},
+      {"comm.model.anomalies",
+       "Collectives flagged outside the EWMA duration band on this rank."},
+      {"health.exposed_comm_fraction",
+       "Fraction of iteration time the compute thread stalled on "
+       "collectives (0 = fully overlapped communication)."},
   };
   const auto it = kExact.find(name);
   if (it != kExact.end()) return it->second;
+  if (name.rfind("comm.model.residual.", 0) == 0)
+    return "Measured/predicted duration ratio vs the reference network "
+           "model, per collective shape.";
+  if (name.rfind("comm.model.divergence.", 0) == 0)
+    return "EWMA |ln(measured/predicted)| vs the reference network model "
+           "(0 = model matches reality).";
   if (name.rfind("comm.", 0) == 0) {
     if (name.size() >= 6 && name.compare(name.size() - 6, 6, ".calls") == 0)
       return "Completed top-level collectives of this kind on this rank.";
@@ -212,7 +245,7 @@ std::string MetricsRegistry::ToPrometheus(const std::string& labels) const {
     out += "# HELP " + pname + " " + HelpFor(name, "gauge") + "\n";
     out += "# TYPE " + pname + " gauge\n";
     out += pname + plain + " ";
-    AppendDouble(out, v);
+    AppendPrometheusDouble(out, v);
     out += '\n';
   }
   for (const auto& [name, h] : Histograms()) {
@@ -221,11 +254,11 @@ std::string MetricsRegistry::ToPrometheus(const std::string& labels) const {
     out += "# TYPE " + pname + " summary\n";
     for (double q : {0.5, 0.95, 0.99}) {
       out += pname + with_quantile(q) + " ";
-      AppendDouble(out, h.Quantile(q));
+      AppendPrometheusDouble(out, h.Quantile(q));
       out += '\n';
     }
     out += pname + "_sum" + plain + " ";
-    AppendDouble(out, h.sum());
+    AppendPrometheusDouble(out, h.sum());
     out += '\n';
     out += pname + "_count" + plain + " " + std::to_string(h.count()) + "\n";
   }

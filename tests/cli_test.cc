@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "perflab/doctor.h"
+
 namespace dear::cli {
 namespace {
 
@@ -269,6 +271,65 @@ TEST(CliTest, CheckRejectsBadInputs) {
   EXPECT_NE(RunDearsim({"check", "--inject=meteor"}).code, 0);
   EXPECT_NE(RunDearsim({"check", "--inject=skip", "--inject-rank=9",
                         "--world=4"}).code, 0);
+}
+
+TEST(CliTest, DoctorSimBackendRecoversReferenceNetwork) {
+  const std::string path = "cli_doctor_sim.json";
+  const auto r = RunDearsim({"doctor", "--backend=sim", "--world=16",
+                             ("--json-out=" + path).c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("verdict: pass"), std::string::npos) << r.out;
+
+  const auto report = perflab::DoctorReport::ReadFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->backend, "sim");
+  EXPECT_EQ(report->world, 16);
+  ASSERT_TRUE(report->has_fit);
+  // Acceptance bar: the fit inverts the cost model to within 10% of the
+  // reference alpha-beta parameters (it is exact modulo float noise).
+  const auto& ref = report->reference;
+  EXPECT_NEAR(report->fitted.alpha_s, ref.alpha_s, 0.10 * ref.alpha_s);
+  EXPECT_NEAR(report->fitted.beta_s_per_byte, ref.beta_s_per_byte,
+              0.10 * ref.beta_s_per_byte);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DoctorJsonRoundTripsByteIdentically) {
+  const std::string path = "cli_doctor_roundtrip.json";
+  ASSERT_EQ(RunDearsim({"doctor", "--backend=sim", "--world=8",
+                        ("--json-out=" + path).c_str()}).code, 0);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const auto report = perflab::DoctorReport::ReadFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->ToJson(), raw.str());
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DoctorReportFeedsSimulateAsNetworkModel) {
+  const std::string path = "cli_doctor_feed.json";
+  ASSERT_EQ(RunDearsim({"doctor", "--backend=sim", "--world=16",
+                        ("--json-out=" + path).c_str()}).code, 0);
+  const auto r = RunDearsim({"simulate", "--model=resnet50", "--gpus=16",
+                             ("--network=" + path).c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fitted:"), std::string::npos) << r.out;
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, DoctorRejectsBadInputs) {
+  EXPECT_NE(RunDearsim({"doctor", "--backend=voodoo"}).code, 0);
+  EXPECT_NE(RunDearsim({"doctor", "--world=1"}).code, 0);
+  EXPECT_NE(RunDearsim({"doctor", "--backend=sim", "--world=8",
+                        "--json-out=/nonexistent-dir/d.json"}).code, 0);
+}
+
+TEST(CliTest, ProfileReportsModelResidual) {
+  const auto r = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                             "--iters=2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("model residual"), std::string::npos) << r.out;
 }
 
 TEST(CliTest, BatchSizeOverrideChangesThroughput) {

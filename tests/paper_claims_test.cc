@@ -114,11 +114,19 @@ TEST(PaperClaims, TableTwoDeARApproachesMaxSpeedup) {
   for (auto net :
        {comm::NetworkModel::TenGbE(), comm::NetworkModel::HundredGbIB()}) {
     const auto cluster = Cluster64(net);
+    // Simulated collectives move bytes at the preset's *effective* rate, so
+    // that rate is the hard ceiling on achieved speedup; Table II's S^max
+    // divides by the nominal link rate (slower for the anchor-fitted 10GbE
+    // preset) and anchors the achieved-fraction check.
+    auto eff = net;
+    eff.bound_beta_s_per_byte = net.beta_s_per_byte;
+    const auto eff_cluster = Cluster64(eff);
     for (const auto& m : model::PaperModels()) {
       const auto dear = RunPolicy(m, cluster, PolicyKind::kDeAR,
                             fusion::ByBufferBytes(m, 25u << 20));
       const double smax = MaxSpeedup(m, cluster);
-      EXPECT_LE(dear.speedup_vs_single_gpu, smax * 1.001)
+      const double smax_eff = MaxSpeedup(m, eff_cluster);
+      EXPECT_LE(dear.speedup_vs_single_gpu, smax_eff * 1.001)
           << m.name() << " " << net.name;
       EXPECT_GE(dear.speedup_vs_single_gpu, 0.70 * smax)
           << m.name() << " " << net.name;

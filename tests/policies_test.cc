@@ -157,8 +157,11 @@ TEST(PoliciesTest, WfbpOverlapsCommWithBackprop) {
 
 TEST(PoliciesTest, DeAROverlapsAllGatherWithForward) {
   // DeAR's makespan must beat WFBP's when communication dominates: the AG
-  // half overlaps the next forward.
-  const auto m = model::UniformTestModel(8, 2000000, /*ff_us=*/3000.0);
+  // half overlaps the next forward. 16 MB per layer keeps per-iteration
+  // communication well above backward+forward compute, far from the
+  // crossover where the two policies tie (near the crossover the winner is
+  // decided by sub-α drain effects, not by the overlap property).
+  const auto m = model::UniformTestModel(8, 4000000, /*ff_us=*/3000.0);
   ClusterSpec cluster = SmallCluster();
   const auto wfbp =
       BuildTaskGraph(m, cluster, Config(PolicyKind::kWFBP, m), 4);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -136,6 +138,95 @@ TEST(MetricsRegistryTest, PrometheusEveryFamilyHasHelpAndType) {
       std::string::npos);
   EXPECT_NE(text.find("# TYPE dear_comm_all_reduce_seconds summary"),
             std::string::npos);
+}
+
+// Validates one exposition-format metric line:
+//   name ::= [a-zA-Z_:][a-zA-Z0-9_:]*
+//   line ::= name ['{' label '=' '"' escaped '"' (',' label...)* '}'] ' ' value
+//   value ::= Go-style float | "NaN" | "+Inf" | "-Inf"
+void ExpectValidPrometheusLine(const std::string& line) {
+  auto name_char = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+  };
+  std::size_t i = 0;
+  ASSERT_FALSE(line.empty());
+  ASSERT_TRUE(name_char(line[0], true)) << line;
+  while (i < line.size() && name_char(line[i], false)) ++i;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      ASSERT_TRUE(name_char(line[i], true)) << "label name: " << line;
+      while (i < line.size() && name_char(line[i], false)) ++i;
+      ASSERT_LT(i, line.size());
+      ASSERT_EQ(line[i], '=') << line;
+      ASSERT_EQ(line[++i], '"') << line;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') ++i;  // escaped char
+        ++i;
+      }
+      ASSERT_LT(i, line.size()) << "unterminated label value: " << line;
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    ASSERT_LT(i, line.size()) << "unterminated label set: " << line;
+    ++i;  // '}'
+  }
+  ASSERT_LT(i, line.size()) << "missing value: " << line;
+  ASSERT_EQ(line[i], ' ') << line;
+  const std::string value = line.substr(i + 1);
+  ASSERT_FALSE(value.empty()) << line;
+  if (value == "NaN" || value == "+Inf" || value == "-Inf") return;
+  // Everything else must parse as a float consuming the whole token —
+  // and printf's lowercase "nan"/"inf" forms are NOT valid exposition.
+  EXPECT_EQ(value.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(value.find("inf"), std::string::npos) << line;
+  std::size_t consumed = 0;
+  const double parsed = std::stod(value, &consumed);
+  EXPECT_EQ(consumed, value.size()) << "trailing junk in value: " << line;
+  (void)parsed;
+}
+
+TEST(MetricsRegistryTest, PrometheusScrapeGrammarHoldsForEveryLine) {
+  MetricsRegistry reg;
+  reg.GetCounter("comm.messages_sent").Add(12);
+  reg.GetCounter("weird-name.with%chars").Add(1);
+  reg.GetGauge("comm.model.divergence.ring_all_reduce").Set(0.125);
+  reg.GetGauge("gauge.nan").Set(std::nan(""));
+  reg.GetGauge("gauge.pos_inf").Set(std::numeric_limits<double>::infinity());
+  reg.GetGauge("gauge.neg_inf").Set(-std::numeric_limits<double>::infinity());
+  auto& h = reg.GetHistogram("comm.model.residual.ring_all_reduce");
+  h.Observe(0.5);
+  h.Observe(1.5);
+  reg.GetHistogram("hist.empty");  // quantiles over zero observations
+
+  for (const char* labels : {"", "rank=\"3\",job=\"dear\""}) {
+    const std::string text = reg.ToPrometheus(labels);
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t metric_lines = 0;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      ExpectValidPrometheusLine(line);
+      ++metric_lines;
+    }
+    // 2 counters + 4 gauges + 2 summaries x (3 quantiles + sum + count).
+    EXPECT_EQ(metric_lines, 2u + 4u + 2u * 5u);
+  }
+
+  // The non-finite spellings themselves.
+  const std::string text = reg.ToPrometheus("");
+  EXPECT_NE(text.find("dear_gauge_nan NaN"), std::string::npos);
+  EXPECT_NE(text.find("dear_gauge_pos_inf +Inf"), std::string::npos);
+  EXPECT_NE(text.find("dear_gauge_neg_inf -Inf"), std::string::npos);
+
+  // JSON cannot carry non-finite numbers; they export as 0 there.
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"gauge.nan\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge.pos_inf\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"gauge.neg_inf\":0"), std::string::npos);
 }
 
 TEST(TelemetryRuntimeTest, DisabledHooksAreNoOps) {

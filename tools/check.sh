@@ -43,7 +43,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" >/dev/null
 if [[ "$quick" == 1 ]]; then
   ctest --test-dir build --output-on-failure -L unit
-  echo "OK (quick: unit label only)"
+  echo "== doctor selftest =="
+  # Model self-consistency: the sim backend feeds CostModel-predicted
+  # durations back through the monitor, so the fitted alpha-beta must
+  # recover the preset and the verdict must be "pass" (exit 0).
+  ./build/tools/dearsim doctor --backend sim --world 16
+  echo "OK (quick: unit label + doctor selftest)"
   exit 0
 fi
 ctest --test-dir build --output-on-failure
