@@ -1,0 +1,222 @@
+// Cost of elastic membership on the steady-state (no-churn) data path.
+//
+// The epoch protocol adds per-message work to the transport: the send gate
+// (membership load + liveness/epoch check), the epoch stamp, and the
+// receive side's bounded wait (RecvFor with the liveness deadline +
+// NoteActivity + epoch compare). Three measurements, two hard bars:
+//
+//  1. Steady-state allocations per message WITH a membership attached,
+//     counted exactly by overriding operator new. The epoch path must not
+//     cost the zero-copy pooled transport its 0-alloc contract.
+//     Bar: 0 allocs/msg.
+//  2. Isolated per-message membership work (send gate + NoteActivity +
+//     epoch load/compare), measured in a tight loop and expressed as a
+//     fraction of the measured 1 MiB world-16 RS+AG per-hop traffic.
+//     Bar: < 1% added cost.
+//  3. Full-path A/B: the same RS+AG hop loop with membership detached vs
+//     attached, interleaved rep-by-rep, low-quantile ratio. Informative
+//     (sub-1% deltas sit below same-machine noise; the sink records it for
+//     perf_gate trending) with a generous backstop bar of 10%.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/kernels.h"
+#include "comm/membership.h"
+#include "comm/transport.h"
+#include "comm/types.h"
+
+namespace {
+
+std::atomic<long> g_allocs{0};
+
+long AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dear::comm::ReduceOp;
+
+/// Membership whose liveness deadline is far out of reach: the bench
+/// measures the steady-state epoch bookkeeping, not detector firings.
+dear::comm::MembershipOptions BenchMembership() {
+  dear::comm::MembershipOptions options;
+  options.deadline_mult = 1e6;
+  return options;
+}
+
+/// The per-hop RS+AG traffic of one ring round-trip (same shape as
+/// bench/transport_path.cc): world-1 reduce hops + world-1 gather hops over
+/// a real (self-)channel. Works identically with or without a membership
+/// attached — epoch 0 is the current epoch in a no-churn run.
+double RsAgSeconds(dear::comm::TransportHub& hub, std::size_t n, int world,
+                   std::span<float> acc, std::span<const float> wire) {
+  const std::size_t chunk = n / static_cast<std::size_t>(world);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < world - 1; ++s) {
+    const auto tag = static_cast<std::uint32_t>(s);
+    hub.Send(0, 0, tag, wire.subspan(0, chunk));
+    auto msg = hub.Recv(0, 0, tag);
+    dear::comm::kernels::ReduceInto(ReduceOp::kSum, acc.subspan(0, chunk),
+                                    msg->payload.span());
+  }
+  for (int s = 0; s < world - 1; ++s) {
+    const auto tag = static_cast<std::uint32_t>(100 + s);
+    hub.Send(0, 0, tag, wire.subspan(0, chunk));
+    auto msg = hub.Recv(0, 0, tag);
+    const auto* src = msg->payload.data();
+    float* dst = acc.data() + chunk * static_cast<std::size_t>(s % world);
+    for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  dear::bench::SuiteGuard results("epoch_overhead");
+  using namespace dear;
+
+  constexpr std::size_t kElems = 256 * 1024;  // 1 MiB buffer
+  constexpr int kWorld = 16;                  // 64 KiB per hop
+  constexpr int kReps = 100;
+  constexpr int kHopsPerRound = 2 * (kWorld - 1);
+
+  bench::PrintHeader("elastic epoch protocol overhead (steady state)");
+
+  // ---- 1. Exact allocations per message, membership attached ------------
+  long alloc_count = 0;
+  constexpr int kCountedMsgs = 64;
+  {
+    comm::TransportHub hub(1);
+    comm::Membership membership(&hub, BenchMembership());
+    const std::vector<float> payload(64 * 1024, 1.25f);
+    float sink_value = 0.0f;
+    auto roundtrip = [&](std::uint32_t tag) {
+      hub.Send(0, 0, tag, payload, membership.epoch());
+      auto msg = hub.Recv(0, 0, tag, membership.epoch());
+      sink_value += msg->payload.data()[0];
+    };
+    for (std::uint32_t i = 0; i < 8; ++i) roundtrip(i);  // warm the pool
+    const long before = AllocCount();
+    for (std::uint32_t i = 0; i < kCountedMsgs; ++i) roundtrip(1000 + i);
+    alloc_count = AllocCount() - before;
+    if (sink_value < 0) std::printf("%f\n", sink_value);  // defeat DCE
+  }
+  std::printf("steady-state heap allocations per epoch-stamped message: "
+              "%.3f (%ld allocs / %d messages; acceptance: 0)\n",
+              static_cast<double>(alloc_count) / kCountedMsgs, alloc_count,
+              kCountedMsgs);
+
+  // ---- 2 + 3. Per-hop traffic, detached vs attached ---------------------
+  std::vector<float> acc(kElems, 0.5f);
+  const std::vector<float> wire(kElems, 0.25f);
+  comm::TransportHub plain_hub(1);
+  comm::TransportHub epoch_hub(1);
+  comm::Membership membership(&epoch_hub, BenchMembership());
+  std::vector<double> plain_s;
+  std::vector<double> epoch_s;
+  for (int rep = 0; rep < kReps + 3; ++rep) {
+    const double ps = RsAgSeconds(plain_hub, kElems, kWorld, acc, wire);
+    const double es = RsAgSeconds(epoch_hub, kElems, kWorld, acc, wire);
+    if (rep >= 3) {
+      plain_s.push_back(ps);
+      epoch_s.push_back(es);
+    }
+  }
+  bench::PrintLatencySummary("no membership rs+ag", plain_s);
+  bench::PrintLatencySummary("epoch-aware rs+ag", epoch_s);
+  const double base_hop_s =
+      perflab::SampleQuantile(plain_s, 0.1) / kHopsPerRound;
+  const double path_ratio = perflab::SampleQuantile(epoch_s, 0.1) /
+                            perflab::SampleQuantile(plain_s, 0.1);
+
+  // Isolated per-message membership work: exactly the operations the
+  // transport added per message — the send gate's liveness + epoch check
+  // and the receive side's activity note + epoch compare.
+  constexpr int kOpsReps = 1 << 20;
+  std::uint64_t guard = 0;
+  const auto ops_t0 = Clock::now();
+  for (int i = 0; i < kOpsReps; ++i) {
+    membership.NoteActivity(0);
+    guard += membership.epoch();
+    guard += static_cast<std::uint64_t>(membership.IsLive(0));
+    guard += membership.deadline_ns() != 0;
+  }
+  const double ops_s =
+      std::chrono::duration<double>(Clock::now() - ops_t0).count() / kOpsReps;
+  if (guard == 1) std::printf("%llu\n", (unsigned long long)guard);
+  const double added_fraction = ops_s / base_hop_s;
+
+  std::printf("per-message membership ops: %.1f ns  (1 MiB world-%d hop: "
+              "%.1f us)\n",
+              ops_s * 1e9, kWorld, base_hop_s * 1e6);
+  std::printf("isolated added cost on RS+AG hop: %.3f%% (acceptance: < 1%%)\n",
+              added_fraction * 100.0);
+  std::printf("full-path attached/detached ratio (p10): %.4f "
+              "(informative; backstop: < 1.10)\n",
+              path_ratio);
+
+  auto& sink = perflab::ResultSink::Get();
+  if (sink.active()) {
+    sink.Record("epoch.alloc_per_msg", {{"kb", "256"}},
+                1.0 + static_cast<double>(alloc_count) / kCountedMsgs,
+                "1+allocs", /*higher_is_better=*/false,
+                /*gate_max_ratio=*/1.02);
+    sink.Record("epoch.added_frac", {{"mib", "1"}, {"world", "16"}},
+                1.0 + added_fraction, "1+frac", /*higher_is_better=*/false,
+                /*gate_max_ratio=*/1.02);
+    sink.Record("epoch.path_ratio", {{"mib", "1"}, {"world", "16"}},
+                path_ratio, "x", /*higher_is_better=*/false,
+                /*gate_max_ratio=*/1.10);
+  }
+
+  bool fail = false;
+  if (alloc_count > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld heap allocations across %d steady-state "
+                 "epoch-stamped messages (bar: 0)\n",
+                 alloc_count, kCountedMsgs);
+    fail = true;
+  }
+  if (added_fraction >= 0.01) {
+    std::fprintf(stderr,
+                 "FAIL: membership adds %.3f%% to the 1 MiB world-%d RS+AG "
+                 "hop (bar: < 1%%)\n",
+                 added_fraction * 100.0, kWorld);
+    fail = true;
+  }
+  if (path_ratio >= 1.10) {
+    std::fprintf(stderr,
+                 "FAIL: epoch-aware path is %.3fx the detached path "
+                 "(backstop bar: < 1.10x)\n",
+                 path_ratio);
+    fail = true;
+  }
+  return fail ? 1 : 0;
+}

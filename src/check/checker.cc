@@ -25,6 +25,14 @@ thread_local int t_guard_depth = 0;
 /// Flight-recorder records appended to every diagnosis dump, per rank.
 constexpr std::size_t kDumpTailRecords = 8;
 
+/// Total ops a rank has recorded across every ledger generation.
+template <typename GenLedger>
+std::size_t TotalOps(const GenLedger& gens) {
+  std::size_t n = 0;
+  for (const auto& [gen, entries] : gens) n += entries.size();
+  return n;
+}
+
 }  // namespace
 
 Checker& Checker::Get() {
@@ -44,6 +52,9 @@ void Checker::Enable(int world_size, CheckerOptions options) {
     waiters_.assign(n, std::nullopt);
     seq_arrivals_.clear();
     group_phase_.assign(n, {});
+    epoch_transitions_.clear();
+    rank_epoch_.assign(n, 0);
+    stale_seen_ = 0;
     fault_ = FaultSpec{};
     fault_consumed_ = false;
     trip_handler_ = nullptr;  // per-session: re-register after Enable()
@@ -93,6 +104,114 @@ FaultKind Checker::ConsumeEngineFault(int rank, int op_index) {
   return fault_.kind;
 }
 
+void Checker::OnEpochTransition(std::uint32_t epoch, int kind, int subject,
+                                std::uint64_t live_mask) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tripped_.load(std::memory_order_relaxed)) return;
+  epoch_transitions_.push_back(EpochTransition{epoch, kind, subject,
+                                               live_mask});
+  // No verifier state is cleared here: ledgers are sharded by the issuing
+  // rank's *adopted* epoch (see OnCollectiveBegin), so post-recovery ops
+  // land in a fresh generation and are never cross-compared with a doomed
+  // straggler that another rank launched just before the trip. Per-rank
+  // state resets when that rank adopts the new epoch (OnEpochObserved).
+}
+
+void Checker::OnEpochObserved(int rank, std::uint32_t epoch) {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= world_size_ ||
+        tripped_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::uint32_t& prev = rank_epoch_[static_cast<std::size_t>(rank)];
+    if (epoch < prev) {
+      pending = TripLocked("epoch regression: rank " + std::to_string(rank) +
+                           " adopted e" + std::to_string(epoch) +
+                           " after already observing e" +
+                           std::to_string(prev));
+    } else {
+      // Survivor-missing-a-transition rule: every transition strictly
+      // between the rank's last observation and this one whose live mask
+      // includes the rank is an epoch it lived through but never adopted.
+      for (const EpochTransition& t : epoch_transitions_) {
+        if (t.epoch > prev && t.epoch < epoch &&
+            ((t.live_mask >> static_cast<unsigned>(rank)) & 1u)) {
+          pending = TripLocked(
+              "survivor missed an epoch transition: rank " +
+              std::to_string(rank) + " jumped from e" + std::to_string(prev) +
+              " to e" + std::to_string(epoch) + " but was live at e" +
+              std::to_string(t.epoch));
+          break;
+        }
+      }
+      if (!pending && epoch != prev) {
+        prev = epoch;
+        // Adopting a new epoch restarts this rank's protocol state: its
+        // in-flight groups died with the quiesce and subsequent ops land in
+        // the new ledger generation. (The owner joins its engine before
+        // adopting, so no op of this rank is still in flight here.)
+        current_[static_cast<std::size_t>(rank)].reset();
+        group_phase_[static_cast<std::size_t>(rank)].clear();
+      }
+    }
+  }
+  if (pending) pending();
+}
+
+void Checker::OnStaleMessage(int dst, int src, std::uint32_t msg_epoch,
+                             std::uint32_t cur_epoch) {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tripped_.load(std::memory_order_relaxed)) return;
+    if (msg_epoch + 1 == cur_epoch) {
+      // Bounded-staleness window: the sender raced the trip. Tolerated.
+      ++stale_seen_;
+    } else if (msg_epoch > cur_epoch) {
+      pending = TripLocked(
+          "future-epoch message: rank " + std::to_string(dst) +
+          " at e" + std::to_string(cur_epoch) + " received e" +
+          std::to_string(msg_epoch) + " traffic from rank " +
+          std::to_string(src) + " (receiver missed a transition?)");
+    } else {
+      pending = TripLocked(
+          "stale-epoch message beyond the bounded-staleness window: rank " +
+          std::to_string(dst) + " at e" + std::to_string(cur_epoch) +
+          " received e" + std::to_string(msg_epoch) + " traffic from rank " +
+          std::to_string(src));
+    }
+  }
+  if (pending) pending();
+}
+
+void Checker::OnCrossEpochOp(int rank, const char* kind, std::uint32_t begin,
+                             std::uint32_t end) {
+  std::function<void()> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tripped_.load(std::memory_order_relaxed)) return;
+    // A trip transition inside (begin, end] quiesced the op: it unwound
+    // with Unavailable and is excused. (Suspect logs the trip BEFORE the
+    // channel cycle, so the excuse is always visible here by the time a
+    // doomed guard unwinds.)
+    for (const EpochTransition& t : epoch_transitions_) {
+      if (t.kind == 2 && t.epoch > begin && t.epoch <= end) return;
+    }
+    pending = TripLocked(
+        "collective spanned an epoch boundary without a quiesce: rank " +
+        std::to_string(rank) + " ran " + std::string(kind) + " from e" +
+        std::to_string(begin) + " to e" + std::to_string(end));
+  }
+  if (pending) pending();
+}
+
+std::int64_t Checker::stale_messages_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stale_seen_;
+}
+
 void Checker::OnCollectiveBegin(int rank, std::string_view kind,
                                 std::size_t elems) {
   std::function<void()> pending;
@@ -102,7 +221,12 @@ void Checker::OnCollectiveBegin(int rank, std::string_view kind,
         tripped_.load(std::memory_order_relaxed)) {
       return;
     }
-    auto& ledger = ledgers_[static_cast<std::size_t>(rank)];
+    // Ops are compared only against entries of the same generation — the
+    // membership epoch this rank had adopted when it issued the op. In a
+    // fixed-world run every entry lands in generation 0 and this is the
+    // classic flat ledger.
+    const std::uint32_t gen = rank_epoch_[static_cast<std::size_t>(rank)];
+    auto& ledger = ledgers_[static_cast<std::size_t>(rank)][gen];
     const int seq = static_cast<int>(ledger.size());
     if (current_[static_cast<std::size_t>(rank)]) {
       const Current& cur = *current_[static_cast<std::size_t>(rank)];
@@ -113,23 +237,30 @@ void Checker::OnCollectiveBegin(int rank, std::string_view kind,
           std::to_string(cur.seq) + ") is still in flight");
     } else {
       ledger.push_back(LedgerEntry{kind, elems});
-      current_[static_cast<std::size_t>(rank)] = Current{kind, elems, seq};
-      if (static_cast<std::size_t>(seq) >= seq_arrivals_.size()) {
-        seq_arrivals_.resize(static_cast<std::size_t>(seq) + 1, 0);
+      current_[static_cast<std::size_t>(rank)] =
+          Current{kind, elems, seq, gen};
+      auto& arrivals = seq_arrivals_[gen];
+      if (static_cast<std::size_t>(seq) >= arrivals.size()) {
+        arrivals.resize(static_cast<std::size_t>(seq) + 1, 0);
       }
-      ++seq_arrivals_[static_cast<std::size_t>(seq)];
+      ++arrivals[static_cast<std::size_t>(seq)];
       for (int r = 0; r < world_size_ && !pending; ++r) {
         if (r == rank) continue;
-        const auto& other_ledger = ledgers_[static_cast<std::size_t>(r)];
-        if (other_ledger.size() <= static_cast<std::size_t>(seq)) continue;
-        const LedgerEntry& other = other_ledger[static_cast<std::size_t>(seq)];
+        const auto& other_gens = ledgers_[static_cast<std::size_t>(r)];
+        const auto it = other_gens.find(gen);
+        if (it == other_gens.end() ||
+            it->second.size() <= static_cast<std::size_t>(seq)) {
+          continue;
+        }
+        const LedgerEntry& other = it->second[static_cast<std::size_t>(seq)];
         if (other.kind != kind) {
           pending = TripLocked(
               "collective sequence mismatch at op#" + std::to_string(seq) +
               ": rank " + std::to_string(rank) + " issued " +
               std::string(kind) + " but rank " + std::to_string(r) +
               " issued " + std::string(other.kind) +
-              " — first divergent rank: " + std::to_string(DivergentLocked(seq, rank)));
+              " — first divergent rank: " +
+              std::to_string(DivergentLocked(gen, seq, rank)));
         } else if (other.elems != elems) {
           pending = TripLocked(
               "collective size mismatch at op#" + std::to_string(seq) + " (" +
@@ -137,11 +268,11 @@ void Checker::OnCollectiveBegin(int rank, std::string_view kind,
               std::to_string(elems) + " elems but rank " + std::to_string(r) +
               " has " + std::to_string(other.elems) +
               " — diverged re-bucketing? first divergent rank: " +
-              std::to_string(DivergentLocked(seq, rank)));
+              std::to_string(DivergentLocked(gen, seq, rank)));
         }
       }
-      if (!pending && seq_arrivals_[static_cast<std::size_t>(seq)] ==
-                          world_size_) {
+      if (!pending &&
+          arrivals[static_cast<std::size_t>(seq)] == world_size_) {
         ++verified_ops_;
       }
     }
@@ -239,29 +370,32 @@ std::string_view Checker::PhaseName(GroupPhase phase) noexcept {
   return "?";
 }
 
-int Checker::DivergentLocked(int seq, int newcomer) const {
-  // Majority vote over the (kind, elems) recorded at `seq`: the divergent
-  // rank is the first whose entry disagrees with the most common one. A
-  // tied vote blames `newcomer` — the rank whose arrival exposed the
-  // divergence (e.g. two ranks in, one each way).
+int Checker::DivergentLocked(std::uint32_t gen, int seq, int newcomer) const {
+  // Majority vote over the (kind, elems) recorded at generation `gen`,
+  // entry `seq`: the divergent rank is the first whose entry disagrees
+  // with the most common one. A tied vote blames `newcomer` — the rank
+  // whose arrival exposed the divergence (e.g. two ranks in, one each way).
   using Value = std::pair<std::string_view, std::size_t>;
-  std::map<Value, int> votes;
-  for (const auto& ledger : ledgers_) {
-    if (ledger.size() > static_cast<std::size_t>(seq)) {
-      const LedgerEntry& e = ledger[static_cast<std::size_t>(seq)];
-      ++votes[{e.kind, e.elems}];
+  auto entry_at = [&](int r) -> const LedgerEntry* {
+    const auto& gens = ledgers_[static_cast<std::size_t>(r)];
+    const auto it = gens.find(gen);
+    if (it == gens.end() ||
+        it->second.size() <= static_cast<std::size_t>(seq)) {
+      return nullptr;
     }
+    return &it->second[static_cast<std::size_t>(seq)];
+  };
+  std::map<Value, int> votes;
+  for (int r = 0; r < world_size_; ++r) {
+    if (const LedgerEntry* e = entry_at(r)) ++votes[{e->kind, e->elems}];
   }
   int best = 0;
   for (const auto& [value, count] : votes) best = std::max(best, count);
   Value newcomer_value{};
-  if (newcomer >= 0 && newcomer < world_size_ &&
-      ledgers_[static_cast<std::size_t>(newcomer)].size() >
-          static_cast<std::size_t>(seq)) {
-    const LedgerEntry& e =
-        ledgers_[static_cast<std::size_t>(newcomer)][static_cast<std::size_t>(
-            seq)];
-    newcomer_value = {e.kind, e.elems};
+  if (newcomer >= 0 && newcomer < world_size_) {
+    if (const LedgerEntry* e = entry_at(newcomer)) {
+      newcomer_value = {e->kind, e->elems};
+    }
   }
   Value majority{};
   bool found = false;
@@ -279,10 +413,9 @@ int Checker::DivergentLocked(int seq, int newcomer) const {
     }
   }
   for (int r = 0; r < world_size_; ++r) {
-    const auto& ledger = ledgers_[static_cast<std::size_t>(r)];
-    if (ledger.size() <= static_cast<std::size_t>(seq)) continue;
-    const LedgerEntry& e = ledger[static_cast<std::size_t>(seq)];
-    if (Value{e.kind, e.elems} != majority) return r;
+    const LedgerEntry* e = entry_at(r);
+    if (e == nullptr) continue;
+    if (Value{e->kind, e->elems} != majority) return r;
   }
   return -1;
 }
@@ -303,8 +436,8 @@ std::function<void()> Checker::TripLocked(const std::string& verdict) {
 std::string Checker::DumpLocked() const {
   const auto now = Clock::now();
   std::size_t max_ledger = 0;
-  for (const auto& ledger : ledgers_) {
-    max_ledger = std::max(max_ledger, ledger.size());
+  for (const auto& gens : ledgers_) {
+    max_ledger = std::max(max_ledger, TotalOps(gens));
   }
   // Span context: last comm-lane trace span per rank, when a telemetry
   // session is live alongside the checker.
@@ -321,7 +454,7 @@ std::string Checker::DumpLocked() const {
   for (int r = 0; r < world_size_; ++r) {
     const auto idx = static_cast<std::size_t>(r);
     out += "  rank " + std::to_string(r) + ": " +
-           std::to_string(ledgers_[idx].size()) + " ops recorded";
+           std::to_string(TotalOps(ledgers_[idx])) + " ops recorded";
     if (current_[idx]) {
       out += ", in " + std::string(current_[idx]->kind) + " op#" +
              std::to_string(current_[idx]->seq) + " (" +
@@ -334,7 +467,7 @@ std::string Checker::DumpLocked() const {
                  static_cast<long long>(SecondsSince(w.since, now) * 1e3)) +
              " ms on rank " + std::to_string(w.src) + " for [" +
              comm::tags::Describe(w.tag) + "]";
-    } else if (!current_[idx] && ledgers_[idx].size() < max_ledger) {
+    } else if (!current_[idx] && TotalOps(ledgers_[idx]) < max_ledger) {
       out += ", idle — ledger ended early (missing participant?)";
     }
     if (!last_span[idx].empty()) {
@@ -414,16 +547,15 @@ std::function<void()> Checker::AnalyzeLocked(bool force) {
   verdict += " waiting on rank " + std::to_string(w.src) + " for [" +
              comm::tags::Describe(w.tag) + "]";
   std::size_t max_ledger = 0;
-  for (const auto& ledger : ledgers_) {
-    max_ledger = std::max(max_ledger, ledger.size());
+  for (const auto& gens : ledgers_) {
+    max_ledger = std::max(max_ledger, TotalOps(gens));
   }
   for (int r = 0; r < world_size_; ++r) {
     const auto idx = static_cast<std::size_t>(r);
-    if (!waiters_[idx] && !current_[idx] &&
-        ledgers_[idx].size() < max_ledger) {
-      verdict += "; rank " + std::to_string(r) +
-                 " is missing from op#" + std::to_string(ledgers_[idx].size()) +
-                 " onward (skipped collective?)";
+    const std::size_t total = TotalOps(ledgers_[idx]);
+    if (!waiters_[idx] && !current_[idx] && total < max_ledger) {
+      verdict += "; rank " + std::to_string(r) + " is missing from op#" +
+                 std::to_string(total) + " onward (skipped collective?)";
     }
   }
   return TripLocked(verdict);
@@ -487,12 +619,12 @@ std::int64_t Checker::ledger_size(int rank) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (rank < 0 || rank >= world_size_) return 0;
   return static_cast<std::int64_t>(
-      ledgers_[static_cast<std::size_t>(rank)].size());
+      TotalOps(ledgers_[static_cast<std::size_t>(rank)]));
 }
 
 CollectiveGuard::CollectiveGuard(int rank, const char* kind,
                                  std::size_t elems) noexcept
-    : outermost_(t_guard_depth++ == 0), rank_(rank) {
+    : outermost_(t_guard_depth++ == 0), rank_(rank), kind_(kind) {
   active_ = outermost_ && Checker::Get().enabled();
   if (outermost_) {
     // Always-on black box: journal the protocol-level bracket even with
@@ -500,13 +632,29 @@ CollectiveGuard::CollectiveGuard(int rank, const char* kind,
     flight_name_ =
         flightrec::Recorder::Get().OnCollectiveBegin(rank, kind, elems);
   }
-  if (active_) Checker::Get().OnCollectiveBegin(rank, kind, elems);
+  if (active_) {
+    if (const auto* counter = Checker::Get().epoch_counter()) {
+      begin_epoch_ = counter->load(std::memory_order_acquire);
+      epoch_stamped_ = true;
+    }
+    Checker::Get().OnCollectiveBegin(rank, kind, elems);
+  }
 }
 
 CollectiveGuard::~CollectiveGuard() {
   --t_guard_depth;
   if (outermost_) flightrec::Recorder::Get().OnCollectiveEnd(rank_, flight_name_);
-  if (active_) Checker::Get().OnCollectiveEnd(rank_);
+  if (active_) {
+    Checker::Get().OnCollectiveEnd(rank_);
+    if (epoch_stamped_) {
+      if (const auto* counter = Checker::Get().epoch_counter()) {
+        const std::uint32_t end = counter->load(std::memory_order_acquire);
+        if (end != begin_epoch_) {
+          Checker::Get().OnCrossEpochOp(rank_, kind_, begin_epoch_, end);
+        }
+      }
+    }
+  }
 }
 
 ScopedRecvWait::ScopedRecvWait(int dst, int src,

@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -126,6 +127,58 @@ class Checker {
   /// with its 0-based index; an armed matching fault is consumed.
   FaultKind ConsumeEngineFault(int rank, int op_index);
 
+  // ---- Elastic-membership epoch machine (DESIGN.md §13) ------------------
+  //
+  // Three failure modes of the epoch protocol, each with its own detector:
+  //  - a collective spanning an epoch boundary that was never quiesced
+  //    (OnCrossEpochOp, fed by CollectiveGuard's begin/end epoch stamps);
+  //  - a stale-epoch message older than the bounded-staleness window, or
+  //    from the future (OnStaleMessage, fed by TransportHub::Recv);
+  //  - a survivor that skips an epoch it lived through (OnEpochObserved
+  //    against the live masks recorded by OnEpochTransition).
+
+  /// Registers the live membership epoch counter (nullptr detaches). Called
+  /// by comm::Membership's ctor/dtor; independent of Enable() sessions so
+  /// CollectiveGuard can stamp epochs without a comm-layer dependency.
+  void SetEpochCounter(const std::atomic<std::uint32_t>* counter) noexcept {
+    epoch_counter_.store(counter, std::memory_order_release);
+  }
+  [[nodiscard]] const std::atomic<std::uint32_t>* epoch_counter()
+      const noexcept {
+    return epoch_counter_.load(std::memory_order_acquire);
+  }
+
+  /// Membership transition committed (kind = comm::TransitionKind's value;
+  /// `live_mask` is the live set AFTER the transition). A trip transition
+  /// (kind 2) resets the protocol-verifier state: the quiesce doomed every
+  /// in-flight collective, so per-rank ledgers restart at the new epoch.
+  void OnEpochTransition(std::uint32_t epoch, int kind, int subject,
+                         std::uint64_t live_mask);
+
+  /// Rank has adopted `epoch` (rebuilt its communicator over its live set).
+  /// Trips when the rank skips past a transition whose live mask includes
+  /// it — a survivor missing a transition — or observes epochs backwards.
+  void OnEpochObserved(int rank, std::uint32_t epoch);
+
+  /// Transport rejected a wrong-epoch message on `dst` from `src`. Exactly
+  /// one transition stale is the tolerated bounded-staleness window (the
+  /// sender raced a trip; counted, not tripped). Older, or from the
+  /// future, is a protocol violation.
+  void OnStaleMessage(int dst, int src, std::uint32_t msg_epoch,
+                      std::uint32_t cur_epoch);
+
+  /// A top-level collective observed different membership epochs at begin
+  /// and end. Excused when a trip transition lies in (begin, end] — the op
+  /// was doomed by the quiesce and unwound with Unavailable. Trips
+  /// otherwise: the op genuinely spanned a boundary (e.g. a readmission
+  /// commit, whose contract is full quiescence).
+  void OnCrossEpochOp(int rank, const char* kind, std::uint32_t begin,
+                      std::uint32_t end);
+
+  /// Stale-epoch messages observed inside the bounded-staleness window
+  /// during this session (the silently dropped kind).
+  [[nodiscard]] std::int64_t stale_messages_seen() const;
+
   /// DistOptim schedule verifier: per-(rank, group) state machine over the
   /// decoupled pair. kUnpack from a state other than RsDone/AgDone is a
   /// FeedPipe violation; kAgLaunch before kRsComplete is a BackPipe one.
@@ -173,6 +226,7 @@ class Checker {
     std::string_view kind;
     std::size_t elems{0};
     int seq{-1};
+    std::uint32_t gen{0};
   };
   struct Waiter {
     int src{-1};
@@ -183,10 +237,18 @@ class Checker {
   enum class GroupPhase : std::uint8_t {
     kIdle, kRsInFlight, kRsDone, kAgInFlight, kAgDone,
   };
+  struct EpochTransition {
+    std::uint32_t epoch{0};
+    int kind{0};  // comm::TransitionKind value (2 = trip)
+    int subject{-1};
+    std::uint64_t live_mask{0};
+  };
 
   [[nodiscard]] static std::string_view PhaseName(GroupPhase phase) noexcept;
-  /// First rank whose ledger entry at `seq` disagrees with the majority.
-  [[nodiscard]] int DivergentLocked(int seq, int newcomer) const;
+  /// First rank whose generation-`gen` ledger entry at `seq` disagrees with
+  /// the majority.
+  [[nodiscard]] int DivergentLocked(std::uint32_t gen, int seq,
+                                    int newcomer) const;
   /// Composes the report, flips tripped_, and returns the handler to run
   /// after the caller drops the lock (empty if already tripped).
   [[nodiscard]] std::function<void()> TripLocked(const std::string& verdict);
@@ -200,15 +262,27 @@ class Checker {
   std::atomic<bool> tripped_{false};
   std::atomic<std::int64_t> sends_{0};
   std::atomic<std::int64_t> send_bytes_{0};
+  std::atomic<const std::atomic<std::uint32_t>*> epoch_counter_{nullptr};
 
   mutable std::mutex mutex_;
   CheckerOptions options_;
   int world_size_{0};
-  std::vector<std::vector<LedgerEntry>> ledgers_;
+  // Ledgers are sharded by *generation* — the membership epoch the rank had
+  // adopted when it issued the op (always 0 in fixed-world runs, where the
+  // maps hold a single key). The SPMD contract holds within a generation:
+  // two ranks' entries are compared only at matching (gen, seq), so a
+  // doomed straggler op that one survivor launched just before an epoch
+  // trip is never cross-compared against another survivor's post-recovery
+  // resync ops.
+  std::vector<std::map<std::uint32_t, std::vector<LedgerEntry>>> ledgers_;
   std::vector<std::optional<Current>> current_;
   std::vector<std::optional<Waiter>> waiters_;
-  std::vector<int> seq_arrivals_;  // ranks that recorded entry #i so far
+  // Ranks that recorded entry #i of a generation so far.
+  std::map<std::uint32_t, std::vector<int>> seq_arrivals_;
   std::vector<std::vector<GroupPhase>> group_phase_;  // [rank][group]
+  std::vector<EpochTransition> epoch_transitions_;
+  std::vector<std::uint32_t> rank_epoch_;  // last epoch each rank observed
+  std::int64_t stale_seen_{0};
   FaultSpec fault_;
   bool fault_consumed_{false};
   std::function<void()> trip_handler_;
@@ -241,6 +315,12 @@ class CollectiveGuard {
   bool outermost_;
   int rank_;
   std::uint16_t flight_name_{0};
+  const char* kind_;
+  // Membership epoch at construction (outermost brackets with a registered
+  // epoch counter only); the destructor reports a begin/end mismatch to the
+  // cross-epoch-op detector.
+  std::uint32_t begin_epoch_{0};
+  bool epoch_stamped_{false};
 };
 
 /// Wait-for-graph registration around a potentially blocking channel Recv.

@@ -23,6 +23,7 @@
 #include "perflab/doctor.h"
 #include "perflab/suites.h"
 #include "sched/runner.h"
+#include "schedlab/chaos.h"
 #include "schedlab/properties.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
@@ -35,7 +36,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: dearsim "
     "<models|simulate|compare|tune|sweep|profile|doctor|bench|check|fuzz|"
-    "timeline> [flags]\n"
+    "chaos|timeline> [flags]\n"
     "Run 'dearsim <subcommand> --help' for that subcommand's flags.\n";
 
 StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
@@ -1086,6 +1087,64 @@ int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// `dearsim chaos` — seeded crash/rejoin schedules over the elastic
+// training runtime (DESIGN.md §13). One seed determines both the injected
+// fault (victim, kill iteration, rejoin delay) and the thread
+// interleaving, so a failing seed replays byte-identically:
+//   dearsim chaos --seed N --replay N   (full decision trace)
+int CmdChaos(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  const int world = flags.GetInt("world");
+  if (world < 2) {
+    err << "chaos needs --world >= 2\n";
+    return 1;
+  }
+  schedlab::ChaosOptions copts;
+  copts.elastic.world = world;
+
+  const int replay = flags.GetInt("replay");
+  if (replay >= 0) {
+    const auto seed = static_cast<std::uint64_t>(replay);
+    const auto report = schedlab::RunCrashRejoin(seed, copts);
+    out << "replaying chaos seed " << seed << " (world=" << world
+        << " victim=" << report.victim << " kill@" << report.kill_iteration
+        << " rejoin+" << report.rejoin_delay << ")\n";
+    for (const auto& line : report.schedule.trace) out << "  " << line << "\n";
+    out << "transitions:\n" << report.elastic.transition_log;
+    out << "decisions=" << report.schedule.decisions
+        << " fingerprint=" << Hex64(report.schedule.fingerprint) << "\n";
+    if (!report.ok) {
+      out << "FAIL: " << report.failure << "\n";
+      return 1;
+    }
+    out << "ok\n";
+    return 0;
+  }
+
+  const auto base_seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  const int schedules = std::max(1, flags.GetInt("schedules"));
+  out << "chaos: world=" << world << " schedules=" << schedules
+      << " base-seed=" << base_seed << "\n";
+  for (int i = 0; i < schedules; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const auto report = schedlab::RunCrashRejoin(seed, copts);
+    out << "  seed=" << seed << " victim=" << report.victim << " kill@"
+        << report.kill_iteration << " rejoin+" << report.rejoin_delay
+        << " decisions=" << report.schedule.decisions
+        << " fingerprint=" << Hex64(report.schedule.fingerprint)
+        << " segments=" << report.elastic.segments.size()
+        << " stale-drops=" << report.elastic.stale_drops
+        << (report.ok ? " ok" : " FAIL") << "\n";
+    if (!report.ok) {
+      out << "chaos schedule failed: " << report.failure << "\n"
+          << "replay with: dearsim chaos --world " << world << " --replay "
+          << seed << "\n";
+      return 1;
+    }
+  }
+  out << "all chaos schedules matched the sequential gradient oracle\n";
+  return 0;
+}
+
 // `dearsim timeline` — run every collective once under a controlled
 // schedule with the always-on flight recorder, merge the per-rank journals
 // into the cross-rank happens-before DAG, and emit a Chrome/Perfetto trace
@@ -1188,10 +1247,10 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddInt("inject-rank", 1, "check: rank whose engine misbehaves");
   flags.AddInt("inject-op", 0, "check: 0-based request index to corrupt");
   flags.AddInt("timeout-ms", 2000, "check: watchdog deadline for blocked Recv");
-  flags.AddInt("seed", 1, "fuzz: base seed (schedule i uses seed+i)");
-  flags.AddInt("schedules", 8, "fuzz: number of schedules to run");
+  flags.AddInt("seed", 1, "fuzz/chaos: base seed (schedule i uses seed+i)");
+  flags.AddInt("schedules", 8, "fuzz/chaos: number of schedules to run");
   flags.AddInt("replay", -1,
-               "fuzz: replay this seed with a full decision trace");
+               "fuzz/chaos: replay this seed with a full decision trace");
   flags.AddBool("help", false, "show flags");
 
   const Status st = flags.Parse(argc - 1, argv + 1);
@@ -1214,6 +1273,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "bench") return CmdBench(flags, out, err);
   if (cmd == "check") return CmdCheck(flags, out, err);
   if (cmd == "fuzz") return CmdFuzz(flags, out, err);
+  if (cmd == "chaos") return CmdChaos(flags, out, err);
   if (cmd == "timeline") return CmdTimeline(flags, out, err);
   err << "unknown subcommand '" << cmd << "'\n" << kUsage;
   return 1;

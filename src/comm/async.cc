@@ -142,7 +142,7 @@ Status CommEngine::Monitored(const Request& req) {
   Status st = Execute(req);
   const std::uint64_t t1 = flightrec::NowNs();
   if (st.ok()) {
-    monitor.OnCollective(comm_.rank(), shape,
+    monitor.OnCollective(comm_.global_rank(), shape,
                          req.data.size() * sizeof(float), t1 - t0);
   }
   return st;
@@ -157,7 +157,7 @@ void CommEngine::Loop() {
   // Register the comm thread as a schedulable worker so the schedlab
   // controller can serialize it against the compute threads. No-op unless
   // a schedule hook is installed.
-  schedpoint::WorkerScope worker("comm", comm_.rank());
+  schedpoint::WorkerScope worker("comm", comm_.global_rank());
   // Dequeue index on this engine, for matching dearcheck fault specs.
   int op_index = 0;
   // A kReorder fault holds one request here so it runs *after* the next
@@ -170,7 +170,7 @@ void CommEngine::Loop() {
     check::FaultKind fault = check::FaultKind::kNone;
     check::Checker& checker = check::Checker::Get();
     if (checker.enabled()) {
-      fault = checker.ConsumeEngineFault(comm_.rank(), op_index);
+      fault = checker.ConsumeEngineFault(comm_.global_rank(), op_index);
     }
     ++op_index;
     switch (fault) {

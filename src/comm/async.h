@@ -84,8 +84,13 @@ class CommEngine {
   /// Stops accepting work, drains the queue, joins the thread. Idempotent.
   void Shutdown();
 
+  /// Logical rank / size on the communicator's (possibly shrunken) ring.
   [[nodiscard]] Rank rank() const noexcept { return comm_.rank(); }
   [[nodiscard]] int size() const noexcept { return comm_.size(); }
+  /// Physical hub rank — the identity for checker/telemetry/flightrec.
+  [[nodiscard]] Rank global_rank() const noexcept {
+    return comm_.global_rank();
+  }
 
  private:
   enum class Kind {

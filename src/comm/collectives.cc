@@ -137,8 +137,8 @@ std::vector<Rank> AllRanks(int p) {
 
 Status RingReduceScatter(Communicator& comm, std::span<float> data,
                          ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
-  check::CollectiveGuard guard(comm.rank(), "ring_reduce_scatter", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "ring_reduce_scatter", data.size());
   // Rank r sits at ring position r; kAvg normalization rides the final
   // round (avg_world) instead of a separate pass over the owned chunk.
   return internal::RingReduceScatterOver(comm, AllRanks(comm.size()), data,
@@ -147,23 +147,23 @@ Status RingReduceScatter(Communicator& comm, std::span<float> data,
 }
 
 Status RingAllGather(Communicator& comm, std::span<float> data) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
-  check::CollectiveGuard guard(comm.rank(), "ring_all_gather", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "ring_all_gather", data.size());
   return internal::RingAllGatherOver(comm, AllRanks(comm.size()), data,
                                      kTagAllGather, comm.rank());
 }
 
 Status RingAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "ring_all_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "ring_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RingReduceScatter(comm, data, op));
   return RingAllGather(comm, data);
 }
 
 Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
                   ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "tree_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "tree_reduce", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -195,8 +195,8 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
 }
 
 Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
-  telemetry::CollectiveTimer timer(comm.rank(), "broadcast", data.size());
-  check::CollectiveGuard guard(comm.rank(), "tree_broadcast", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "broadcast", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "tree_broadcast", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
@@ -231,16 +231,16 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
 }
 
 Status TreeAllReduce(Communicator& comm, std::span<float> data, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "tree_all_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "tree_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(TreeReduce(comm, data, /*root=*/0, op));
   return TreeBroadcast(comm, data, /*root=*/0);
 }
 
 Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
                                  ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "dbt_all_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "dbt_all_reduce", data.size());
   const int p = comm.size();
   const std::size_t half = data.size() / 2;
   auto a = data.subspan(0, half);
@@ -255,8 +255,8 @@ Status DoubleBinaryTreeAllReduce(Communicator& comm, std::span<float> data,
 
 Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
                                  int ranks_per_node, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
-  check::CollectiveGuard guard(comm.rank(), "hier_reduce_scatter", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "hier_reduce_scatter", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -302,8 +302,8 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
 
 Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
                              int ranks_per_node) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
-  check::CollectiveGuard guard(comm.rank(), "hier_all_gather", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "hier_all_gather", data.size());
   const int p = comm.size();
   if (ranks_per_node <= 0 || p % ranks_per_node != 0)
     return Status::InvalidArgument("ranks_per_node must divide world size");
@@ -351,8 +351,8 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
 
 Status HierarchicalAllReduce(Communicator& comm, std::span<float> data,
                              int ranks_per_node, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "hier_all_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "hier_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(
       HierarchicalReduceScatter(comm, data, ranks_per_node, op));
   return HierarchicalAllGather(comm, data, ranks_per_node);
@@ -394,8 +394,8 @@ bool IsPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
 
 Status RecursiveHalvingReduceScatter(Communicator& comm,
                                      std::span<float> data, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "reduce_scatter", data.size());
-  check::CollectiveGuard guard(comm.rank(), "recursive_reduce_scatter", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "reduce_scatter", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "recursive_reduce_scatter", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -431,8 +431,8 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
 }
 
 Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_gather", data.size());
-  check::CollectiveGuard guard(comm.rank(), "recursive_all_gather", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_gather", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "recursive_all_gather", data.size());
   const int p = comm.size();
   if (!IsPowerOfTwo(p))
     return Status::InvalidArgument(
@@ -464,15 +464,15 @@ Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
 
 Status RecursiveHalvingDoublingAllReduce(Communicator& comm,
                                          std::span<float> data, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "recursive_all_reduce", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "recursive_all_reduce", data.size());
   DEAR_RETURN_IF_ERROR(RecursiveHalvingReduceScatter(comm, data, op));
   return RecursiveDoublingAllGather(comm, data);
 }
 
 Status Barrier(Communicator& comm) {
-  telemetry::CollectiveTimer timer(comm.rank(), "barrier", 0);
-  check::CollectiveGuard guard(comm.rank(), "barrier", 0);
+  telemetry::CollectiveTimer timer(comm.global_rank(), "barrier", 0);
+  check::CollectiveGuard guard(comm.global_rank(), "barrier", 0);
   const int p = comm.size();
   for (int round = 0, dist = 1; dist < p; ++round, dist <<= 1) {
     const Rank dst = (comm.rank() + dist) % p;
@@ -489,8 +489,8 @@ Status Barrier(Communicator& comm) {
 
 Status Gather(Communicator& comm, std::span<const float> data,
               std::vector<float>* out, Rank root) {
-  telemetry::CollectiveTimer timer(comm.rank(), "gather", data.size());
-  check::CollectiveGuard guard(comm.rank(), "gather", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "gather", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "gather", data.size());
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   const std::size_t n = data.size();
@@ -526,8 +526,8 @@ Status Gather(Communicator& comm, std::span<const float> data,
 
 Status Scatter(Communicator& comm, std::span<const float> in,
                std::vector<float>* out, Rank root) {
-  telemetry::CollectiveTimer timer(comm.rank(), "scatter", in.size());
-  check::CollectiveGuard guard(comm.rank(), "scatter", 0);
+  telemetry::CollectiveTimer timer(comm.global_rank(), "scatter", in.size());
+  check::CollectiveGuard guard(comm.global_rank(), "scatter", 0);
   const int p = comm.size();
   DEAR_CHECK(root >= 0 && root < p && out != nullptr);
   if (comm.rank() == root) {
@@ -558,8 +558,8 @@ Status Scatter(Communicator& comm, std::span<const float> in,
 }
 
 Status AllToAll(Communicator& comm, std::span<float> data) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_to_all", data.size());
-  check::CollectiveGuard guard(comm.rank(), "all_to_all", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_to_all", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "all_to_all", data.size());
   const int p = comm.size();
   if (data.size() % static_cast<std::size_t>(p) != 0)
     return Status::InvalidArgument(
@@ -591,8 +591,8 @@ Status AllToAll(Communicator& comm, std::span<float> data) {
 
 Status RingAllReduceSegmented(Communicator& comm, std::span<float> data,
                               std::size_t segment_bytes, ReduceOp op) {
-  telemetry::CollectiveTimer timer(comm.rank(), "all_reduce", data.size());
-  check::CollectiveGuard guard(comm.rank(), "ring_all_reduce_segmented", data.size());
+  telemetry::CollectiveTimer timer(comm.global_rank(), "all_reduce", data.size());
+  check::CollectiveGuard guard(comm.global_rank(), "ring_all_reduce_segmented", data.size());
   if (segment_bytes < sizeof(float))
     return Status::InvalidArgument("segment must hold at least one element");
   const std::size_t seg_elems = segment_bytes / sizeof(float);

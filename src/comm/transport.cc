@@ -1,10 +1,12 @@
 #include "comm/transport.h"
 
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <utility>
 
 #include "check/checker.h"
+#include "comm/membership.h"
 #include "common/logging.h"
 #include "common/schedule_point.h"
 #include "flightrec/recorder.h"
@@ -40,6 +42,15 @@ Channel<Message>& TransportHub::ChannelFor(Rank src, Rank dst) {
 }
 
 bool TransportHub::Send(Rank src, Rank dst, Message msg) {
+  if (Membership* m = membership()) {
+    // Elastic guard rails, applied at the source so a failed or superseded
+    // sender cannot poison the survivor ring: both cases drop the message
+    // (collectives discover the failure through their own Recvs).
+    if (m->enforce_epoch() &&
+        (!m->IsLive(dst) || msg.epoch != m->epoch())) {
+      return false;
+    }
+  }
   const std::size_t bytes = msg.payload.size() * sizeof(float);
   telemetry::OnMessageSent(src, bytes);
   check::Checker::Get().OnTransportSend(bytes);
@@ -52,9 +63,10 @@ bool TransportHub::Send(Rank src, Rank dst, Message msg) {
 }
 
 bool TransportHub::Send(Rank src, Rank dst, std::uint32_t tag,
-                        std::span<const float> data) {
+                        std::span<const float> data, std::uint32_t epoch) {
   Message msg;
   msg.tag = tag;
+  msg.epoch = epoch;
   msg.payload = pool_.Acquire(data.size());
   if (!data.empty())
     std::memcpy(msg.payload.data(), data.data(),
@@ -63,7 +75,9 @@ bool TransportHub::Send(Rank src, Rank dst, std::uint32_t tag,
 }
 
 StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
-                                     std::uint32_t expected_tag) {
+                                     std::uint32_t expected_tag,
+                                     std::uint32_t epoch) {
+  Membership* m = membership();
   std::optional<Message> msg;
   {
     // Outermost schedule-block bracket: labels the wait with the
@@ -73,10 +87,61 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
     // Register as a blocked receiver for the wait-for graph while inside
     // the (potentially blocking) channel Recv.
     check::ScopedRecvWait wait(dst, src, expected_tag);
-    msg = ChannelFor(src, dst).Recv();
+    if (m == nullptr) {
+      msg = ChannelFor(src, dst).Recv();
+    } else {
+      // Epoch-aware bounded wait. One RecvFor per deadline period — no
+      // polling: every epoch transition cycles the channels, so a waiter
+      // is always woken (kClosed) when its op is doomed.
+      const auto deadline = std::chrono::nanoseconds(m->deadline_ns());
+      for (;;) {
+        if (m->enforce_epoch() && m->epoch() != epoch) {
+          return Status::Unavailable(
+              "membership epoch moved past this collective");
+        }
+        RecvOutcome outcome = RecvOutcome::kClosed;
+        msg = ChannelFor(src, dst).RecvFor(deadline, &outcome);
+        if (outcome == RecvOutcome::kItem) {
+          m->NoteActivity(src);
+          if (msg->epoch == epoch || !m->enforce_epoch()) break;
+          // Wrong-epoch arrival: journal the rejection under the dropped
+          // message's causal ID, then apply the bounded-staleness rule.
+          stale_drops_.fetch_add(1, std::memory_order_relaxed);
+          flightrec::Recorder::Get().OnStaleDrop(
+              dst, src, msg->tag, msg->causal, msg->epoch, epoch);
+          check::Checker& checker = check::Checker::Get();
+          if (checker.enabled())
+            checker.OnStaleMessage(dst, src, msg->epoch, epoch);
+          if (msg->epoch + 1 == epoch) {
+            // One transition stale: the sender raced a trip. Drop
+            // silently and keep waiting.
+            msg.reset();
+            continue;
+          }
+          return Status::Unavailable("stale-epoch message rejected");
+        }
+        if (outcome == RecvOutcome::kClosed) {
+          msg.reset();
+          break;  // shutdown or epoch trip; diagnosed below
+        }
+        // Timeout: the liveness deadline elapsed with the channel open.
+        // Suspect the stalest silent live peer, if any peer actually
+        // breached the deadline (otherwise re-arm: activity raced us).
+        const Rank victim = m->StalestSilent(dst, flightrec::NowNs());
+        if (victim >= 0) {
+          m->Suspect(victim, "liveness deadline", dst);
+          return Status::Unavailable("peer suspected after liveness timeout");
+        }
+      }
+    }
   }
-  if (!msg.has_value())
+  if (!msg.has_value()) {
+    if (m != nullptr && m->enforce_epoch() && m->epoch() != epoch) {
+      return Status::Unavailable(
+          "membership epoch moved past this collective");
+    }
     return Status::Unavailable("transport shut down while receiving");
+  }
   telemetry::OnMessageReceived(dst, msg->payload.size() * sizeof(float));
   // Journal the matching edge endpoint even on a tag mismatch — the
   // message did arrive, and the causal edge is what diagnoses the bug.
@@ -91,7 +156,24 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
   return std::move(*msg);
 }
 
+void TransportHub::AttachMembership(Membership* membership) noexcept {
+  membership_.store(membership, std::memory_order_release);
+}
+
+void TransportHub::TripEpoch() {
+  // Close first: every blocked receiver's close generation moves, so even
+  // a waiter that only runs after the Reopen below still unwinds with
+  // Unavailable instead of sleeping into the new epoch.
+  for (auto& ch : channels_) ch->Close();
+  // Drain stale-epoch payloads back to the pool (no receiver will ever
+  // claim them), then reopen for the survivor ring. The pool itself is
+  // NOT drained: its slabs are the steady-state zero-alloc reserve.
+  for (auto& ch : channels_) ch->Clear();
+  for (auto& ch : channels_) ch->Reopen();
+}
+
 void TransportHub::Shutdown() {
+  shut_down_.store(true, std::memory_order_release);
   // Black-box checkpoint: journal the shutdown on every rank and, when
   // DEAR_FLIGHTREC_DUMP is set, persist the last-N records per rank so a
   // trip-initiated teardown leaves a post-mortem timeline on disk.

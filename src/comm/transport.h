@@ -16,6 +16,7 @@
 // cluster; see DESIGN.md §1 and §10 for the substitution rationale.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -27,6 +28,8 @@
 #include "comm/types.h"
 
 namespace dear::comm {
+
+class Membership;
 
 /// One point-to-point payload. Tags are packed with tags::MakeTag from
 /// comm/types.h — kind(8) | round(12) | chunk(12) — so a mismatched or
@@ -40,9 +43,16 @@ namespace dear::comm {
 /// the sequence striped per destination so it is unique per channel) that
 /// lets the receiver journal a matching happens-before edge, and lamport
 /// is the sender's logical clock, max-merged into the receiver's on Recv.
+/// `epoch` is the sender's membership epoch (0 when no Membership is
+/// attached). Receivers at a different epoch reject the message: exactly
+/// one transition stale is dropped silently (bounded staleness — the
+/// sender raced an epoch trip), anything further from the receiver's epoch
+/// trips dearcheck. Either way the drop is journaled with the message's
+/// causal ID (flightrec kStaleDrop).
 struct Message {
   std::uint32_t tag{0};
   std::uint32_t lamport{0};
+  std::uint32_t epoch{0};
   std::uint64_t causal{0};
   PooledBuffer payload;
 };
@@ -71,21 +81,59 @@ class TransportHub {
   [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
 
   /// Enqueues `msg` on the (src, dst) channel. Returns false if shut down.
+  /// With a Membership attached, `msg.epoch` must already carry the
+  /// sender's epoch; sends to dead peers or from a stale epoch are dropped
+  /// (returns false) instead of poisoning the survivor ring.
   bool Send(Rank src, Rank dst, Message msg);
 
   /// Pooled-payload send: acquires a slab from the hub's pool, copies
   /// `data` into it once, and enqueues. Returns false if shut down.
+  /// `epoch` is stamped into the message (ignored with no Membership).
   bool Send(Rank src, Rank dst, std::uint32_t tag,
-            std::span<const float> data);
+            std::span<const float> data, std::uint32_t epoch = 0);
 
   /// Blocks for the next message on the (src, dst) channel; verifies the tag
   /// matches `expected_tag`. Returns Unavailable after Shutdown().
-  StatusOr<Message> Recv(Rank src, Rank dst, std::uint32_t expected_tag);
+  ///
+  /// With a Membership attached the wait becomes epoch-aware and bounded:
+  /// `epoch` is the receiver's membership epoch (ops at a superseded epoch
+  /// fail fast with Unavailable), wrong-epoch arrivals are rejected per the
+  /// Message contract above, and a wait longer than the liveness deadline
+  /// suspects the stalest silent peer — tripping the epoch so every
+  /// in-flight collective unwinds instead of hanging on a dead rank.
+  StatusOr<Message> Recv(Rank src, Rank dst, std::uint32_t expected_tag,
+                         std::uint32_t epoch = 0);
 
   /// Closes every channel (releasing any blocked receiver), then drains
   /// queued messages so their slabs return to the pool even when no
   /// receiver will ever claim them (e.g. a dearcheck trip mid-collective).
   void Shutdown();
+
+  /// Membership epoch trip: close -> drain -> reopen every channel. Blocked
+  /// receivers unwind with Unavailable (their close generation moved even
+  /// if they only wake after the reopen), queued stale-epoch payloads go
+  /// back to the pool, and the hub is immediately usable by the survivor
+  /// ring at the new epoch — unlike Shutdown, which retires the hub.
+  void TripEpoch();
+
+  /// Registers (or, with nullptr, detaches) the membership service that
+  /// makes this hub epoch-aware. Called by Membership's ctor/dtor.
+  void AttachMembership(Membership* membership) noexcept;
+  [[nodiscard]] Membership* membership() const noexcept {
+    return membership_.load(std::memory_order_acquire);
+  }
+
+  /// Wrong-epoch messages rejected by Recv since construction.
+  [[nodiscard]] std::uint64_t stale_drops() const noexcept {
+    return stale_drops_.load(std::memory_order_relaxed);
+  }
+
+  /// True once Shutdown() retired the hub — the elastic recovery loop's
+  /// exit condition (a tripped checker shuts the hub down; recovery must
+  /// stop retrying instead of spinning on closed channels).
+  [[nodiscard]] bool shut_down() const noexcept {
+    return shut_down_.load(std::memory_order_acquire);
+  }
 
  private:
   Channel<Message>& ChannelFor(Rank src, Rank dst);
@@ -93,6 +141,9 @@ class TransportHub {
   int size_;
   BufferPool pool_;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;  // size*size
+  std::atomic<Membership*> membership_{nullptr};
+  std::atomic<std::uint64_t> stale_drops_{0};
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace dear::comm

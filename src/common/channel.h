@@ -17,8 +17,10 @@
 // Recv drains remaining items and then reports closed.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -27,6 +29,13 @@
 #include "common/schedule_point.h"
 
 namespace dear {
+
+/// Why a timed receive returned without an item (see Channel::RecvFor).
+enum class RecvOutcome : std::uint8_t {
+  kItem,     // an item was returned
+  kClosed,   // channel was closed (possibly a close/reopen cycle) mid-wait
+  kTimeout,  // deadline elapsed with the channel open and empty
+};
 
 template <typename T>
 class Channel {
@@ -50,15 +59,40 @@ class Channel {
   }
 
   /// Blocks until an item is available or the channel is closed and drained.
-  /// Returns nullopt only in the closed-and-drained case.
+  /// Returns nullopt only in the closed-and-drained case. A close/reopen
+  /// cycle that happens entirely mid-wait also wakes the receiver (the
+  /// close generation is captured before sleeping), so a waiter can never
+  /// sleep through a membership-epoch trip that cycles the channel.
   std::optional<T> Recv() {
     // Constructed before the lock so the block-exit hook (which may itself
     // wait on the schedlab controller) runs after the lock is released.
     schedpoint::ScopedBlock block(schedpoint::Site::kChannelRecv);
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    const std::uint64_t gen = close_gen_;
+    cv_.wait(lock,
+             [&] { return count_ > 0 || closed_ || close_gen_ != gen; });
     if (count_ == 0) return std::nullopt;
     return PopLocked();
+  }
+
+  /// Recv with a deadline: waits up to `timeout` for an item. On success
+  /// returns the item (*outcome = kItem); otherwise nullopt with *outcome
+  /// telling closed-or-cycled apart from a plain timeout — the transport's
+  /// failure detector treats only kTimeout as peer silence.
+  std::optional<T> RecvFor(std::chrono::nanoseconds timeout,
+                           RecvOutcome* outcome) {
+    schedpoint::ScopedBlock block(schedpoint::Site::kChannelRecv);
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t gen = close_gen_;
+    const bool ready = cv_.wait_for(lock, timeout, [&] {
+      return count_ > 0 || closed_ || close_gen_ != gen;
+    });
+    if (count_ > 0) {
+      *outcome = RecvOutcome::kItem;
+      return PopLocked();
+    }
+    *outcome = !ready ? RecvOutcome::kTimeout : RecvOutcome::kClosed;
+    return std::nullopt;
   }
 
   /// Non-blocking receive.
@@ -73,6 +107,18 @@ class Channel {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+      ++close_gen_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Reopens a closed channel (no-op when open). Part of a membership
+  /// epoch trip's close -> Clear -> Reopen cycle; waiters that entered
+  /// before the Close still observe it via the close generation.
+  void Reopen() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = false;
     }
     cv_.notify_all();
   }
@@ -129,6 +175,7 @@ class Channel {
   std::size_t head_{0};
   std::size_t count_{0};
   bool closed_{false};
+  std::uint64_t close_gen_{0};  // bumped by Close; wakes pre-Close waiters
 };
 
 }  // namespace dear

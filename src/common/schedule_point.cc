@@ -19,6 +19,7 @@ const char* SiteName(Site site) noexcept {
     case Site::kLatchWait: return "latch_wait";
     case Site::kEngineDequeue: return "engine_dequeue";
     case Site::kEngineJoin: return "engine_join";
+    case Site::kMembershipWait: return "membership_wait";
   }
   return "unknown";
 }

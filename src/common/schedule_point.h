@@ -30,6 +30,7 @@ enum class Site : std::uint8_t {
   kLatchWait,      // Latch::Wait (collective handles block here)
   kEngineDequeue,  // CommEngine::Loop, before executing a dequeued request
   kEngineJoin,     // CommEngine::Shutdown joining the engine thread
+  kMembershipWait, // comm::Membership epoch/liveness waits (elastic runtime)
 };
 
 [[nodiscard]] const char* SiteName(Site site) noexcept;

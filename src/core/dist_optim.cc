@@ -83,7 +83,7 @@ void DistOptim::RebuildPlan() {
     groups_[static_cast<std::size_t>(g)].buffer.assign(
         plan_.group(g).bytes / model::kBytesPerElement, 0.0f);
   }
-  if (auto* reg = Registry(engine_->rank())) {
+  if (auto* reg = Registry(engine_->global_rank())) {
     reg->GetGauge("optim.fusion.groups")
         .Set(static_cast<double>(plan_.num_groups()));
     reg->GetGauge("optim.fusion.buffer_bytes")
@@ -104,7 +104,7 @@ DistOptim::TelemetryCache* DistOptim::RefreshTelemetryCache() {
   if (!rt.enabled()) return nullptr;
   const std::uint64_t session = rt.session_id();
   if (tcache_.session != session) {
-    auto* reg = rt.rank_metrics(engine_->rank());
+    auto* reg = rt.rank_metrics(engine_->global_rank());
     if (!reg) return nullptr;
     tcache_.rs_latency =
         &reg->GetHistogram("optim.reduce_scatter.launch_to_complete_seconds");
@@ -161,7 +161,7 @@ void DistOptim::ObserveGroupDone(int g, GroupState& state) {
   TraceEvent event;
   event.name = std::string(kind) + ".g" + std::to_string(g);
   event.category = "group";
-  event.pid = engine_->rank();
+  event.pid = engine_->global_rank();
   event.tid = telemetry::kGroupLane;
   event.start = launch;
   event.duration = now - launch;
@@ -182,7 +182,7 @@ void DistOptim::ObserveStepEnd() {
       TraceEvent event;
       event.name = "iteration";
       event.category = "iteration";
-      event.pid = engine_->rank();
+      event.pid = engine_->global_rank();
       event.tid = telemetry::kIterationLane;
       event.start = last_step_end_ns_;
       event.duration = now - last_step_end_ns_;
@@ -209,39 +209,52 @@ void DistOptim::ObserveStepEnd() {
   last_step_end_ns_ = now;
 }
 
-void DistOptim::WaitHandle(const comm::CollectiveHandle& handle) const {
+bool DistOptim::WaitHandle(const comm::CollectiveHandle& handle) {
   const Status st = handle.Wait();
+  if (st.ok()) return true;
+  if (options_.elastic) {
+    // Degrade-and-continue: a suspected peer tripped the membership epoch
+    // and this op unwound. Record the first failure; the owner rebuilds
+    // over the survivor ring (core/elastic.h).
+    if (!failed_) {
+      failed_ = true;
+      failure_ = st;
+    }
+    return false;
+  }
   DEAR_CHECK_MSG(st.ok(), "collective failed: " + st.ToString());
+  return false;
 }
 
-void DistOptim::TimedWait(const comm::CollectiveHandle& handle,
+bool DistOptim::TimedWait(const comm::CollectiveHandle& handle,
                           double* bucket) {
   const auto t0 = std::chrono::steady_clock::now();
-  WaitHandle(handle);
+  const bool ok = WaitHandle(handle);
   *bucket +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  return ok;
 }
 
-void DistOptim::TracedWait(int g, GroupState& state, double* bucket) {
+bool DistOptim::TracedWait(int g, GroupState& state, double* bucket) {
   auto& rt = telemetry::Runtime::Get();
   if (!rt.enabled()) {
-    TimedWait(state.handle, bucket);
-    return;
+    return TimedWait(state.handle, bucket);
   }
   // Kind must be read before the wait: call sites flip state.phase only
   // after completion, so it still names the op being waited on.
   const char* kind = InFlightKind(state);
   const SimTime t0 = rt.NowNs();
-  TimedWait(state.handle, bucket);
+  const bool ok = TimedWait(state.handle, bucket);
   TraceEvent event;
   event.name = std::string("wait.") + kind + ".g" + std::to_string(g);
   event.category = "wait";
-  event.pid = engine_->rank();
+  event.pid = engine_->global_rank();
   event.tid = telemetry::kWaitLane;
   event.start = t0;
   event.duration = rt.NowNs() - t0;
   rt.trace().Record(std::move(event));
+  return ok;
 }
 
 void DistOptim::PackGroup(int g) {
@@ -291,7 +304,7 @@ void DistOptim::UnpackAndApply(int g) {
   }
   state.phase = GroupPhase::kIdle;
   state.tensors_ready = 0;
-  check::OnGroup(engine_->rank(), g, GroupEvent::kUnpack);
+  check::OnGroup(engine_->global_rank(), g, GroupEvent::kUnpack);
 }
 
 void DistOptim::ApplyShardedUpdate(int g) {
@@ -345,13 +358,13 @@ void DistOptim::LocalSgdStep() {
                                             comm::ReduceOp::kAvg);
     state.phase = GroupPhase::kRsPending;
     MarkGroupLaunched(state);
-    check::OnGroup(engine_->rank(), g, GroupEvent::kRsLaunch);
+    check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsLaunch);
   }
   for (int g = 0; g < plan_.num_groups(); ++g) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
-    TracedWait(g, state, &stats_.step_wait_s);
+    if (!TracedWait(g, state, &stats_.step_wait_s)) return;
     ObserveGroupDone(g, state);
-    check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
+    check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsComplete);
     std::size_t offset = 0;
     for (int t : plan_.group(g).tensors) {
       auto& values = bindings_[static_cast<std::size_t>(t)].values;
@@ -363,7 +376,7 @@ void DistOptim::LocalSgdStep() {
     }
     state.phase = GroupPhase::kIdle;
     state.tensors_ready = 0;
-    check::OnGroup(engine_->rank(), g, GroupEvent::kUnpack);
+    check::OnGroup(engine_->global_rank(), g, GroupEvent::kUnpack);
   }
 }
 
@@ -417,11 +430,12 @@ void DistOptim::LaunchGroup(int g) {
       break;
   }
   MarkGroupLaunched(state);
-  check::OnGroup(engine_->rank(), g, GroupEvent::kRsLaunch);
+  check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsLaunch);
 }
 
 void DistOptim::OnBackwardLayer(int layer) {
   DEAR_CHECK(layer >= 0 && layer < spec_.num_layers());
+  if (failed_) return;  // elastic: owner tears down and rebuilds
   // Local SGD never communicates gradients; parameters are averaged in
   // Step() at round boundaries instead.
   if (options_.mode == ScheduleMode::kLocalSGD) return;
@@ -448,6 +462,7 @@ void DistOptim::OnBackwardLayer(int layer) {
 }
 
 void DistOptim::Step() {
+  if (failed_) return;  // elastic: owner tears down and rebuilds
   if (micro_step_ + 1 < options_.accumulation_steps) {
     ++micro_step_;
     return;  // accumulation continues; no communication, no update
@@ -472,9 +487,9 @@ void DistOptim::Step() {
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
         auto& state = groups_[static_cast<std::size_t>(g)];
-        TracedWait(g, state, &stats_.step_wait_s);
+        if (!TracedWait(g, state, &stats_.step_wait_s)) return;
         ObserveGroupDone(g, state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
@@ -485,9 +500,9 @@ void DistOptim::Step() {
         auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
-        TracedWait(g, state, &stats_.step_wait_s);
+        if (!TracedWait(g, state, &stats_.step_wait_s)) return;
         ObserveGroupDone(g, state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) UnpackAndApply(g);
       break;
@@ -503,9 +518,9 @@ void DistOptim::Step() {
         auto& state = groups_[static_cast<std::size_t>(g)];
         DEAR_CHECK_MSG(state.phase == GroupPhase::kRsPending,
                        "Step() before backward completed");
-        TracedWait(g, state, &stats_.step_wait_s);
+        if (!TracedWait(g, state, &stats_.step_wait_s)) return;
         ObserveGroupDone(g, state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsComplete);
       }
       for (int g = 0; g < plan_.num_groups(); ++g) {
         auto& state = groups_[static_cast<std::size_t>(g)];
@@ -513,7 +528,7 @@ void DistOptim::Step() {
         state.handle = SubmitGather(state);
         state.phase = GroupPhase::kAgPending;
         MarkGroupLaunched(state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kAgLaunch);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kAgLaunch);
       }
       break;
     }
@@ -525,20 +540,22 @@ void DistOptim::Step() {
 
 void DistOptim::PreForward(int layer) {
   DEAR_CHECK(layer >= 0 && layer < spec_.num_layers());
+  if (failed_) return;  // elastic: owner tears down and rebuilds
   if (options_.mode != ScheduleMode::kDeAR &&
       options_.mode != ScheduleMode::kZeRO)
     return;
   for (int g : plan_.groups_of_layer(layer)) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     if (state.phase != GroupPhase::kAgPending) continue;  // first iteration
-    TracedWait(g, state, &stats_.pre_forward_wait_s);
+    if (!TracedWait(g, state, &stats_.pre_forward_wait_s)) return;
     ObserveGroupDone(g, state);
-    check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
+    check::OnGroup(engine_->global_rank(), g, GroupEvent::kAgComplete);
     UnpackAndApply(g);
   }
 }
 
 void DistOptim::Synchronize() {
+  if (failed_) return;  // elastic: owner tears down and rebuilds
   for (int g = 0; g < plan_.num_groups(); ++g) {
     GroupState& state = groups_[static_cast<std::size_t>(g)];
     switch (state.phase) {
@@ -554,26 +571,26 @@ void DistOptim::Synchronize() {
         // modes the buffer holds a scattered result, so complete the pair
         // (kZeRO also applies its sharded update in between); in the
         // all-reduce modes the data is already fully reduced.
-        TracedWait(g, state, &stats_.synchronize_wait_s);
+        if (!TracedWait(g, state, &stats_.synchronize_wait_s)) return;
         ObserveGroupDone(g, state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kRsComplete);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kRsComplete);
         if (options_.mode == ScheduleMode::kDeAR ||
             options_.mode == ScheduleMode::kZeRO) {
           if (options_.mode == ScheduleMode::kZeRO) ApplyShardedUpdate(g);
           state.handle = SubmitGather(state);
           state.phase = GroupPhase::kAgPending;
           MarkGroupLaunched(state);
-          check::OnGroup(engine_->rank(), g, GroupEvent::kAgLaunch);
-          TracedWait(g, state, &stats_.synchronize_wait_s);
+          check::OnGroup(engine_->global_rank(), g, GroupEvent::kAgLaunch);
+          if (!TracedWait(g, state, &stats_.synchronize_wait_s)) return;
           ObserveGroupDone(g, state);
-          check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
+          check::OnGroup(engine_->global_rank(), g, GroupEvent::kAgComplete);
         }
         UnpackAndApply(g);
         break;
       case GroupPhase::kAgPending:
-        TracedWait(g, state, &stats_.synchronize_wait_s);
+        if (!TracedWait(g, state, &stats_.synchronize_wait_s)) return;
         ObserveGroupDone(g, state);
-        check::OnGroup(engine_->rank(), g, GroupEvent::kAgComplete);
+        check::OnGroup(engine_->global_rank(), g, GroupEvent::kAgComplete);
         UnpackAndApply(g);
         break;
     }
@@ -593,8 +610,14 @@ void DistOptim::SetBufferBytes(std::size_t bytes) {
   RebuildPlan();
 }
 
-void DistOptim::BroadcastControl(std::span<float> data, comm::Rank root) {
-  WaitHandle(engine_->SubmitBroadcast(data, root));
+bool DistOptim::BroadcastControl(std::span<float> data, comm::Rank root) {
+  if (failed_) return false;
+  return WaitHandle(engine_->SubmitBroadcast(data, root));
+}
+
+bool DistOptim::BarrierControl() {
+  if (failed_) return false;
+  return WaitHandle(engine_->SubmitBarrier());
 }
 
 }  // namespace dear::core

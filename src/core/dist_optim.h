@@ -85,6 +85,14 @@ struct DistOptimOptions {
   /// values are rejected. kZeRO supports kRing only.
   comm::Algorithm algorithm{comm::Algorithm::kRing};
   int ranks_per_node{1};  // for kHierarchical; must divide the world size
+  /// Degrade-and-continue: a failed collective (a peer was suspected and
+  /// the membership epoch tripped, unwinding every in-flight op with
+  /// Unavailable) records the failure — readable via failed()/failure() —
+  /// instead of aborting the process. The owner then rebuilds a DistOptim
+  /// over the survivor ring (see core/elastic.h). Off by default: a failed
+  /// collective in a fixed-world run is a bug, and aborting loudly is the
+  /// correct response.
+  bool elastic{false};
   train::SgdOptions sgd;
 };
 
@@ -120,8 +128,20 @@ class DistOptim {
   }
 
   /// Control-plane broadcast through the comm stream (blocks until done).
-  /// Every rank must call it at the same point in the schedule.
-  void BroadcastControl(std::span<float> data, comm::Rank root);
+  /// Every rank must call it at the same point in the schedule. Returns
+  /// false when the collective failed under `elastic` (aborts otherwise).
+  bool BroadcastControl(std::span<float> data, comm::Rank root);
+  /// Control-plane barrier over the communicator's group — the quiescence
+  /// point the elastic readmission rendezvous runs on. Same failure
+  /// contract as BroadcastControl.
+  bool BarrierControl();
+
+  /// Elastic failure state: set by the first collective that unwound with
+  /// an error while options.elastic is on. Once failed, every hook becomes
+  /// a no-op; the owner is expected to tear this instance down and rebuild
+  /// over the survivor ring.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const Status& failure() const noexcept { return failure_; }
 
   [[nodiscard]] comm::Rank rank() const noexcept { return engine_->rank(); }
   [[nodiscard]] int world_size() const noexcept { return engine_->size(); }
@@ -165,7 +185,9 @@ class DistOptim {
   void PackGroup(int g);
   void UnpackAndApply(int g);
   void LaunchGroup(int g);
-  void WaitHandle(const comm::CollectiveHandle& handle) const;
+  /// Waits on `handle`. Returns true on success; on failure, aborts — or,
+  /// under options.elastic, records the failure and returns false.
+  bool WaitHandle(const comm::CollectiveHandle& handle);
   /// kZeRO: updates the owned ring chunk of group g's parameters from the
   /// reduce-scattered gradients and writes the fresh parameter values back
   /// into the buffer for the parameter all-gather.
@@ -176,12 +198,12 @@ class DistOptim {
   void LocalSgdStep();
 
   /// Waits on `handle`, charging the blocked wall time to `*bucket`.
-  void TimedWait(const comm::CollectiveHandle& handle, double* bucket);
+  bool TimedWait(const comm::CollectiveHandle& handle, double* bucket);
   /// TimedWait on group `g`'s in-flight collective that additionally
   /// records a wait-lane trace span ("wait.<rs|ag|ar>.g<g>") so the
   /// attribution report (analysis/timeline.h) can split the compute
-  /// thread's blocked time per fusion group.
-  void TracedWait(int g, GroupState& state, double* bucket);
+  /// thread's blocked time per fusion group. Returns WaitHandle's verdict.
+  bool TracedWait(int g, GroupState& state, double* bucket);
 
   /// Telemetry: marks the in-flight collective of `state` as launched /
   /// completed (launch->complete latency histograms, keyed by the phase,
@@ -224,6 +246,8 @@ class DistOptim {
   fusion::FusionPlan plan_;
   std::vector<GroupState> groups_;
   Stats stats_;
+  bool failed_{false};
+  Status failure_;
   int micro_step_{0};
   int local_step_{0};  // kLocalSGD round position
   SimTime last_step_end_ns_{-1};  // telemetry: previous Step() end

@@ -1,0 +1,333 @@
+#include "core/elastic.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/schedule_point.h"
+
+namespace dear::core {
+namespace {
+
+/// Distinct, reproducible batch for (rank, iteration): every rank owns a
+/// fixed shard of the common dataset and cycles through it on a schedule
+/// that is a pure function of the iteration number — so a rank that
+/// resynced its iteration counter from the recovery root automatically
+/// lands on the same batch the oracle replays.
+void FillBatch(const train::Dataset& shard, int iteration, int batch,
+               std::vector<float>* x, std::vector<float>* y) {
+  const int cursor = (iteration % 2) * batch;  // shards hold 2*batch samples
+  shard.Batch(cursor, batch, x, y);
+}
+
+}  // namespace
+
+std::vector<float> FlattenParams(train::Mlp& mlp) {
+  std::vector<float> out;
+  for (train::DenseLayer& layer : mlp.layers()) {
+    out.insert(out.end(), layer.w.begin(), layer.w.end());
+    out.insert(out.end(), layer.b.begin(), layer.b.end());
+  }
+  return out;
+}
+
+void LoadParams(train::Mlp& mlp, std::span<const float> params) {
+  std::size_t off = 0;
+  for (train::DenseLayer& layer : mlp.layers()) {
+    DEAR_CHECK(off + layer.w.size() + layer.b.size() <= params.size());
+    std::copy_n(params.begin() + static_cast<std::ptrdiff_t>(off),
+                layer.w.size(), layer.w.begin());
+    off += layer.w.size();
+    std::copy_n(params.begin() + static_cast<std::ptrdiff_t>(off),
+                layer.b.size(), layer.b.begin());
+    off += layer.b.size();
+  }
+  DEAR_CHECK_MSG(off == params.size(), "parameter blob size mismatch");
+}
+
+struct ElasticRuntime::RankState {
+  comm::Rank rank{0};
+  std::unique_ptr<train::Mlp> mlp;
+  train::Dataset shard;
+  std::unique_ptr<DistOptim> optim;
+  int it{0};
+  std::uint32_t cur_epoch{0};
+  bool is_root{false};
+  std::vector<float> x, y, grad;
+};
+
+ElasticRuntime::ElasticRuntime(ElasticOptions options)
+    : options_(std::move(options)),
+      data_(train::MakeRegressionDataset(
+          options_.world * options_.batch * 2, options_.dims.front(),
+          options_.dims.back(), options_.data_seed)),
+      hub_(options_.world, {.use_pool = true}),
+      membership_(&hub_, options_.membership) {
+  final_params_.resize(static_cast<std::size_t>(options_.world));
+  // Epoch-0 segment: the full group starting from the common seed-derived
+  // initialization (every rank constructs the identical Mlp).
+  train::Mlp init(options_.dims, options_.model_seed);
+  ElasticSegment seg;
+  seg.first_iteration = 0;
+  seg.epoch = 0;
+  for (int r = 0; r < options_.world; ++r) seg.live.push_back(r);
+  seg.base_params = FlattenParams(init);
+  segments_.push_back(std::move(seg));
+}
+
+void ElasticRuntime::Fail(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ok_) {
+    ok_ = false;
+    failure_ = what;
+  }
+}
+
+bool ElasticRuntime::Recover(RankState& st) {
+  st.optim.reset();  // joins the engine; doomed ops fail fast at the old
+                     // epoch, so the join cannot hang
+  const std::uint32_t ep = membership_.epoch();
+  membership_.WaitSettled(ep);
+  if (!membership_.IsLive(st.rank)) {
+    // Suspected while recovering (not part of scripted single-victim
+    // schedules, but reachable under detector races): park like the
+    // scripted victim does and retry once readmitted.
+    membership_.WaitLive(st.rank);
+    return false;
+  }
+  auto group = membership_.LiveGroup();
+  membership_.ObserveEpoch(st.rank, ep);
+  comm::Communicator comm(&hub_, st.rank, group, ep);
+  // The state-sync root must be a survivor: a fresh readmit's parameters
+  // are stale by exactly the iterations it missed.
+  const std::uint64_t readmitted = membership_.ReadmittedAt(ep);
+  comm::Rank root_logical = 0;
+  for (std::size_t i = 0; i < group->size(); ++i) {
+    if (((readmitted >> static_cast<unsigned>((*group)[i])) & 1u) == 0) {
+      root_logical = static_cast<comm::Rank>(i);
+      break;
+    }
+  }
+  st.is_root = comm.rank() == root_logical;
+
+  DistOptimOptions optim_options;
+  optim_options.mode = ScheduleMode::kDeAR;
+  optim_options.buffer_bytes = options_.buffer_bytes;
+  optim_options.elastic = true;
+  // Momentum stays 0: velocity is per-DistOptim state that dies with every
+  // re-form, and the oracle replays stateless SGD.
+  optim_options.sgd = {.lr = options_.lr, .momentum = 0.0f};
+  st.optim = std::make_unique<DistOptim>(comm, st.mlp->Spec(),
+                                         st.mlp->Bindings(), optim_options);
+  // Quiesce/handshake barrier: returns once every live rank rebuilt (and,
+  // under a schedlab controller, blocks this worker while the fresh engine
+  // thread registers). Failure = the epoch moved again; re-enter.
+  if (!st.optim->BarrierControl()) return false;
+  // State sync: parameters plus the iteration counter, from the root.
+  std::vector<float> blob = FlattenParams(*st.mlp);
+  blob.push_back(static_cast<float>(st.it));
+  if (!st.optim->BroadcastControl(std::span<float>(blob), root_logical)) {
+    return false;
+  }
+  if (!st.is_root) {
+    LoadParams(*st.mlp,
+               std::span<const float>(blob.data(), blob.size() - 1));
+    st.it = static_cast<int>(blob.back());
+  }
+  st.cur_epoch = ep;
+  if (st.is_root) {
+    // One segment per epoch: the initial formation at epoch 0 was already
+    // recorded by the constructor (and a second Recover at the same epoch
+    // would be re-entering after a failed sync, not a new formation).
+    bool fresh_epoch = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fresh_epoch = segments_.empty() || segments_.back().epoch != ep;
+      for (const ElasticSegment& s : segments_)
+        if (s.epoch == ep) fresh_epoch = false;
+      if (fresh_epoch) {
+        ElasticSegment seg;
+        seg.first_iteration = st.it;
+        seg.epoch = ep;
+        seg.live = *group;
+        blob.pop_back();
+        seg.base_params = std::move(blob);
+        segments_.push_back(std::move(seg));
+      }
+    }
+    if (fresh_epoch) membership_.NoteReform(ep);
+  }
+  return true;
+}
+
+void ElasticRuntime::CommitRendezvous(RankState& st) {
+  const std::uint32_t ep = membership_.epoch();
+  const bool quiesced = st.optim->BarrierControl();
+  if (quiesced && st.is_root) membership_.CommitReadmits(ep);
+  // The commit — or whatever racing suspect doomed the barrier — turned
+  // the epoch; wait out its channel cycle, then re-form. Recover's own
+  // failure paths land back in the caller's loop.
+  membership_.WaitSettled(ep + 1);
+  Recover(st);
+}
+
+void ElasticRuntime::RunRank(comm::Rank rank) {
+  schedpoint::WorkerScope worker("rank", rank);
+  RankState st;
+  st.rank = rank;
+  st.mlp = std::make_unique<train::Mlp>(options_.dims, options_.model_seed);
+  st.shard = data_.Shard(rank, options_.world);
+  bool crashed = false;
+
+  while (st.it < options_.iterations) {
+    if (hub_.shut_down()) {
+      Fail("transport hub shut down mid-run (checker trip or deadlock)");
+      return;
+    }
+    // Scripted churn: the victim dies cooperatively at the *top* of the
+    // kill iteration — before launching any collective of it — so no rank
+    // can have partially applied that iteration (a ring collective cannot
+    // complete without every live rank).
+    if (rank == options_.victim && st.it == options_.kill_iteration &&
+        !crashed) {
+      crashed = true;
+      if (options_.rejoin_delay >= 0) membership_.RequestReadmit(rank);
+      st.optim.reset();  // engine is idle between iterations: clean join
+      membership_.Suspect(rank, "injected crash", rank);
+      if (options_.rejoin_delay < 0) return;  // dead for good
+      membership_.WaitLive(rank);
+      continue;  // recovery check below rebuilds at the readmit epoch
+    }
+    // Degraded / stale state: a collective failed, or the membership epoch
+    // moved past this rank's communicator. Rebuild over the live group.
+    if (st.optim == nullptr || st.optim->failed() ||
+        st.cur_epoch != membership_.epoch()) {
+      Recover(st);
+      continue;
+    }
+    // Readmission rendezvous: the root schedules the commit a fixed number
+    // of iterations out; every rank pauses there. No rank can pass the
+    // check before the root proposes — iteration progress requires the
+    // root's participation in every collective, bounding skew.
+    if (st.is_root && membership_.has_pending_readmits() &&
+        membership_.commit_at() < 0) {
+      membership_.ProposeCommitAt(st.it +
+                                  std::max(1, options_.rejoin_delay));
+    }
+    const std::int64_t commit_at = membership_.commit_at();
+    if (commit_at >= 0 && st.it >= commit_at) {
+      CommitRendezvous(st);
+      continue;
+    }
+    // One training iteration of the standard DeAR pipeline.
+    st.mlp->ZeroGrad();
+    FillBatch(st.shard, st.it, options_.batch, &st.x, &st.y);
+    const std::vector<float> pred =
+        st.mlp->Forward(st.x, options_.batch,
+                        [&](int l) { st.optim->PreForward(l); });
+    train::Mlp::MseLoss(pred, st.y, &st.grad);
+    st.mlp->Backward(st.grad, options_.batch,
+                     [&](int l) { st.optim->OnBackwardLayer(l); });
+    st.optim->Step();
+    st.optim->Synchronize();
+    if (st.optim->failed()) continue;  // loop top recovers
+    ++st.it;
+    // Iteration-end quiesce: no rank starts iteration i+1 until every rank
+    // submitted barrier i, so an epoch turn always finds every rank's
+    // parameters at a consistent end-of-iteration snapshot. A failed
+    // barrier recovers at the loop top — parameters are already applied.
+    st.optim->BarrierControl();
+  }
+
+  // Epilogue rendezvous: a commit scheduled at/after the final iteration
+  // still has to happen, or the parked victim would never wake. Bounded:
+  // each pass either commits (clearing the pending set) or rides an epoch
+  // turn, and scripted schedules have one victim.
+  int epilogue_guard = 0;
+  while (membership_.has_pending_readmits() && options_.rejoin_delay >= 0) {
+    if (hub_.shut_down() || ++epilogue_guard > 8) {
+      Fail("epilogue readmission rendezvous did not converge");
+      return;
+    }
+    if (st.optim == nullptr || st.optim->failed() ||
+        st.cur_epoch != membership_.epoch()) {
+      Recover(st);
+      continue;
+    }
+    if (st.is_root && membership_.commit_at() < 0) {
+      membership_.ProposeCommitAt(options_.iterations);
+    }
+    CommitRendezvous(st);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    final_params_[static_cast<std::size_t>(rank)] = FlattenParams(*st.mlp);
+  }
+}
+
+ElasticReport ElasticRuntime::TakeReport() {
+  ElasticReport report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report.ok = ok_;
+    report.failure = failure_;
+    report.segments = segments_;
+    report.final_params = final_params_;
+  }
+  std::sort(report.segments.begin(), report.segments.end(),
+            [](const ElasticSegment& a, const ElasticSegment& b) {
+              return a.epoch < b.epoch;
+            });
+  report.transition_log = membership_.FormatTransitions();
+  report.stale_drops = hub_.stale_drops();
+  return report;
+}
+
+ElasticReport RunElasticTraining(const ElasticOptions& options) {
+  ElasticRuntime runtime(options);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(options.world));
+  for (int r = 0; r < options.world; ++r) {
+    threads.emplace_back([&runtime, r] { runtime.RunRank(r); });
+  }
+  for (std::thread& t : threads) t.join();
+  return runtime.TakeReport();
+}
+
+std::vector<float> SequentialOracle(const ElasticOptions& options,
+                                    const ElasticSegment& segment,
+                                    int end_iteration) {
+  train::Dataset data = train::MakeRegressionDataset(
+      options.world * options.batch * 2, options.dims.front(),
+      options.dims.back(), options.data_seed);
+  train::Mlp mlp(options.dims, options.model_seed);
+  LoadParams(mlp, segment.base_params);
+  std::vector<float> x, y, grad;
+  for (int it = segment.first_iteration; it < end_iteration; ++it) {
+    mlp.ZeroGrad();
+    // DenseLayer::Backward accumulates into gw/gb, so running the live
+    // ranks' forward/backward passes in sequence sums their per-batch
+    // gradients — the same sum the ring reduce-scatter computes.
+    for (const comm::Rank r : segment.live) {
+      const train::Dataset shard = data.Shard(r, options.world);
+      FillBatch(shard, it, options.batch, &x, &y);
+      const std::vector<float> pred = mlp.Forward(x, options.batch);
+      train::Mlp::MseLoss(pred, y, &grad);
+      mlp.Backward(grad, options.batch);
+    }
+    const float scale = 1.0f / static_cast<float>(segment.live.size());
+    for (train::DenseLayer& layer : mlp.layers()) {
+      for (std::size_t i = 0; i < layer.w.size(); ++i) {
+        layer.w[i] -= options.lr * scale * layer.gw[i];
+      }
+      for (std::size_t i = 0; i < layer.b.size(); ++i) {
+        layer.b[i] -= options.lr * scale * layer.gb[i];
+      }
+    }
+  }
+  return FlattenParams(mlp);
+}
+
+}  // namespace dear::core

@@ -1,0 +1,160 @@
+// Elastic training runtime: degrade-and-continue data-parallel SGD over a
+// TransportHub with comm::Membership churn (DESIGN.md §13).
+//
+// Within one membership epoch this is exactly the DeAR pipeline over the
+// epoch's live ring — DistOptim's reduce-scatter runs ReduceOp::kAvg over
+// comm.size() ranks, so kAvg renormalizes to the survivor count for free
+// when the ring shrinks. Across epochs the protocol is:
+//
+//   crash    the scripted victim requests readmission, suspects itself
+//            (epoch turns, channels cycle), and parks in WaitLive;
+//   recover  every survivor's in-flight collective unwinds with
+//            Unavailable, it tears down its DistOptim (joining the
+//            engine), adopts the new epoch, rebuilds engine + optimizer
+//            over the survivor group, and resyncs parameters and the
+//            iteration counter from the recovery root (the lowest live
+//            survivor) via barrier + broadcast;
+//   readmit  the root publishes a commit iteration; every survivor pauses
+//            there, barriers, the root commits (epoch turns again), and
+//            all ranks — including the woken victim — re-form over the
+//            full group with one more state sync.
+//
+// Every rank runs one iteration-end barrier: a rank can only start
+// iteration i+1 after all ranks submitted barrier i, which bounds skew to
+// one iteration and — more importantly — guarantees that whenever the
+// epoch turns, every rank's parameters are a *consistent* snapshot (all of
+// the previous iteration applied, none of the current one: a ring
+// collective cannot complete without every live rank's participation, so
+// the interrupted iteration never reaches UnpackAndApply anywhere).
+//
+// That consistency is what makes the run oracle-checkable: the recovery
+// root records an ElasticSegment (first iteration, live set, base
+// parameters) at every re-form, and SequentialOracle replays each segment
+// with plain single-process SGD over the live ranks' shards. Momentum is
+// deliberately 0: velocity is per-DistOptim state that resets at re-form,
+// which a stateless oracle would otherwise have to model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/membership.h"
+#include "comm/transport.h"
+#include "comm/types.h"
+#include "core/dist_optim.h"
+#include "train/data.h"
+#include "train/mlp.h"
+
+namespace dear::core {
+
+struct ElasticOptions {
+  int world{3};
+  int iterations{6};
+  int batch{2};
+  std::vector<int> dims{4, 8, 6, 2};
+  std::size_t buffer_bytes{256};  // several fusion groups for the MLP
+  float lr{0.05f};
+  /// Scripted churn: `victim` self-suspects at the top of iteration
+  /// `kill_iteration` and rejoins `rejoin_delay` iterations later
+  /// (rejoin_delay < 0: stays dead). victim < 0 disables churn.
+  comm::Rank victim{-1};
+  int kill_iteration{-1};
+  int rejoin_delay{2};
+  std::uint64_t data_seed{77};
+  std::uint64_t model_seed{21};
+  comm::MembershipOptions membership;
+};
+
+/// One piecewise-fixed span of the run, recorded by the recovery root at
+/// every re-form (and once at startup for epoch 0).
+struct ElasticSegment {
+  int first_iteration{0};
+  std::uint32_t epoch{0};
+  std::vector<comm::Rank> live;
+  std::vector<float> base_params;  // flattened, layer-major (w then b)
+};
+
+struct ElasticReport {
+  bool ok{true};
+  std::string failure;
+  std::vector<ElasticSegment> segments;
+  /// Flattened final parameters per physical rank; empty for a rank that
+  /// was dead at the end.
+  std::vector<std::vector<float>> final_params;
+  std::string transition_log;  // Membership::FormatTransitions()
+  std::uint64_t stale_drops{0};
+  bool checker_tripped{false};
+  std::string checker_report;
+};
+
+/// Flatten / load an Mlp's parameters (layer-major, w then b per layer).
+std::vector<float> FlattenParams(train::Mlp& mlp);
+void LoadParams(train::Mlp& mlp, std::span<const float> params);
+
+/// The per-rank worker bodies plus the shared hub/membership they run
+/// over. Exposed (rather than hidden inside RunElasticTraining) so the
+/// schedlab chaos harness can drive RunRank on controller-registered
+/// threads.
+class ElasticRuntime {
+ public:
+  explicit ElasticRuntime(ElasticOptions options);
+
+  /// Worker body for physical rank `rank`; returns when the rank finished
+  /// all iterations (or died for good). Call once per rank, concurrently.
+  void RunRank(comm::Rank rank);
+
+  /// Collects the report. Call after every RunRank returned.
+  ElasticReport TakeReport();
+
+  [[nodiscard]] comm::TransportHub& hub() noexcept { return hub_; }
+  [[nodiscard]] comm::Membership& membership() noexcept {
+    return membership_;
+  }
+  [[nodiscard]] const ElasticOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct RankState;  // loop-local state bundle, defined in elastic.cc
+
+  /// Tears down the optimizer, adopts the current epoch, rebuilds the
+  /// engine + DistOptim over the live group, and state-syncs from the
+  /// recovery root. False when the epoch moved again mid-recovery (the
+  /// caller just re-enters).
+  bool Recover(RankState& st);
+  /// Rendezvous at the committed iteration: barrier over the old group,
+  /// root commits the readmissions, everyone waits for the new epoch to
+  /// settle and recovers over the re-formed group.
+  void CommitRendezvous(RankState& st);
+  void Fail(const std::string& what);
+
+  ElasticOptions options_;
+  train::Dataset data_;
+  comm::TransportHub hub_;
+  comm::Membership membership_;
+
+  std::mutex mutex_;
+  std::vector<ElasticSegment> segments_;
+  std::vector<std::vector<float>> final_params_;
+  bool ok_{true};
+  std::string failure_;
+};
+
+/// Convenience driver: spawns one plain thread per rank and joins them.
+/// (The chaos harness instead runs RunRank under a schedlab controller.)
+ElasticReport RunElasticTraining(const ElasticOptions& options);
+
+/// Replays `segment` with single-process SGD — per-rank batch gradients
+/// over the segment's live set, averaged, momentum 0 — from the segment's
+/// base parameters up to (excluding) `end_iteration`. The distributed run
+/// must match this within floating-point tolerance: each later segment's
+/// base against the replay of its predecessor, and every surviving rank's
+/// final parameters against the replay of the last segment.
+std::vector<float> SequentialOracle(const ElasticOptions& options,
+                                    const ElasticSegment& segment,
+                                    int end_iteration);
+
+}  // namespace dear::core

@@ -70,6 +70,8 @@ const char* KindName(EventKind kind) noexcept {
     case EventKind::kUnpack: return "unpack";
     case EventKind::kShutdown: return "shutdown";
     case EventKind::kAnomaly: return "anomaly";
+    case EventKind::kEpoch: return "epoch";
+    case EventKind::kStaleDrop: return "stale-drop";
   }
   return "?";
 }

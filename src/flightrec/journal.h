@@ -65,6 +65,10 @@ enum class EventKind : std::uint16_t {
   kShutdown = 10,        // TransportHub::Shutdown observed by this rank
   kAnomaly = 11,         // collective duration outside its EWMA band
                          // (tag = CollectiveShape, payload = duration ns)
+  kEpoch = 12,           // membership epoch event (tag = epoch; payload =
+                         // TransitionKind:16 | subject+1:16, 0 = observed)
+  kStaleDrop = 13,       // wrong-epoch message rejected (causal = dropped
+                         // message's ID; payload = msg_epoch:16 | cur:16)
 };
 
 [[nodiscard]] const char* KindName(EventKind kind) noexcept;

@@ -227,6 +227,26 @@ std::string Recorder::DumpTail(std::size_t n) const {
                         rec.payload);
           out += buf;
           break;
+        case EventKind::kEpoch: {
+          const std::uint32_t tkind = rec.payload >> 16;
+          const int subject = static_cast<int>(rec.payload & 0xFFFFu) - 1;
+          if (tkind == 0) {
+            std::snprintf(buf, sizeof(buf), " observed e%u", rec.tag);
+          } else {
+            std::snprintf(buf, sizeof(buf), " e%u kind=%u subject=%d",
+                          rec.tag, tkind, subject);
+          }
+          out += buf;
+          break;
+        }
+        case EventKind::kStaleDrop:
+          std::snprintf(buf, sizeof(buf),
+                        " peer=%u msg=%d:%u msg_epoch=%u cur_epoch=%u",
+                        rec.peer, causal::SrcOf(rec.causal),
+                        causal::SeqOf(rec.causal), rec.payload >> 16,
+                        rec.payload & 0xFFFFu);
+          out += buf;
+          break;
         case EventKind::kShutdown:
           break;
       }

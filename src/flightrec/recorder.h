@@ -181,6 +181,42 @@ class Recorder {
     j->AppendObserved(rec, lamport);
   }
 
+  /// Membership epoch event on `rank`: a transition (kind = TransitionKind,
+  /// subject = affected rank or -1) or, with kind 0, this rank's adoption of
+  /// `epoch` (a rebuilt communicator). tag carries the epoch; payload packs
+  /// kind:16 | subject+1:16 so -1 survives the unsigned field.
+  void OnEpoch(int rank, std::uint32_t epoch, std::uint16_t kind,
+               int subject) noexcept {
+    Journal* j = journal(rank);
+    if (j == nullptr) return;
+    Record rec;
+    rec.ts_ns = detail::NowTicks();
+    rec.tag = epoch;
+    rec.payload = (static_cast<std::uint32_t>(kind) << 16) |
+                  (static_cast<std::uint32_t>(subject + 1) & 0xFFFFu);
+    rec.kind = static_cast<std::uint16_t>(EventKind::kEpoch);
+    j->AppendTicked(rec);
+  }
+
+  /// Wrong-epoch message rejected on `dst`: journals the drop under the
+  /// dropped message's causal ID so the post-hoc merger can pair it with
+  /// the send that raced the epoch trip. payload packs msg_epoch:16 | cur:16.
+  void OnStaleDrop(int dst, int src, std::uint32_t tag, std::uint64_t causal,
+                   std::uint32_t msg_epoch, std::uint32_t cur_epoch) noexcept {
+    Journal* j = journal(dst);
+    if (j == nullptr) return;
+    Record rec;
+    rec.ts_ns = detail::NowTicks();
+    rec.causal = causal;
+    rec.tag = tag;
+    rec.payload = ((msg_epoch & 0xFFFFu) << 16) | (cur_epoch & 0xFFFFu);
+    rec.kind = static_cast<std::uint16_t>(EventKind::kStaleDrop);
+    rec.peer = src >= 0 && src < static_cast<int>(kNoPeer)
+                   ? static_cast<std::uint16_t>(src)
+                   : kNoPeer;
+    j->AppendTicked(rec);
+  }
+
   /// Top-level collective bracket. `kind` must be a string literal (it is
   /// interned by pointer); returns the interned ID so End can reuse it.
   std::uint16_t OnCollectiveBegin(int rank, const char* kind,

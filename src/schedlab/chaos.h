@@ -1,0 +1,66 @@
+// Seeded crash/rejoin chaos schedules over the elastic runtime, plus the
+// shrunken-ring renormalization property.
+//
+// RunCrashRejoin is the elastic analog of the schedlab property suite: one
+// seed fully determines the injected fault (victim, kill iteration, rejoin
+// delay) AND the thread interleaving (RandomWalkPicker under the
+// controller), so a nightly failure replays byte-identically from its
+// printed seed — `dearsim chaos --seed N`. The controller serializes every
+// worker, which makes the wall-clock failure detector unusable here; chaos
+// schedules push the liveness deadline out of reach and rely on the
+// victim's cooperative self-suspicion (the detector has its own
+// real-time unit test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/elastic.h"
+#include "schedlab/controller.h"
+#include "schedlab/properties.h"
+
+namespace dear::schedlab {
+
+struct ChaosOptions {
+  core::ElasticOptions elastic;
+  /// Derive (victim, kill_iteration, rejoin_delay) from the seed when
+  /// elastic.victim is unset — every seed then explores a different fault
+  /// in addition to a different interleaving.
+  bool randomize_fault{true};
+};
+
+struct ChaosReport {
+  bool ok{true};
+  std::string failure;
+  std::uint64_t seed{0};
+  ScheduleResult schedule;
+  core::ElasticReport elastic;
+  bool checker_tripped{false};
+  std::string checker_report;
+  /// Fault actually injected, after seed derivation.
+  comm::Rank victim{-1};
+  int kill_iteration{-1};
+  int rejoin_delay{-1};
+};
+
+/// One seeded crash/rejoin schedule: runs the elastic training loop under
+/// the schedlab controller with dearcheck's epoch machine armed, then
+/// verifies (1) no trip/deadlock, (2) surviving ranks' final parameters
+/// are bitwise identical, (3) every re-form segment and the final
+/// parameters match the sequential-SGD oracle over that segment's live
+/// set, and (4) the transition log contains the expected
+/// suspect → trip → reform (→ readmit) sequence.
+ChaosReport RunCrashRejoin(std::uint64_t seed,
+                           const ChaosOptions& options = {});
+
+/// Shrunken-ring renormalization property: the reducing collectives
+/// (reduce-scatter+all-gather and all-reduce, for each ReduceOp) over a
+/// group-view communicator — the survivors of `world` after `victim`
+/// died, still on the full `world`-rank hub — must be *bitwise* identical
+/// to a fresh fixed-world run over world-1 ranks given the same
+/// group-position-keyed inputs. kAvg is the interesting op: its divisor
+/// must be the live-group size, not the hub size.
+PropertyReport CheckShrunkenRing(int world, comm::Rank victim,
+                                 std::uint64_t payload_seed);
+
+}  // namespace dear::schedlab

@@ -1,0 +1,59 @@
+// Seeded crash/rejoin chaos schedules (ISSUE: elastic membership under
+// churn). Each schedule derives its fault AND its thread interleaving from
+// one seed; a failure message always carries the replay command. The PR
+// budget is small; the nightly chaos-long job raises DEAR_CHAOS_SCHEDULES
+// to >= 32 per sanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "schedlab/chaos.h"
+#include "test_env.h"
+
+namespace {
+
+using dear::schedlab::ChaosOptions;
+using dear::schedlab::RunCrashRejoin;
+
+TEST(Chaos, SeededCrashRejoinSchedulesMatchOracle) {
+  const int budget = dear::testenv::ChaosSchedules(/*fallback=*/3);
+  for (int i = 0; i < budget; ++i) {
+    const std::uint64_t seed = 0xC0FFEEu + 977u * static_cast<unsigned>(i);
+    const auto report = RunCrashRejoin(seed, ChaosOptions{});
+    EXPECT_TRUE(report.ok)
+        << "seed " << seed << " (victim " << report.victim << ", kill@"
+        << report.kill_iteration << ", rejoin+" << report.rejoin_delay
+        << "): " << report.failure
+        << "\nreplay: dearsim chaos --seed " << seed;
+    if (!report.ok) break;  // first failing seed is the actionable one
+  }
+}
+
+TEST(Chaos, PinnedPermanentCrashSchedule) {
+  // rejoin_delay < 0: the victim stays dead and the run must still finish
+  // over the survivor ring (two segments, no readmission).
+  ChaosOptions options;
+  options.elastic.victim = 0;  // the recovery root candidate itself dies
+  options.elastic.kill_iteration = 2;
+  options.elastic.rejoin_delay = -1;
+  const std::uint64_t seed = 0xDEAD5EEDull;
+  const auto report = RunCrashRejoin(seed, options);
+  EXPECT_TRUE(report.ok) << report.failure << "\nreplay: dearsim chaos --seed "
+                         << seed << " (pinned fault)";
+  EXPECT_EQ(report.elastic.segments.size(), 2u);
+}
+
+TEST(Chaos, PinnedLateKillExercisesEpilogueRendezvous) {
+  // Kill so late that the readmission commit lands at the end of the run:
+  // the epilogue rendezvous (not the main loop) must admit the victim.
+  ChaosOptions options;
+  options.elastic.victim = 2;
+  options.elastic.kill_iteration = 4;  // iterations defaults to 6
+  options.elastic.rejoin_delay = 2;
+  const std::uint64_t seed = 0x1A7EC0DEull;
+  const auto report = RunCrashRejoin(seed, options);
+  EXPECT_TRUE(report.ok) << report.failure << "\nreplay: dearsim chaos --seed "
+                         << seed << " (pinned fault)";
+}
+
+}  // namespace

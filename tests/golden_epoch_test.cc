@@ -1,0 +1,80 @@
+// Golden-trace regression of the elastic epoch protocol (DESIGN.md §13).
+//
+// A 3-rank crash/rejoin run emits a deterministic membership transition
+// sequence — suspect + quiesce at the crash epoch, the survivor re-form,
+// then readmit + quiesce + re-form at the commit — regardless of thread
+// schedule: transitions are serialized under the membership lock and each
+// one is driven by a protocol event that happens exactly once. This test
+// pins that sequence (with subjects and live sets) against a checked-in
+// golden file so protocol reorderings fail loudly.
+//
+// Regenerate after an *intentional* protocol change:
+//   ./golden_epoch_test --regen
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/elastic.h"
+
+namespace {
+
+constexpr char kGoldenPath[] = DEAR_GOLDEN_DIR "/epoch_transitions_3rank.txt";
+
+/// The pinned workload: world 3, rank 1 dies at iteration 2, rejoins two
+/// iterations later. Returns Membership::FormatTransitions() output.
+std::string CollectTransitions() {
+  dear::core::ElasticOptions options;
+  options.world = 3;
+  options.iterations = 6;
+  options.victim = 1;
+  options.kill_iteration = 2;
+  options.rejoin_delay = 2;
+  // Plain-thread run: keep the wall-clock failure detector out of reach so
+  // the only transitions are the scripted ones.
+  options.membership.deadline_mult = 1000.0;
+  const auto report = dear::core::RunElasticTraining(options);
+  EXPECT_TRUE(report.ok) << report.failure;
+  return report.transition_log;
+}
+
+std::string ReadGolden() {
+  std::ifstream in(kGoldenPath);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(GoldenEpoch, CrashRejoinTransitionOrderMatchesGolden) {
+  const std::string got = CollectTransitions();
+  ASSERT_FALSE(got.empty()) << "no membership transitions recorded";
+  const std::string golden = ReadGolden();
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with: ./golden_epoch_test --regen";
+  EXPECT_EQ(got, golden)
+      << "epoch transition sequence changed; if intentional, regenerate "
+         "with: ./golden_epoch_test --regen";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      const std::string got = CollectTransitions();
+      std::ofstream out(kGoldenPath, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot write " << kGoldenPath << "\n";
+        return 1;
+      }
+      out << got;
+      std::cout << "wrote " << kGoldenPath << "\n";
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

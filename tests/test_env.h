@@ -48,4 +48,17 @@ inline int FuzzSchedules(int fallback) {
   return cached > 0 ? cached : fallback;
 }
 
+/// Seeded crash/rejoin schedule budget for chaos-labelled tests:
+/// DEAR_CHAOS_SCHEDULES, or `fallback` when unset/invalid. The nightly
+/// chaos-long job raises it to >= 32 per sanitizer.
+inline int ChaosSchedules(int fallback) {
+  static const int cached = [] {
+    const char* env = std::getenv("DEAR_CHAOS_SCHEDULES");
+    if (env == nullptr) return 0;
+    const int value = std::atoi(env);
+    return value > 0 ? value : 0;
+  }();
+  return cached > 0 ? cached : fallback;
+}
+
 }  // namespace dear::testenv

@@ -5,15 +5,16 @@
 # that matters most here; UBSan guards the tag bit-packing and span math).
 #
 #   tools/check.sh             # lint + plain + perf gate + tsan + ubsan
-#   tools/check.sh --quick     # lint + plain build + unit-label tests only
+#   tools/check.sh --quick     # lint + plain build + unit tests + short chaos
 #   tools/check.sh --no-tsan   # skip the TSan pass (e.g. unsupported host)
 #   tools/check.sh --no-ubsan  # skip the UBSan pass
 #   tools/check.sh --no-bench  # skip the perf-lab regression gate
 #
-# Test tiers are CTest LABELS (unit/integration/stress/fuzz); the full run
-# executes all of them. Fuzz-labelled tests scale their schedule budget
-# with DEAR_FUZZ_SCHEDULES (PR CI keeps it small, the nightly fuzz-long
-# job raises it), and every wall-clock margin stretches with
+# Test tiers are CTest LABELS (unit/integration/stress/fuzz/chaos); the full
+# run executes all of them. Fuzz- and chaos-labelled tests scale their
+# schedule budgets with DEAR_FUZZ_SCHEDULES / DEAR_CHAOS_SCHEDULES (PR CI
+# keeps them small, the nightly long jobs raise them), and every wall-clock
+# margin stretches with
 # DEAR_TIMEOUT_MULT — sanitizer runs here set it so TSan's slowdown never
 # needs hand-tuned margins.
 set -euo pipefail
@@ -43,12 +44,18 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" >/dev/null
 if [[ "$quick" == 1 ]]; then
   ctest --test-dir build --output-on-failure -L unit
+  echo "== short chaos budget =="
+  # A couple of seeded crash/rejoin schedules so elastic-membership breakage
+  # surfaces in the quick loop too; the nightly chaos-long job is the
+  # thorough pass (DEAR_CHAOS_SCHEDULES scales the budget).
+  DEAR_CHAOS_SCHEDULES="${DEAR_CHAOS_SCHEDULES:-2}" \
+    ctest --test-dir build --output-on-failure -L chaos
   echo "== doctor selftest =="
   # Model self-consistency: the sim backend feeds CostModel-predicted
   # durations back through the monitor, so the fitted alpha-beta must
   # recover the preset and the verdict must be "pass" (exit 0).
   ./build/tools/dearsim doctor --backend sim --world 16
-  echo "OK (quick: unit label + doctor selftest)"
+  echo "OK (quick: unit label + short chaos budget + doctor selftest)"
   exit 0
 fi
 ctest --test-dir build --output-on-failure
