@@ -1,0 +1,243 @@
+// Mixed-precision wire path: exact allocations per message for every wire
+// dtype, and the fp16 gradient path before/after convert-on-pack.
+//
+// Three measurements, two with hard acceptance bars (ISSUE 10):
+//
+//  1. Steady-state allocations per message for EVERY wire dtype. The
+//     2-byte dtypes recycle through their own (smaller) slab classes, so
+//     after warm-up a send+recv must stay at 0 heap allocations whether
+//     the payload is f32, f16, or bf16. Bar: 0 allocs/msg, each dtype.
+//  2. A 1 MiB ring RS+AG worth of per-hop traffic at world=16, legacy
+//     fp16 path vs the new fp16 wire path. "Legacy" reproduces the
+//     pre-convert-on-pack compression exactly: a scalar QuantizeFp16
+//     sweep over the whole fp32 buffer (DistOptim's old PackGroup round
+//     trip) followed by full-width 4-byte wire hops. "New" is the
+//     production path: no separate sweep — conversion rides the pack
+//     pass into the pooled slab, the wire carries 2 bytes/elem, and the
+//     receive folds through the fused convert+reduce kernels.
+//     Bar: >= 1.7x.
+//  3. Informational: the same hop loop fp32 wire vs fp16 wire (no sweep
+//     on either side) — the pure wire-width effect the α-β model prices.
+//
+// The quick perf suite gates these continuously (src/perflab/suites.cc);
+// this binary is the exact-count proof.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "comm/communicator.h"
+#include "comm/kernels.h"
+#include "comm/transport.h"
+#include "comm/types.h"
+#include "common/half.h"
+
+namespace {
+
+std::atomic<long> g_allocs{0};
+
+long AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+// Count every heap allocation in the process (see transport_path.cc).
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dear::comm::DType;
+using dear::comm::ReduceOp;
+
+/// Times the per-hop traffic of one ring RS+AG over `world` positions on a
+/// buffer of `n` floats, with payloads converted to `dtype` on pack and
+/// folded/unpacked through the dtype-generic kernels on receive.
+/// Single-threaded self-channel, like transport_path.cc: the measurement
+/// is the data path, not scheduler noise.
+double RsAgSeconds(dear::comm::TransportHub& hub, std::size_t n, int world,
+                   DType dtype, std::span<float> acc,
+                   std::span<const float> wire) {
+  const std::size_t chunk = n / static_cast<std::size_t>(world);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < world - 1; ++s) {  // reduce-scatter rounds
+    const auto tag = static_cast<std::uint32_t>(s);
+    hub.Send(0, 0, tag, wire.subspan(0, chunk), /*epoch=*/0, dtype);
+    auto msg = hub.Recv(0, 0, tag);
+    dear::comm::kernels::ReduceInto(ReduceOp::kSum, acc.subspan(0, chunk),
+                                    msg->payload);
+  }
+  for (int s = 0; s < world - 1; ++s) {  // all-gather rounds (copy out)
+    const auto tag = static_cast<std::uint32_t>(100 + s);
+    hub.Send(0, 0, tag, wire.subspan(0, chunk), /*epoch=*/0, dtype);
+    auto msg = hub.Recv(0, 0, tag);
+    dear::comm::kernels::UnpackInto(
+        acc.subspan(chunk * static_cast<std::size_t>(s % world), chunk),
+        msg->payload);
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The pre-convert-on-pack fp16 gradient path: DistOptim's old PackGroup
+/// quantized the whole fp32 buffer through a separate scalar
+/// half-round-trip sweep, then shipped it at full 4-byte width.
+double LegacyFp16Seconds(dear::comm::TransportHub& hub, std::size_t n,
+                         int world, std::span<float> buf,
+                         std::span<float> acc) {
+  const auto t0 = Clock::now();
+  for (float& x : buf) x = dear::QuantizeFp16(x);  // the deleted sweep
+  const std::size_t chunk = n / static_cast<std::size_t>(world);
+  for (int s = 0; s < world - 1; ++s) {
+    const auto tag = static_cast<std::uint32_t>(s);
+    hub.Send(0, 0, tag, std::span<const float>(buf).subspan(0, chunk));
+    auto msg = hub.Recv(0, 0, tag);
+    dear::comm::kernels::ReduceInto(ReduceOp::kSum, acc.subspan(0, chunk),
+                                    msg->payload);
+  }
+  for (int s = 0; s < world - 1; ++s) {
+    const auto tag = static_cast<std::uint32_t>(100 + s);
+    hub.Send(0, 0, tag, std::span<const float>(buf).subspan(0, chunk));
+    auto msg = hub.Recv(0, 0, tag);
+    dear::comm::kernels::UnpackInto(
+        acc.subspan(chunk * static_cast<std::size_t>(s % world), chunk),
+        msg->payload);
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+const char* DtypeName(DType d) {
+  switch (d) {
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+    case DType::kF32: break;
+  }
+  return "f32";
+}
+
+}  // namespace
+
+int main() {
+  dear::bench::SuiteGuard results("mixed_precision_path");
+  using namespace dear;
+
+  bench::PrintHeader("mixed-precision wire path (convert-on-pack)");
+
+  // ---- 1. Exact allocations per steady-state message, per dtype ---------
+  constexpr std::size_t kMsgElems = 64 * 1024;
+  constexpr int kWarmup = 8;
+  constexpr int kCounted = 64;
+  auto& sink = perflab::ResultSink::Get();
+  bool fail = false;
+  for (const DType dtype : {DType::kF32, DType::kF16, DType::kBF16}) {
+    long counted = 0;
+    {
+      comm::TransportHub hub(1);
+      const std::vector<float> payload(kMsgElems, 1.25f);
+      std::vector<float> acc(kMsgElems, 0.0f);
+      auto roundtrip = [&](std::uint32_t tag) {
+        hub.Send(0, 0, tag, payload, /*epoch=*/0, dtype);
+        auto msg = hub.Recv(0, 0, tag);
+        comm::kernels::ReduceInto(ReduceOp::kSum, acc, msg->payload);
+      };
+      for (std::uint32_t i = 0; i < kWarmup; ++i) roundtrip(i);
+      const long before = AllocCount();
+      for (std::uint32_t i = 0; i < kCounted; ++i) roundtrip(1000 + i);
+      counted = AllocCount() - before;
+      if (acc[0] < 0) std::printf("%f\n", acc[0]);  // defeat DCE
+    }
+    const double per_msg = static_cast<double>(counted) / kCounted;
+    std::printf("steady-state heap allocations per 256 KiB-buffer message "
+                "[%s wire]: %.3f (%ld allocs / %d messages; acceptance: 0)\n",
+                DtypeName(dtype), per_msg, counted, kCounted);
+    if (sink.active()) {
+      sink.Record("mixed.alloc_per_msg", {{"dtype", DtypeName(dtype)}},
+                  1.0 + per_msg, "1+allocs",
+                  /*higher_is_better=*/false, /*gate_max_ratio=*/1.02);
+    }
+    if (counted > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %ld heap allocations across %d steady-state %s "
+                   "messages (bar: 0)\n",
+                   counted, kCounted, DtypeName(dtype));
+      fail = true;
+    }
+  }
+
+  // ---- 2/3. 1 MiB RS+AG hop traffic at world=16 -------------------------
+  constexpr std::size_t kElems = 256 * 1024;  // 1 MiB fp32 buffer
+  constexpr int kWorld = 16;
+  constexpr int kReps = 100;
+  std::vector<float> acc(kElems, 0.5f);
+  std::vector<float> legacy_buf(kElems);
+  const std::vector<float> wire(kElems, 0.25f);
+
+  // Interleave the three paths rep-by-rep so clock/cache drift lands on
+  // every side equally; compare low quantiles (best sustained rate).
+  comm::TransportHub hub(1);
+  std::vector<double> legacy_s, f16_s, f32_s;
+  for (int rep = 0; rep < kReps + 3; ++rep) {
+    for (std::size_t i = 0; i < kElems; ++i)
+      legacy_buf[i] = 0.25f + static_cast<float>(i % 7) * 0.125f;
+    const double ls = LegacyFp16Seconds(hub, kElems, kWorld, legacy_buf, acc);
+    const double ns =
+        RsAgSeconds(hub, kElems, kWorld, DType::kF16, acc, wire);
+    const double fs =
+        RsAgSeconds(hub, kElems, kWorld, DType::kF32, acc, wire);
+    if (rep >= 3) {
+      legacy_s.push_back(ls);
+      f16_s.push_back(ns);
+      f32_s.push_back(fs);
+    }
+  }
+  bench::PrintLatencySummary("legacy fp16 (sweep + fp32 wire)", legacy_s);
+  bench::PrintLatencySummary("new fp16 wire rs+ag hops", f16_s);
+  bench::PrintLatencySummary("fp32 wire rs+ag hops", f32_s);
+
+  const double vs_legacy = perflab::SampleQuantile(legacy_s, 0.1) /
+                           perflab::SampleQuantile(f16_s, 0.1);
+  const double vs_f32 = perflab::SampleQuantile(f32_s, 0.1) /
+                        perflab::SampleQuantile(f16_s, 0.1);
+  std::printf("fp16 convert-on-pack speedup vs legacy fp16 path on 1 MiB "
+              "RS+AG (world=%d): %.2fx (acceptance: >= 1.7x)\n",
+              kWorld, vs_legacy);
+  std::printf("fp16 wire vs fp32 wire, same hop loop: %.2fx "
+              "(informational; single-thread memcpy-bound ceiling < the "
+              "~2x the alpha-beta model predicts for a real network)\n",
+              vs_f32);
+
+  if (sink.active()) {
+    sink.Record("mixed.fp16_speedup_vs_legacy",
+                {{"mib", "1"}, {"world", "16"}}, vs_legacy, "x",
+                /*higher_is_better=*/true, /*gate_max_ratio=*/3.0);
+    sink.Record("mixed.fp16_vs_fp32_wire", {{"mib", "1"}, {"world", "16"}},
+                vs_f32, "x", /*higher_is_better=*/true,
+                /*gate_max_ratio=*/3.0);
+  }
+
+  if (vs_legacy < 1.7) {
+    std::fprintf(stderr,
+                 "FAIL: new fp16 wire path is only %.2fx the legacy fp16 "
+                 "path (bar: >= 1.7x)\n",
+                 vs_legacy);
+    fail = true;
+  }
+  return fail ? 1 : 0;
+}

@@ -115,8 +115,13 @@ class Checker {
   void OnRecvDone(int dst);
 
   /// Transport progress accounting (diagnosis context only). `bytes` is
-  /// the payload size of the message, so the ledger dump can distinguish
+  /// the *wire* payload size of the message — a 2-byte wire dtype halves
+  /// it relative to the fp32 buffer — so the ledger dump can distinguish
   /// "many tiny control rounds" from "bulk data stalled mid-transfer".
+  /// The collective ledger above matches on element counts, which are
+  /// dtype-invariant: ranks disagreeing only on wire dtype still trip,
+  /// because their per-message byte streams (and thus tags/ordering)
+  /// diverge at the transport layer, not here.
   void OnTransportSend(std::size_t bytes) noexcept {
     sends_.fetch_add(1, std::memory_order_relaxed);
     send_bytes_.fetch_add(static_cast<std::int64_t>(bytes),

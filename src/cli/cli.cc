@@ -67,6 +67,27 @@ StatusOr<comm::NetworkModel> NetworkByName(const std::string& name) {
       "' (expected 10gbe, 25gbe, 100gbib, or a doctor-report .json path)");
 }
 
+/// --dtype spellings, aligned with what frameworks print: torch.float16 /
+/// "half" / "fp16" all mean the same wire format.
+StatusOr<comm::DType> DTypeByName(const std::string& name) {
+  if (name == "f32" || name == "fp32" || name == "float32")
+    return comm::DType::kF32;
+  if (name == "f16" || name == "fp16" || name == "float16" || name == "half")
+    return comm::DType::kF16;
+  if (name == "bf16" || name == "bfloat16") return comm::DType::kBF16;
+  return Status::InvalidArgument("unknown dtype '" + name +
+                                 "' (expected f32, f16, or bf16)");
+}
+
+core::Compression CompressionFor(comm::DType dtype) {
+  switch (dtype) {
+    case comm::DType::kF16: return core::Compression::kFp16;
+    case comm::DType::kBF16: return core::Compression::kBf16;
+    case comm::DType::kF32: break;
+  }
+  return core::Compression::kNone;
+}
+
 StatusOr<sched::PolicyKind> SchedulerByName(const std::string& name) {
   if (name == "sequential") return sched::PolicyKind::kSequential;
   if (name == "wfbp") return sched::PolicyKind::kWFBP;
@@ -343,10 +364,17 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
   const auto data = train::MakeRegressionDataset(
       world * batch * 4, dims.front(), dims.back(), /*seed=*/42);
 
+  auto dtype = DTypeByName(flags.GetString("dtype"));
+  if (!dtype.ok()) {
+    err << dtype.status().ToString() << "\n";
+    return 1;
+  }
+
   core::DistOptimOptions options;
   options.mode = *mode;
   options.buffer_bytes = static_cast<std::size_t>(
       std::max(1, flags.GetInt("buffer-kb")) * 1024);
+  options.compression = CompressionFor(*dtype);
 
   auto net = NetworkByName(flags.GetString("network"));
   if (!net.ok()) {
@@ -369,7 +397,8 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
     out << (i ? "x" : "") << dims[i];
   out << "), world=" << world << ", schedule=" << flags.GetString("schedule")
       << ", iters=" << iters << ", batch=" << batch
-      << ", buffer=" << options.buffer_bytes / 1024 << "KB\n\n";
+      << ", buffer=" << options.buffer_bytes / 1024
+      << "KB, dtype=" << flags.GetString("dtype") << "\n\n";
 
   const auto events = rt.trace().Events();
   out << "rank   sent(KB)   recv(KB)  msgs   iter_ms(p50/p95/p99)"
@@ -458,6 +487,25 @@ int CmdProfile(FlagParser& flags, std::ostream& out, std::ostream& err) {
       out << " (hit rate " << std::fixed << std::setprecision(3)
           << static_cast<double>(hits) / static_cast<double>(total) << ")";
     out << ", " << acquired_bytes / 1024 << " KB acquired\n";
+  }
+
+  // Wire bytes by payload dtype, summed over ranks: what mixed precision
+  // actually saved on the wire. (comm.bytes_sent counts the same traffic;
+  // under --dtype f16/bf16 the gradient share of it shows up here halved.)
+  {
+    std::int64_t by_dtype[3] = {0, 0, 0};
+    for (int r = 0; r < world; ++r) {
+      auto* reg = rt.rank_metrics(r);
+      if (!reg) continue;
+      for (const auto& [name, v] : reg->Counters()) {
+        if (name == "comm.wire_bytes.f32") by_dtype[0] += v;
+        if (name == "comm.wire_bytes.f16") by_dtype[1] += v;
+        if (name == "comm.wire_bytes.bf16") by_dtype[2] += v;
+      }
+    }
+    out << "wire bytes by dtype: f32=" << by_dtype[0] / 1024
+        << " KB, f16=" << by_dtype[1] / 1024
+        << " KB, bf16=" << by_dtype[2] / 1024 << " KB\n";
   }
 
   out << "\nper-collective latency, rank 0 (ms):\n"
@@ -1031,8 +1079,15 @@ int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
     err << "fuzz needs --world >= 2\n";
     return 1;
   }
+  auto dtype = DTypeByName(flags.GetString("dtype"));
+  if (!dtype.ok()) {
+    err << dtype.status().ToString() << "\n";
+    return 1;
+  }
   schedlab::PropertyOptions popts;
   popts.world = world;
+  popts.wire_dtype = *dtype;
+  const std::string dtype_arg = flags.GetString("dtype");
 
   // --replay S: rerun the single failing schedule S with its full decision
   // trace — the one-command reproduction printed on failure.
@@ -1056,7 +1111,7 @@ int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
   const auto base_seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
   const int schedules = std::max(1, flags.GetInt("schedules"));
   out << "fuzz: world=" << world << " schedules=" << schedules
-      << " base-seed=" << base_seed << "\n";
+      << " base-seed=" << base_seed << " dtype=" << dtype_arg << "\n";
   std::map<std::uint64_t, int> digests;
   std::map<std::uint64_t, int> fingerprints;
   for (int i = 0; i < schedules; ++i) {
@@ -1068,8 +1123,8 @@ int CmdFuzz(FlagParser& flags, std::ostream& out, std::ostream& err) {
         << (report.ok ? " ok" : " FAIL") << "\n";
     if (!report.ok) {
       out << "property failed: " << report.failure << "\n"
-          << "replay with: dearsim fuzz --world " << world << " --replay "
-          << seed << "\n";
+          << "replay with: dearsim fuzz --world " << world << " --dtype "
+          << dtype_arg << " --replay " << seed << "\n";
       return 1;
     }
     ++digests[report.result_digest];
@@ -1226,6 +1281,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   flags.AddBool("csv", false, "emit CSV instead of aligned text (compare)");
   flags.AddInt("world", 4, "worker count for the real runtime (profile)");
   flags.AddInt("iters", 8, "training iterations (profile)");
+  flags.AddString("dtype", "f32",
+                  "gradient wire dtype: f32|f16|bf16 (profile, fuzz)");
   flags.AddString("schedule", "dear",
                   "runtime schedule: dear|wfbp|sequential|zero|localsgd");
   flags.AddInt("buffer-kb", 64, "runtime fusion buffer in KB (profile)");

@@ -28,10 +28,10 @@ void CommEngine::Shutdown() {
 }
 
 CollectiveHandle CommEngine::Submit(Kind kind, std::span<float> data,
-                                    ReduceOp op, Rank root) {
+                                    ReduceOp op, Rank root, DType dtype) {
   CollectiveHandle handle;
   handle.state_ = std::make_shared<CollectiveHandle::State>();
-  Request req{kind, data, op, root, handle.state_};
+  Request req{kind, data, op, root, dtype, handle.state_};
   if (!queue_.Send(std::move(req))) {
     handle.state_->status = Status::Unavailable("comm engine shut down");
     handle.state_->done.CountDown();
@@ -40,17 +40,18 @@ CollectiveHandle CommEngine::Submit(Kind kind, std::span<float> data,
 }
 
 CollectiveHandle CommEngine::SubmitReduceScatter(std::span<float> data,
-                                                 ReduceOp op) {
-  return Submit(Kind::kReduceScatter, data, op);
+                                                 ReduceOp op, DType dtype) {
+  return Submit(Kind::kReduceScatter, data, op, 0, dtype);
 }
 
-CollectiveHandle CommEngine::SubmitAllGather(std::span<float> data) {
-  return Submit(Kind::kAllGather, data, ReduceOp::kSum);
+CollectiveHandle CommEngine::SubmitAllGather(std::span<float> data,
+                                            DType dtype) {
+  return Submit(Kind::kAllGather, data, ReduceOp::kSum, 0, dtype);
 }
 
 CollectiveHandle CommEngine::SubmitAllReduce(std::span<float> data,
-                                             ReduceOp op) {
-  return Submit(Kind::kAllReduce, data, op);
+                                             ReduceOp op, DType dtype) {
+  return Submit(Kind::kAllReduce, data, op, 0, dtype);
 }
 
 CollectiveHandle CommEngine::SubmitBarrier() {
@@ -63,26 +64,32 @@ CollectiveHandle CommEngine::SubmitBroadcast(std::span<float> data,
 }
 
 CollectiveHandle CommEngine::SubmitHierarchicalReduceScatter(
-    std::span<float> data, int ranks_per_node, ReduceOp op) {
-  return Submit(Kind::kHierReduceScatter, data, op, ranks_per_node);
+    std::span<float> data, int ranks_per_node, ReduceOp op, DType dtype) {
+  return Submit(Kind::kHierReduceScatter, data, op, ranks_per_node, dtype);
 }
 
 CollectiveHandle CommEngine::SubmitHierarchicalAllGather(
-    std::span<float> data, int ranks_per_node) {
-  return Submit(Kind::kHierAllGather, data, ReduceOp::kSum, ranks_per_node);
+    std::span<float> data, int ranks_per_node, DType dtype) {
+  return Submit(Kind::kHierAllGather, data, ReduceOp::kSum, ranks_per_node,
+                dtype);
 }
 
 CollectiveHandle CommEngine::SubmitRecursiveHalvingReduceScatter(
-    std::span<float> data, ReduceOp op) {
-  return Submit(Kind::kRecursiveRs, data, op);
+    std::span<float> data, ReduceOp op, DType dtype) {
+  return Submit(Kind::kRecursiveRs, data, op, 0, dtype);
 }
 
 CollectiveHandle CommEngine::SubmitRecursiveDoublingAllGather(
-    std::span<float> data) {
-  return Submit(Kind::kRecursiveAg, data, ReduceOp::kSum);
+    std::span<float> data, DType dtype) {
+  return Submit(Kind::kRecursiveAg, data, ReduceOp::kSum, 0, dtype);
 }
 
 Status CommEngine::Execute(const Request& req) {
+  // The engine thread is the only caller of comm_'s collectives, so setting
+  // the wire dtype here (once per request, including the fault-injection
+  // paths that call Execute directly) is race-free and lets fp16 gradient
+  // requests interleave with fp32 control requests on one engine.
+  comm_.set_wire_dtype(req.dtype);
   switch (req.kind) {
     case Kind::kReduceScatter:
       return RingReduceScatter(comm_, req.data, req.op);
@@ -142,8 +149,10 @@ Status CommEngine::Monitored(const Request& req) {
   Status st = Execute(req);
   const std::uint64_t t1 = flightrec::NowNs();
   if (st.ok()) {
+    // Wire bytes, not fp32 buffer bytes: the α–β fit prices β per byte
+    // actually sent, which is what narrow-dtype payloads halve.
     monitor.OnCollective(comm_.global_rank(), shape,
-                         req.data.size() * sizeof(float), t1 - t0);
+                         req.data.size() * DTypeSize(req.dtype), t1 - t0);
   }
   return st;
 }

@@ -58,27 +58,43 @@ class CommEngine {
   CommEngine(const CommEngine&) = delete;
   CommEngine& operator=(const CommEngine&) = delete;
 
+  /// Every gradient-path Submit* takes the wire DType its payloads travel
+  /// as (kF32 default = bitwise-identical fp32 wire; kF16/kBF16 halve the
+  /// wire bytes, converting on pack). The engine sets the communicator's
+  /// wire dtype per request on its own thread, so fp16 gradient traffic
+  /// and fp32 control traffic interleave safely on one engine. All ranks
+  /// must submit matching dtypes (the same no-negotiation contract as the
+  /// op sequence itself).
   CollectiveHandle SubmitReduceScatter(std::span<float> data,
-                                       ReduceOp op = ReduceOp::kSum);
-  CollectiveHandle SubmitAllGather(std::span<float> data);
+                                       ReduceOp op = ReduceOp::kSum,
+                                       DType dtype = DType::kF32);
+  CollectiveHandle SubmitAllGather(std::span<float> data,
+                                   DType dtype = DType::kF32);
   /// Decoupled hierarchical pair (intra-node reduce + leader ring RS /
   /// leader ring AG + intra-node broadcast); ranks_per_node must divide
   /// the world size.
   CollectiveHandle SubmitHierarchicalReduceScatter(
       std::span<float> data, int ranks_per_node,
-      ReduceOp op = ReduceOp::kSum);
+      ReduceOp op = ReduceOp::kSum, DType dtype = DType::kF32);
   CollectiveHandle SubmitHierarchicalAllGather(std::span<float> data,
-                                               int ranks_per_node);
+                                               int ranks_per_node,
+                                               DType dtype = DType::kF32);
   /// Rabenseifner decoupled pair (power-of-two world sizes).
   CollectiveHandle SubmitRecursiveHalvingReduceScatter(
-      std::span<float> data, ReduceOp op = ReduceOp::kSum);
-  CollectiveHandle SubmitRecursiveDoublingAllGather(std::span<float> data);
+      std::span<float> data, ReduceOp op = ReduceOp::kSum,
+      DType dtype = DType::kF32);
+  CollectiveHandle SubmitRecursiveDoublingAllGather(
+      std::span<float> data, DType dtype = DType::kF32);
   CollectiveHandle SubmitAllReduce(std::span<float> data,
-                                   ReduceOp op = ReduceOp::kSum);
+                                   ReduceOp op = ReduceOp::kSum,
+                                   DType dtype = DType::kF32);
   /// Pure synchronization point on the comm stream (dissemination barrier).
+  /// Always fp32 wire: control-plane ops carry no payload worth narrowing.
   CollectiveHandle SubmitBarrier();
   /// Tree broadcast from `root` — used by control-plane decisions that one
   /// rank makes for everyone (e.g. the BO tuner's next buffer size).
+  /// Always fp32 wire: control values (buffer sizes, epochs) routinely
+  /// exceed fp16's 65504 max and must arrive bit-exact.
   CollectiveHandle SubmitBroadcast(std::span<float> data, Rank root);
 
   /// Stops accepting work, drains the queue, joins the thread. Idempotent.
@@ -109,11 +125,12 @@ class CommEngine {
     std::span<float> data;
     ReduceOp op;
     Rank root{0};            // broadcast root, or ranks_per_node for kHier*
+    DType dtype{DType::kF32};  // wire dtype for this request's payloads
     std::shared_ptr<CollectiveHandle::State> state;
   };
 
   CollectiveHandle Submit(Kind kind, std::span<float> data, ReduceOp op,
-                          Rank root = 0);
+                          Rank root = 0, DType dtype = DType::kF32);
   /// Runs one request's collective synchronously on the loop thread.
   Status Execute(const Request& req);
   /// Execute plus the CalibrationMonitor model-vs-measured hook: brackets

@@ -66,17 +66,24 @@ BufferPool::BufferPool(bool pooling)
 
 BufferPool::~BufferPool() { Drain(); }
 
-PooledBuffer BufferPool::Acquire(std::size_t n) {
+PooledBuffer BufferPool::Acquire(std::size_t n, DType dtype) {
   if (n == 0) return PooledBuffer();
+  // Element-width-aware size classing: the slab must cover the *wire*
+  // bytes of n dtype elements, expressed in float-sized slots (slabs stay
+  // float arrays, which also guarantees alignment for every wire dtype).
+  // n fp16/bf16 elements therefore draw from a class half the size the
+  // same n would need at fp32 — the pooled half of the bandwidth win.
+  const std::size_t slots =
+      (n * DTypeSize(dtype) + sizeof(float) - 1) / sizeof(float);
   internal::PoolCore& core = *core_;
   std::unique_ptr<float[]> slab;
-  std::size_t capacity = n;
+  std::size_t capacity = slots;
   bool hit = false;
   std::int64_t in_flight_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(core.mutex);
     const int cls =
-        (core.pooling && !core.draining) ? ClassFor(n) : -1;
+        (core.pooling && !core.draining) ? ClassFor(slots) : -1;
     if (cls >= 0) {
       capacity = ClassCapacity(cls);
       auto& list = core.freelists[static_cast<std::size_t>(cls)];
@@ -99,7 +106,7 @@ PooledBuffer BufferPool::Acquire(std::size_t n) {
   }
   telemetry::OnPoolAcquire(hit, static_cast<std::size_t>(CapacityBytes(capacity)),
                            in_flight_bytes);
-  return PooledBuffer(core_, slab.release(), n, capacity);
+  return PooledBuffer(core_, slab.release(), n, capacity, dtype);
 }
 
 void BufferPool::Drain() {
@@ -124,6 +131,7 @@ void PooledBuffer::Release() noexcept {
     data_ = nullptr;
     size_ = 0;
     capacity_ = 0;
+    dtype_ = DType::kF32;
     return;
   }
   const std::shared_ptr<internal::PoolCore> core = std::move(core_);
@@ -132,6 +140,7 @@ void PooledBuffer::Release() noexcept {
   data_ = nullptr;
   size_ = 0;
   capacity_ = 0;
+  dtype_ = DType::kF32;
   std::int64_t in_flight_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(core->mutex);

@@ -83,9 +83,9 @@ Status RingReduceScatterOver(Communicator& comm,
     if (!msg.ok()) return msg.status();
     const auto acc = data.subspan(rr.begin, rr.size());
     if (avg && s == p - 2)
-      kernels::ReduceIntoScaled(acc, msg->payload.span(), inv);
+      kernels::ReduceIntoScaled(acc, msg->payload, inv);
     else
-      kernels::ReduceInto(op, acc, msg->payload.span());
+      kernels::ReduceInto(op, acc, msg->payload);
   }
   return Status::Ok();
 }
@@ -104,6 +104,17 @@ Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
   const Rank left = members[(pos - 1 + p) % p];
   const std::size_t n = data.size();
 
+  // Lossy wire dtypes: our own chunk never comes back to us, but every
+  // other member receives it rounded to the wire format. Round the local
+  // copy too, so all members end with bitwise-identical data (see
+  // kernels::QuantizeInPlace). Re-packing it for round 0 is idempotent.
+  {
+    const Range own = ChunkRange(n, static_cast<std::size_t>(p),
+                                 static_cast<std::size_t>(pos));
+    kernels::QuantizeInPlace(comm.wire_dtype(),
+                             data.subspan(own.begin, own.size()));
+  }
+
   // Round s: send chunk (pos - s) mod p rightward, receive chunk
   // (pos - s - 1) mod p from the left. Starts from our own chunk.
   for (int s = 0; s < p - 1; ++s) {
@@ -117,8 +128,7 @@ Status RingAllGatherOver(Communicator& comm, const std::vector<Rank>& members,
       return Status::Unavailable("send failed: transport shut down");
     auto msg = comm.Recv(left, tag);
     if (!msg.ok()) return msg.status();
-    std::copy(msg->payload.begin(), msg->payload.end(),
-              data.begin() + static_cast<std::ptrdiff_t>(rr.begin));
+    kernels::UnpackInto(data.subspan(rr.begin, rr.size()), msg->payload);
   }
   return Status::Ok();
 }
@@ -187,7 +197,7 @@ Status TreeReduce(Communicator& comm, std::span<float> data, Rank root,
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
       kernels::ReduceInto(op == ReduceOp::kAvg ? ReduceOp::kSum : op, data,
-                          msg->payload.span());
+                          msg->payload);
     }
   }
   if (comm.rank() == root) ScaleForAvg(op, data, p);
@@ -201,6 +211,10 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
   DEAR_CHECK(root >= 0 && root < p);
   const int rel = (comm.rank() - root + p) % p;
 
+  // Lossy wire: every non-root rank receives wire-rounded data, so the
+  // root rounds its retained copy too — all ranks end bitwise identical.
+  if (rel == 0 && p > 1) kernels::QuantizeInPlace(comm.wire_dtype(), data);
+
   int mask = 1;
   while (mask < p) {
     if (rel & mask) {
@@ -210,7 +224,7 @@ Status TreeBroadcast(Communicator& comm, std::span<float> data, Rank root) {
                   static_cast<std::uint32_t>(rel & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
-      std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
+      kernels::UnpackInto(data, msg->payload);
       break;
     }
     mask <<= 1;
@@ -283,7 +297,7 @@ Status HierarchicalReduceScatter(Communicator& comm, std::span<float> data,
                   static_cast<std::uint32_t>(src & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
-      kernels::ReduceInto(sum_op, data, msg->payload.span());
+      kernels::ReduceInto(sum_op, data, msg->payload);
     }
   }
 
@@ -319,7 +333,11 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
         comm, leaders, data, kTagHierLeaderAg, comm.rank() / rpn));
   }
 
-  // Phase 2: intra-node broadcast from the leader.
+  // Phase 2: intra-node broadcast from the leader. Under a lossy wire the
+  // leader rounds its retained copy like TreeBroadcast's root does (the
+  // leader-ring phase already rounded most of it; idempotent either way).
+  if (local_rel == 0 && rpn > 1)
+    kernels::QuantizeInPlace(comm.wire_dtype(), data);
   int mask = 1;
   while (mask < rpn) {
     if (local_rel & mask) {
@@ -329,7 +347,7 @@ Status HierarchicalAllGather(Communicator& comm, std::span<float> data,
                   static_cast<std::uint32_t>(comm.rank() & tags::kChunkMask));
       auto msg = comm.Recv(src, tag);
       if (!msg.ok()) return msg.status();
-      std::copy(msg->payload.begin(), msg->payload.end(), data.begin());
+      kernels::UnpackInto(data, msg->payload);
       break;
     }
     mask <<= 1;
@@ -423,9 +441,9 @@ Status RecursiveHalvingReduceScatter(Communicator& comm,
     if (!msg.ok()) return msg.status();
     const auto keep = data.subspan(keep_lo, keep_hi - keep_lo);
     if (avg && s + 1 == levels.size())
-      kernels::ReduceIntoScaled(keep, msg->payload.span(), inv);
+      kernels::ReduceIntoScaled(keep, msg->payload, inv);
     else
-      kernels::ReduceInto(sum_op, keep, msg->payload.span());
+      kernels::ReduceInto(sum_op, keep, msg->payload);
   }
   return Status::Ok();
 }
@@ -439,6 +457,16 @@ Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
         "recursive doubling requires a power-of-two world size");
   if (p == 1) return Status::Ok();
   const auto levels = BuildHalvingPlan(comm.rank(), p, data.size());
+  // Lossy wire: the final owned range (the deepest level's keep half) is
+  // the only data that never arrives over the wire — round the local copy
+  // so every rank ends with identical bits.
+  {
+    const HalvingLevel& deepest = levels.back();
+    const std::size_t own_lo = deepest.upper ? deepest.mid : deepest.lo;
+    const std::size_t own_hi = deepest.upper ? deepest.hi : deepest.mid;
+    kernels::QuantizeInPlace(comm.wire_dtype(),
+                             data.subspan(own_lo, own_hi - own_lo));
+  }
   // Unwind the halving: at each level (deepest first) partners exchange
   // their halves of the shared parent range.
   for (std::size_t s = levels.size(); s-- > 0;) {
@@ -456,8 +484,8 @@ Status RecursiveDoublingAllGather(Communicator& comm, std::span<float> data) {
     if (!msg.ok()) return msg.status();
     if (msg->payload.size() != want_hi - want_lo)
       return Status::Internal("recursive doubling size mismatch");
-    std::copy(msg->payload.begin(), msg->payload.end(),
-              data.begin() + static_cast<std::ptrdiff_t>(want_lo));
+    kernels::UnpackInto(data.subspan(want_lo, want_hi - want_lo),
+                        msg->payload);
   }
   return Status::Ok();
 }
@@ -502,6 +530,13 @@ Status Gather(Communicator& comm, std::span<const float> data,
     std::copy(data.begin(), data.end(),
               out->begin() + static_cast<std::ptrdiff_t>(
                                  n * static_cast<std::size_t>(root)));
+    // Lossy wire: round the root's own slot too, so the gathered result is
+    // uniformly wire-rounded regardless of which rank contributed it.
+    if (p > 1)
+      kernels::QuantizeInPlace(
+          comm.wire_dtype(),
+          std::span<float>(out->data() + n * static_cast<std::size_t>(root),
+                           n));
     for (Rank r = 0; r < p; ++r) {
       if (r == root) continue;
       auto msg = comm.Recv(r, MakeTag(kTagGather, 0,
@@ -510,9 +545,9 @@ Status Gather(Communicator& comm, std::span<const float> data,
       if (msg->payload.size() != n)
         return Status::InvalidArgument("gather size mismatch from rank " +
                                        std::to_string(r));
-      std::copy(msg->payload.begin(), msg->payload.end(),
-                out->begin() + static_cast<std::ptrdiff_t>(
-                                   n * static_cast<std::size_t>(r)));
+      kernels::UnpackInto(
+          std::span<float>(out->data() + n * static_cast<std::size_t>(r), n),
+          msg->payload);
     }
   } else {
     if (!comm.Send(root,
@@ -537,6 +572,10 @@ Status Scatter(Communicator& comm, std::span<const float> in,
       if (r == root) {
         out->assign(in.begin() + static_cast<std::ptrdiff_t>(range.begin),
                     in.begin() + static_cast<std::ptrdiff_t>(range.end));
+        // Lossy wire: every other rank's slice is wire-rounded in flight;
+        // round the root's retained slice to match.
+        if (p > 1)
+          kernels::QuantizeInPlace(comm.wire_dtype(), std::span<float>(*out));
         continue;
       }
       if (!comm.Send(r,
@@ -552,7 +591,8 @@ Status Scatter(Communicator& comm, std::span<const float> in,
     if (!msg.ok()) return msg.status();
     // Copy out: the pooled slab must not outlive the collective (it
     // belongs to the hub's pool; see transport.h).
-    out->assign(msg->payload.begin(), msg->payload.end());
+    out->resize(msg->payload.size());
+    kernels::UnpackInto(std::span<float>(*out), msg->payload);
   }
   return Status::Ok();
 }
@@ -571,6 +611,12 @@ Status AllToAll(Communicator& comm, std::span<float> data) {
   // already holds received data at the positions still to be sent.
   const std::vector<float> original(data.begin(), data.end());
   const std::span<const float> snapshot(original);
+  // Lossy wire: the diagonal block (rank's chunk addressed to itself)
+  // never travels; round it so every destination block is wire-rounded.
+  if (p > 1)
+    kernels::QuantizeInPlace(
+        comm.wire_dtype(),
+        data.subspan(static_cast<std::size_t>(comm.rank()) * n, n));
   for (int s = 1; s < p; ++s) {
     const Rank dst = (comm.rank() + s) % p;
     const Rank src = (comm.rank() - s + p) % p;
@@ -581,10 +627,8 @@ Status AllToAll(Communicator& comm, std::span<float> data) {
       return Status::Unavailable("send failed: transport shut down");
     auto msg = comm.Recv(src, tag);
     if (!msg.ok()) return msg.status();
-    std::copy(msg->payload.begin(), msg->payload.end(),
-              data.begin() +
-                  static_cast<std::ptrdiff_t>(static_cast<std::size_t>(src) *
-                                              n));
+    kernels::UnpackInto(data.subspan(static_cast<std::size_t>(src) * n, n),
+                        msg->payload);
   }
   return Status::Ok();
 }

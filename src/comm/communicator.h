@@ -73,11 +73,20 @@ class Communicator {
     return group_ ? (*group_)[static_cast<std::size_t>(r)] : r;
   }
 
+  /// Wire dtype every subsequent Send converts payloads to (kF32 default
+  /// = bitwise-identical fp32 wire). Collectives run against whatever is
+  /// set, so one Communicator can carry fp32 control traffic and fp16
+  /// gradient traffic back to back; CommEngine sets this per submitted
+  /// request on its own thread. All ranks of a collective must agree.
+  void set_wire_dtype(DType dtype) noexcept { wire_dtype_ = dtype; }
+  [[nodiscard]] DType wire_dtype() const noexcept { return wire_dtype_; }
+
   /// Point-to-point send of a float span to logical rank `dst`. The payload
   /// is written once into a pooled slab (no per-message vector allocation;
-  /// see buffer_pool.h).
+  /// see buffer_pool.h), converting to wire_dtype() in the same pass.
   bool Send(Rank dst, std::uint32_t tag, std::span<const float> data) {
-    return hub_->Send(global_rank_, Physical(dst), tag, data, epoch_);
+    return hub_->Send(global_rank_, Physical(dst), tag, data, epoch_,
+                      wire_dtype_);
   }
 
   /// Blocking receive from logical rank `src` with tag verification.
@@ -93,6 +102,7 @@ class Communicator {
   Rank global_rank_;
   int size_;
   std::uint32_t epoch_{0};
+  DType wire_dtype_{DType::kF32};
   std::shared_ptr<const std::vector<Rank>> group_;  // null = identity view
   Rank ring_left_{0};
   Rank ring_right_{0};

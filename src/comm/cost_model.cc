@@ -19,7 +19,7 @@ int CeilLog2(int p) noexcept {
 
 SimTime CostModel::ReduceScatter(std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   const double t =
       (p_ - 1) * (net_.alpha_s + d / p_ * net_.beta_s_per_byte);
   return Seconds(t);
@@ -31,7 +31,7 @@ SimTime CostModel::AllGather(std::size_t bytes) const noexcept {
 
 SimTime CostModel::RingAllReduce(std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   const double t = 2.0 * (p_ - 1) * net_.alpha_s +
                    2.0 * (p_ - 1) / p_ * d * net_.beta_s_per_byte;
   return Seconds(t);
@@ -39,7 +39,7 @@ SimTime CostModel::RingAllReduce(std::size_t bytes) const noexcept {
 
 SimTime CostModel::TreeAllReduce(std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   const double t =
       2.0 * CeilLog2(p_) * (net_.alpha_s + d * net_.beta_s_per_byte);
   return Seconds(t);
@@ -48,7 +48,7 @@ SimTime CostModel::TreeAllReduce(std::size_t bytes) const noexcept {
 SimTime CostModel::DoubleBinaryTreeAllReduce(
     std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes) / 2.0;
+  const double d = WireBytes(bytes) / 2.0;
   // Each tree moves half the payload; the two trees overlap, so the cost is
   // one tree's reduce+broadcast on d/2 (latency term unchanged).
   const double t =
@@ -61,7 +61,7 @@ SimTime CostModel::HierarchicalAllReduce(std::size_t bytes,
   if (p_ <= 1 || ranks_per_node <= 0 || p_ % ranks_per_node != 0)
     return RingAllReduce(bytes);
   const int nodes = p_ / ranks_per_node;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   // Intra-node tree reduce + broadcast (assume the same link model; on real
   // hardware this phase runs over NVLink/PCIe and is far cheaper).
   const double intra =
@@ -75,7 +75,7 @@ SimTime CostModel::HierarchicalAllReduce(std::size_t bytes,
 
 SimTime CostModel::TreeReduce(std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   return Seconds(CeilLog2(p_) * (net_.alpha_s + d * net_.beta_s_per_byte));
 }
 
@@ -97,7 +97,7 @@ SimTime CostModel::HierarchicalReduceScatter(
   if (p_ <= 1 || ranks_per_node <= 0 || p_ % ranks_per_node != 0)
     return ReduceScatter(bytes);
   const int nodes = p_ / ranks_per_node;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   const double intra =
       CeilLog2(ranks_per_node) * (net_.alpha_s + d * net_.beta_s_per_byte);
   const double inter =
@@ -115,7 +115,7 @@ SimTime CostModel::HierarchicalAllGather(std::size_t bytes,
 SimTime CostModel::RecursiveHalvingReduceScatter(
     std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   // Rounds send d/2, d/4, ...: total (P-1)/P * d bytes over log2(P) rounds.
   return Seconds(CeilLog2(p_) * net_.alpha_s +
                  (p_ - 1.0) / p_ * d * net_.beta_s_per_byte);
@@ -129,7 +129,7 @@ SimTime CostModel::RecursiveDoublingAllGather(
 SimTime CostModel::RecursiveHalvingDoublingAllReduce(
     std::size_t bytes) const noexcept {
   if (p_ <= 1) return 0;
-  const double d = static_cast<double>(bytes);
+  const double d = WireBytes(bytes);
   return Seconds(2.0 * CeilLog2(p_) * net_.alpha_s +
                  2.0 * (p_ - 1.0) / p_ * d * net_.beta_s_per_byte);
 }
@@ -156,9 +156,9 @@ SimTime CostModel::AllReduceBandwidthBound(std::size_t bytes) const noexcept {
   // Exact ring bandwidth term 2(P-1)/P * d / B; the paper approximates it
   // as 2m/B (its large-P limit). B is the nominal link bandwidth — Eq. 6
   // and Table II divide by the line rate even where the fitted effective
-  // beta is faster.
-  return Seconds(2.0 * (p_ - 1) / p_ * static_cast<double>(bytes) *
-                 net_.bound_beta());
+  // beta is faster. d is the wire payload, so a narrow wire dtype raises
+  // S^max: less time on the wire leaves more communication to hide.
+  return Seconds(2.0 * (p_ - 1) / p_ * WireBytes(bytes) * net_.bound_beta());
 }
 
 SimTime CostModel::Dispatch(Algorithm a, std::size_t bytes,

@@ -63,13 +63,28 @@ struct NetworkModel {
 
 /// Collective costs for `bytes` of payload on `p` workers. All return
 /// simulated nanoseconds; p == 1 costs zero.
+///
+/// `bytes` is always the fp32 application-buffer size (elements × 4). When
+/// a narrow wire dtype is set, every bandwidth (β·d) term — including the
+/// Eq. 6 S^max bound — is scaled by DTypeSize(dtype)/4, because that is
+/// what actually crosses the wire under convert-on-pack; the per-message α
+/// terms are unchanged (a 2-byte-payload message still pays full startup).
+/// On bandwidth-bound sizes the model therefore predicts ≈2× throughput
+/// for fp16/bf16 over fp32, the ratio `dearsim doctor` and the
+/// mixed-precision bench gate against.
 class CostModel {
  public:
-  CostModel(NetworkModel net, int world_size)
-      : net_(net), p_(world_size) {}
+  CostModel(NetworkModel net, int world_size,
+            DType wire_dtype = DType::kF32)
+      : net_(net), p_(world_size), wire_dtype_(wire_dtype) {}
 
   [[nodiscard]] int world_size() const noexcept { return p_; }
   [[nodiscard]] const NetworkModel& network() const noexcept { return net_; }
+
+  /// Wire dtype the β terms are priced at (kF32 default keeps the §II-D
+  /// anchor calibrations bit-for-bit).
+  void set_wire_dtype(DType dtype) noexcept { wire_dtype_ = dtype; }
+  [[nodiscard]] DType wire_dtype() const noexcept { return wire_dtype_; }
 
   /// Eq. 3: (P-1)(α + d/P · β).
   [[nodiscard]] SimTime ReduceScatter(std::size_t bytes) const noexcept;
@@ -135,8 +150,15 @@ class CostModel {
                                  int ranks_per_node = 1) const noexcept;
 
  private:
+  /// Bytes that cross the wire for a `bytes`-sized fp32 buffer.
+  [[nodiscard]] double WireBytes(std::size_t bytes) const noexcept {
+    return static_cast<double>(bytes) *
+           (static_cast<double>(DTypeSize(wire_dtype_)) / sizeof(float));
+  }
+
   NetworkModel net_;
   int p_;
+  DType wire_dtype_{DType::kF32};
 };
 
 }  // namespace dear::comm

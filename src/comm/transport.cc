@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "check/checker.h"
+#include "comm/kernels.h"
 #include "comm/membership.h"
 #include "common/logging.h"
 #include "common/schedule_point.h"
@@ -51,8 +52,12 @@ bool TransportHub::Send(Rank src, Rank dst, Message msg) {
       return false;
     }
   }
-  const std::size_t bytes = msg.payload.size() * sizeof(float);
-  telemetry::OnMessageSent(src, bytes);
+  // Wire accounting uses the payload's *wire* bytes (2 per element for
+  // fp16/bf16), so telemetry, the checker ledger, and the flight recorder
+  // all see the bandwidth the dtype actually buys.
+  const std::size_t bytes = msg.payload.wire_bytes();
+  telemetry::OnMessageSent(src, bytes,
+                           static_cast<int>(msg.payload.dtype()));
   check::Checker::Get().OnTransportSend(bytes);
   // Always-on black box: assigns the message's causal ID (src, send_seq)
   // and Lamport stamp, then journals the send edge endpoint.
@@ -63,14 +68,23 @@ bool TransportHub::Send(Rank src, Rank dst, Message msg) {
 }
 
 bool TransportHub::Send(Rank src, Rank dst, std::uint32_t tag,
-                        std::span<const float> data, std::uint32_t epoch) {
+                        std::span<const float> data, std::uint32_t epoch,
+                        DType dtype) {
   Message msg;
   msg.tag = tag;
   msg.epoch = epoch;
-  msg.payload = pool_.Acquire(data.size());
-  if (!data.empty())
-    std::memcpy(msg.payload.data(), data.data(),
-                data.size() * sizeof(float));
+  msg.payload = pool_.Acquire(data.size(), dtype);
+  if (!data.empty()) {
+    // Convert-on-pack: one pass from the fp32 source straight into the
+    // pooled slab — for 2-byte dtypes this is where the downconvert
+    // happens, replacing DistOptim's old separate quantize sweep. The
+    // hook, when set, substitutes a custom quantizer/sparsifier while
+    // keeping the zero-copy write-into-slab shape.
+    if (pack_hook_)
+      pack_hook_(dtype, data, msg.payload);
+    else
+      kernels::Pack(dtype, msg.payload.wire_data(), data);
+  }
   return Send(src, dst, std::move(msg));
 }
 
@@ -142,12 +156,12 @@ StatusOr<Message> TransportHub::Recv(Rank src, Rank dst,
     }
     return Status::Unavailable("transport shut down while receiving");
   }
-  telemetry::OnMessageReceived(dst, msg->payload.size() * sizeof(float));
+  telemetry::OnMessageReceived(dst, msg->payload.wire_bytes());
   // Journal the matching edge endpoint even on a tag mismatch — the
   // message did arrive, and the causal edge is what diagnoses the bug.
   flightrec::Recorder::Get().OnRecv(dst, src, msg->tag,
-                                    msg->payload.size() * sizeof(float),
-                                    msg->causal, msg->lamport);
+                                    msg->payload.wire_bytes(), msg->causal,
+                                    msg->lamport);
   if (msg->tag != expected_tag) {
     return Status::Internal("tag mismatch: expected [" +
                             tags::Describe(expected_tag) + "] got [" +

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -86,11 +87,26 @@ class TransportHub {
   /// (returns false) instead of poisoning the survivor ring.
   bool Send(Rank src, Rank dst, Message msg);
 
-  /// Pooled-payload send: acquires a slab from the hub's pool, copies
-  /// `data` into it once, and enqueues. Returns false if shut down.
-  /// `epoch` is stamped into the message (ignored with no Membership).
+  /// Pooled-payload send: acquires a slab from the hub's pool, writes
+  /// `data` into it once — converting to `dtype`'s wire encoding in the
+  /// same pass (kernels::Pack) — and enqueues. Returns false if shut
+  /// down. `epoch` is stamped into the message (ignored with no
+  /// Membership). kF32 is a plain memcpy, bitwise identical to the
+  /// pre-dtype path; kF16/kBF16 send 2 bytes per element.
   bool Send(Rank src, Rank dst, std::uint32_t tag,
-            std::span<const float> data, std::uint32_t epoch = 0);
+            std::span<const float> data, std::uint32_t epoch = 0,
+            DType dtype = DType::kF32);
+
+  /// Optional transform on the pack path (the §VI-D quantize/sparsify
+  /// hook point): when set, it runs *instead of* the default
+  /// convert-on-pack kernel and must write all data.size() elements of
+  /// the wire encoding into `payload` (already acquired at the right
+  /// dtype/size — zero-copy is preserved because the hook writes the
+  /// slab directly). Set or clear only while the hub is quiescent (no
+  /// concurrent sends); pass nullptr to restore the default kernel.
+  using PackHook = std::function<void(
+      DType dtype, std::span<const float> data, PooledBuffer& payload)>;
+  void SetPackHook(PackHook hook) { pack_hook_ = std::move(hook); }
 
   /// Blocks for the next message on the (src, dst) channel; verifies the tag
   /// matches `expected_tag`. Returns Unavailable after Shutdown().
@@ -140,6 +156,7 @@ class TransportHub {
 
   int size_;
   BufferPool pool_;
+  PackHook pack_hook_;
   std::vector<std::unique_ptr<Channel<Message>>> channels_;  // size*size
   std::atomic<Membership*> membership_{nullptr};
   std::atomic<std::uint64_t> stale_drops_{0};

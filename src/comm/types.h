@@ -1,6 +1,7 @@
 // Shared vocabulary types for the collective communication library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -26,6 +27,48 @@ enum class Algorithm {
 
 std::string_view AlgorithmName(Algorithm a) noexcept;
 std::string_view ReduceOpName(ReduceOp op) noexcept;
+
+/// Wire element type of a transported payload (the paper's §VI-D gradient
+/// compression extension, mirroring NCCL's ncclFloat16/ncclBfloat16).
+/// Application buffers stay fp32 everywhere; a lossy DType only changes
+/// what travels between ranks: the sender converts on pack (directly into
+/// the pooled slab), the receiver folds the payload back through the fused
+/// convert+reduce kernels (comm/kernels.h). kF32 is the bitwise-identical
+/// default.
+enum class DType : std::uint8_t { kF32 = 0, kF16 = 1, kBF16 = 2 };
+
+/// Number of distinct wire dtypes (telemetry keeps one counter per dtype).
+inline constexpr int kNumDTypes = 3;
+
+/// Bytes per element of `t` on the wire.
+constexpr std::size_t DTypeSize(DType t) noexcept {
+  return t == DType::kF32 ? 4 : 2;
+}
+
+constexpr std::string_view DTypeName(DType t) noexcept {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kF16: return "f16";
+    case DType::kBF16: return "bf16";
+  }
+  return "unknown";
+}
+
+/// Parses "f32"/"fp32"/"f16"/"fp16"/"bf16" (the CLI --dtype vocabulary).
+/// Returns false and leaves *out untouched on an unknown name.
+inline bool ParseDType(std::string_view name, DType* out) noexcept {
+  if (name == "f32" || name == "fp32" || name == "float32") {
+    *out = DType::kF32;
+  } else if (name == "f16" || name == "fp16" || name == "float16" ||
+             name == "half") {
+    *out = DType::kF16;
+  } else if (name == "bf16" || name == "bfloat16") {
+    *out = DType::kBF16;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 /// Shared point-to-point tag layout: kind(8) | round(12) | chunk(12).
 ///

@@ -1,9 +1,14 @@
-// IEEE-754 binary16 conversion, used by the gradient-compression extension
-// (paper §VI-D names gradient compression as future work; DistOptim's fp16
-// mode quantizes fused buffers through half precision before communication).
+// IEEE-754 binary16 and bfloat16 conversion, used by the mixed-precision
+// wire path (paper §VI-D names gradient compression as future work; the
+// transport converts fp32 values to a 2-byte wire dtype on pack, and
+// DistOptim's compression modes select which one).
 //
-// Round-to-nearest-even on the float -> half path; correct handling of
-// subnormals, infinities, and NaN. No hardware F16C dependency.
+// Round-to-nearest-even on both narrowing paths; correct handling of
+// subnormals, infinities, and NaN, with NaN payloads preserved where they
+// fit (so every binary16 bit pattern round-trips exactly — pinned by
+// tests/half_test.cc). These are the portable scalar references; the
+// vectorized pack/unpack kernels in src/comm/kernels.cc must match them
+// bitwise for all non-NaN values. No hardware F16C dependency here.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +24,15 @@ inline std::uint16_t FloatToHalf(float f) noexcept {
   const std::uint32_t mant = x & 0x007fffffu;
   const int exp = static_cast<int>((x >> 23) & 0xff);
 
-  if (exp == 0xff)  // inf / NaN
-    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+  if (exp == 0xff) {  // inf / NaN
+    // Truncate the payload to the top 10 bits; if that would turn a NaN
+    // into an infinity, force the quiet bit instead. Payloads that fit
+    // survive the trip, so HalfToFloat -> FloatToHalf is the identity on
+    // every binary16 NaN encoding.
+    std::uint32_t half_mant = mant >> 13;
+    if (mant != 0 && half_mant == 0) half_mant = 0x200u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | half_mant);
+  }
 
   // Re-bias 127 -> 15.
   const int half_exp = exp - 127 + 15;
@@ -80,10 +92,43 @@ inline float HalfToFloat(std::uint16_t h) noexcept {
   return f;
 }
 
+/// Converts a float to bfloat16 (round-to-nearest-even). bfloat16 is the
+/// top 16 bits of binary32, so subnormals and infinities need no special
+/// cases: the RNE bias either leaves them alone or correctly rounds a
+/// just-below-overflow value to infinity.
+inline std::uint16_t FloatToBf16(float f) noexcept {
+  std::uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  if ((x & 0x7f800000u) == 0x7f800000u && (x & 0x007fffffu) != 0) {
+    // NaN: truncate; if the surviving mantissa bits are all zero, force
+    // one so the result stays a NaN instead of decaying to infinity.
+    std::uint16_t h = static_cast<std::uint16_t>(x >> 16);
+    if ((h & 0x7fu) == 0) h |= 0x40u;
+    return h;
+  }
+  // Round to nearest even: bias by 0x7fff plus the LSB of the truncated
+  // result, then truncate. Branch-free for every finite value.
+  const std::uint32_t rounded = x + 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<std::uint16_t>(rounded >> 16);
+}
+
+/// Converts bfloat16 to float (exact: re-widen the top 16 bits).
+inline float Bf16ToFloat(std::uint16_t h) noexcept {
+  const std::uint32_t x = static_cast<std::uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
 /// Round-trips a float through binary16 — the numerical effect of fp16
 /// gradient compression.
 inline float QuantizeFp16(float f) noexcept {
   return HalfToFloat(FloatToHalf(f));
+}
+
+/// Round-trips a float through bfloat16.
+inline float QuantizeBf16(float f) noexcept {
+  return Bf16ToFloat(FloatToBf16(f));
 }
 
 }  // namespace dear

@@ -4,7 +4,6 @@
 #include <chrono>
 
 #include "check/checker.h"
-#include "common/half.h"
 #include "common/math_util.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
@@ -258,6 +257,10 @@ bool DistOptim::TracedWait(int g, GroupState& state, double* bucket) {
 }
 
 void DistOptim::PackGroup(int g) {
+  // One pass: gradients go straight into the fused buffer. Compression
+  // needs no second sweep here — the wire dtype rides on the submitted
+  // collective, and the transport's convert-on-pack rounds each payload to
+  // fp16/bf16 in the same pass that writes it into the pooled slab.
   GroupState& state = groups_[static_cast<std::size_t>(g)];
   std::size_t offset = 0;
   for (int t : plan_.group(g).tensors) {
@@ -266,12 +269,6 @@ void DistOptim::PackGroup(int g) {
                                               static_cast<std::ptrdiff_t>(
                                                   offset));
     offset += grads.size();
-  }
-  if (options_.compression == Compression::kFp16) {
-    // Quantize to the wire format every rank would transmit; the reduction
-    // then sums fp16-rounded contributions, as real mixed-precision
-    // all-reduce does.
-    for (float& v : state.buffer) v = QuantizeFp16(v);
   }
 }
 
@@ -382,15 +379,20 @@ void DistOptim::LocalSgdStep() {
 
 comm::CollectiveHandle DistOptim::SubmitGather(GroupState& state) {
   ++stats_.collectives;
+  // kZeRO's OP2 distributes freshly updated PARAMETERS; those stay on the
+  // fp32 wire even under compression — only gradient traffic narrows.
+  const comm::DType wire = options_.mode == ScheduleMode::kZeRO
+                               ? comm::DType::kF32
+                               : WireDType(options_.compression);
   switch (options_.algorithm) {
     case comm::Algorithm::kHierarchical:
       return engine_->SubmitHierarchicalAllGather(
-          std::span<float>(state.buffer), options_.ranks_per_node);
+          std::span<float>(state.buffer), options_.ranks_per_node, wire);
     case comm::Algorithm::kRecursiveHalvingDoubling:
       return engine_->SubmitRecursiveDoublingAllGather(
-          std::span<float>(state.buffer));
+          std::span<float>(state.buffer), wire);
     default:
-      return engine_->SubmitAllGather(std::span<float>(state.buffer));
+      return engine_->SubmitAllGather(std::span<float>(state.buffer), wire);
   }
 }
 
@@ -398,6 +400,7 @@ void DistOptim::LaunchGroup(int g) {
   GroupState& state = groups_[static_cast<std::size_t>(g)];
   PackGroup(g);
   ++stats_.collectives;
+  const comm::DType wire = WireDType(options_.compression);
   switch (options_.mode) {
     case ScheduleMode::kDeAR:
     case ScheduleMode::kZeRO:
@@ -405,22 +408,22 @@ void DistOptim::LaunchGroup(int g) {
         case comm::Algorithm::kHierarchical:
           state.handle = engine_->SubmitHierarchicalReduceScatter(
               std::span<float>(state.buffer), options_.ranks_per_node,
-              comm::ReduceOp::kAvg);
+              comm::ReduceOp::kAvg, wire);
           break;
         case comm::Algorithm::kRecursiveHalvingDoubling:
           state.handle = engine_->SubmitRecursiveHalvingReduceScatter(
-              std::span<float>(state.buffer), comm::ReduceOp::kAvg);
+              std::span<float>(state.buffer), comm::ReduceOp::kAvg, wire);
           break;
         default:
           state.handle = engine_->SubmitReduceScatter(
-              std::span<float>(state.buffer), comm::ReduceOp::kAvg);
+              std::span<float>(state.buffer), comm::ReduceOp::kAvg, wire);
       }
       state.phase = GroupPhase::kRsPending;
       break;
     case ScheduleMode::kWFBP:
     case ScheduleMode::kSequential:
       state.handle = engine_->SubmitAllReduce(std::span<float>(state.buffer),
-                                              comm::ReduceOp::kAvg);
+                                              comm::ReduceOp::kAvg, wire);
       state.phase = GroupPhase::kRsPending;
       break;
     case ScheduleMode::kLocalSGD:

@@ -63,11 +63,29 @@ enum class ScheduleMode {
   kLocalSGD,
 };
 
-/// Gradient compression applied to fused buffers before communication
-/// (the paper's stated future work, §VI-D). kFp16 quantizes every value
-/// through IEEE binary16 — on a real NIC this halves the bytes on the
-/// wire; here it reproduces the numerics so convergence effects are real.
-enum class Compression { kNone, kFp16 };
+/// Gradient compression applied to fused buffers on the wire (the paper's
+/// stated future work, §VI-D). kFp16/kBf16 select a 2-byte wire dtype for
+/// the gradient collectives: the transport converts on pack directly into
+/// the pooled slab (one pass, no extra sweep) and sends half the bytes;
+/// receivers upconvert while folding, so accumulation stays fp32. The
+/// numerics match real mixed-precision all-reduce — every partial sum is
+/// rounded to the wire format at each hop — so convergence effects are
+/// real. kZeRO's parameter all-gather and kLocalSGD's parameter averaging
+/// stay fp32 regardless: master weights must not lose precision in flight.
+enum class Compression { kNone, kFp16, kBf16 };
+
+/// Wire dtype the gradient collectives use under `c`.
+constexpr comm::DType WireDType(Compression c) noexcept {
+  switch (c) {
+    case Compression::kFp16:
+      return comm::DType::kF16;
+    case Compression::kBf16:
+      return comm::DType::kBF16;
+    case Compression::kNone:
+      break;
+  }
+  return comm::DType::kF32;
+}
 
 struct DistOptimOptions {
   ScheduleMode mode{ScheduleMode::kDeAR};

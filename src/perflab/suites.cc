@@ -10,7 +10,9 @@
 #include "comm/calibration.h"
 #include "comm/communicator.h"
 #include "comm/cost_model.h"
+#include "comm/kernels.h"
 #include "comm/transport.h"
+#include "common/half.h"
 #include "common/schedule_point.h"
 #include "common/sim_time.h"
 #include "core/trainer.h"
@@ -202,6 +204,78 @@ void MeasureTransportPath(SuiteBuilder& b, int repeats) {
   }
 }
 
+/// Mixed-precision wire path (convert-on-pack). Two metric families:
+///  - transport.alloc_per_msg{dtype}: the pool-miss delta per steady-state
+///    message for each 2-byte wire dtype (f32 is covered above). The
+///    2-byte payloads ride their own smaller slab classes, so a dtype
+///    falling off the zero-copy path shows up as misses and trips the
+///    tight deterministic gate.
+///  - mixed.fp16_speedup_vs_legacy: wall-clock ratio of the legacy fp16
+///    gradient path (separate scalar quantize sweep + 4-byte wire) to
+///    convert-on-pack fp16 on a 1 MiB RS+AG hop loop at world=16. Gated
+///    as wall-clock here; the >= 1.7x hard bar with exact operator-new
+///    counts lives in bench/mixed_precision_path.
+void MeasureMixedPrecision(SuiteBuilder& b, int repeats) {
+  // Part 1: per-dtype steady-state pool misses.
+  constexpr std::size_t kMsgElems = 64 * 1024;
+  constexpr int kWarmup = 8;
+  constexpr int kCounted = 64;
+  for (const comm::DType dtype : {comm::DType::kF16, comm::DType::kBF16}) {
+    comm::TransportHub hub(1);
+    const std::vector<float> payload(kMsgElems, 1.0f);
+    std::uint32_t tag = 0;
+    auto roundtrip = [&] {
+      hub.Send(0, 0, tag, payload, /*epoch=*/0, dtype);
+      (void)hub.Recv(0, 0, tag);
+      ++tag;
+    };
+    for (int i = 0; i < kWarmup; ++i) roundtrip();
+    const std::map<std::string, std::string> params = {
+        {"kb", "128"},
+        {"dtype", dtype == comm::DType::kF16 ? "f16" : "bf16"}};
+    for (int rep = 0; rep < repeats; ++rep) {
+      const std::int64_t before = hub.pool().stats().misses;
+      for (int i = 0; i < kCounted; ++i) roundtrip();
+      const double allocs_per_msg =
+          static_cast<double>(hub.pool().stats().misses - before) / kCounted;
+      b.Add("transport.alloc_per_msg", params, 1.0 + allocs_per_msg,
+            "1+allocs", /*higher_is_better=*/false, kSimGateRatio);
+    }
+  }
+
+  // Part 2: legacy fp16 vs convert-on-pack fp16, one RS+AG of hop traffic.
+  constexpr std::size_t kElems = 256 * 1024;  // 1 MiB fp32 buffer
+  constexpr int kWorld = 16;
+  const std::size_t chunk = kElems / kWorld;
+  comm::TransportHub hub(1);
+  std::vector<float> acc(kElems, 0.5f);
+  std::vector<float> legacy_buf(kElems);
+  const std::vector<float> wire_buf(kElems, 0.25f);
+  auto hops = [&](comm::DType dtype, std::span<const float> src) {
+    for (int s = 0; s < 2 * (kWorld - 1); ++s) {
+      const auto tag = static_cast<std::uint32_t>(s);
+      hub.Send(0, 0, tag, src.subspan(0, chunk), /*epoch=*/0, dtype);
+      auto msg = hub.Recv(0, 0, tag);
+      comm::kernels::ReduceInto(comm::ReduceOp::kSum,
+                                std::span<float>(acc).subspan(0, chunk),
+                                msg->payload);
+    }
+  };
+  for (int rep = 0; rep < repeats + 1; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (float& x : legacy_buf) x = QuantizeFp16(x);  // the deleted sweep
+    hops(comm::DType::kF32, legacy_buf);
+    const double legacy_ms = ElapsedMs(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    hops(comm::DType::kF16, wire_buf);
+    const double new_ms = ElapsedMs(t1);
+    if (rep == 0) continue;  // warm-up: slab classes, page faults
+    b.Add("mixed.fp16_speedup_vs_legacy",
+          {{"mib", "1"}, {"world", "16"}}, legacy_ms / new_ms, "x",
+          /*higher_is_better=*/true, kWallGateRatio);
+  }
+}
+
 /// Wall-clock: cost of one *disabled* schedule point — the acquire load
 /// every instrumented blocking primitive pays in production. Gated in the
 /// quick suite so the schedlab hooks can never silently grow a hot-path
@@ -273,25 +347,27 @@ void MeasureCalibrationMonitor(SuiteBuilder& b, int repeats) {
 BenchSuite RunQuick(const SuiteRunOptions& options) {
   SuiteBuilder b("quick", options);
   const int r = b.repeats(5);
-  b.Note("[1/7] runtime: threaded training (dear, wfbp) ...");
+  b.Note("[1/8] runtime: threaded training (dear, wfbp) ...");
   MeasureRuntimeTraining(b, "dear", core::ScheduleMode::kDeAR, /*world=*/2,
                          /*iters=*/4, r);
   MeasureRuntimeTraining(b, "wfbp", core::ScheduleMode::kWFBP, /*world=*/2,
                          /*iters=*/4, r);
-  b.Note("[2/7] comm: ring all-reduce ...");
+  b.Note("[2/8] comm: ring all-reduce ...");
   MeasureRingCollective(b, /*world=*/2, /*kb=*/64, r + 3);
-  b.Note("[3/7] comm: pooled transport allocations ...");
+  b.Note("[3/8] comm: pooled transport allocations ...");
   MeasureTransportPath(b, r);
-  b.Note("[4/7] simulator: evaluate + deterministic figures ...");
+  b.Note("[4/8] comm: mixed-precision wire path ...");
+  MeasureMixedPrecision(b, r);
+  b.Note("[5/8] simulator: evaluate + deterministic figures ...");
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kDeAR, "dear", r);
   MeasureSimulator(b, "resnet50", 16, sched::PolicyKind::kHorovod, "horovod",
                    r);
   MeasureSimulator(b, "bert_base", 16, sched::PolicyKind::kDeAR, "dear", r);
-  b.Note("[5/7] schedlab: disabled schedule-point cost ...");
+  b.Note("[6/8] schedlab: disabled schedule-point cost ...");
   MeasureSchedulePoint(b, r);
-  b.Note("[6/7] flightrec: recorded-event cost ...");
+  b.Note("[7/8] flightrec: recorded-event cost ...");
   MeasureFlightRecorder(b, r);
-  b.Note("[7/7] doctor: monitored-sample cost ...");
+  b.Note("[8/8] doctor: monitored-sample cost ...");
   MeasureCalibrationMonitor(b, r);
   return b.Take();
 }

@@ -1,8 +1,10 @@
 #include "schedlab/properties.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <thread>
@@ -13,6 +15,7 @@
 #include "comm/async.h"
 #include "comm/collectives.h"
 #include "comm/communicator.h"
+#include "comm/kernels.h"
 #include "comm/transport.h"
 #include "comm/worker_group.h"
 #include "common/math_util.h"
@@ -80,8 +83,46 @@ std::vector<float> Reduced(const std::vector<std::vector<float>>& in,
   return out;
 }
 
-bool Near(float a, float b) {
-  return std::fabs(a - b) <= 1e-4f * (1.0f + std::fabs(b));
+/// Relative tolerance for order-sensitive reductions. fp32 keeps the
+/// historical 1e-4; a lossy wire dtype rounds every partial result it
+/// ships, so the bound widens to the dtype's unit roundoff scaled by the
+/// number of ranks (each ring hop re-rounds a partial whose magnitude is
+/// bounded by the final sum's).
+float ReduceTolerance(const PropertyOptions& options) {
+  float eps = 0.0f;
+  switch (options.wire_dtype) {
+    case comm::DType::kF16: eps = 0x1p-10f; break;   // 11-bit significand
+    case comm::DType::kBF16: eps = 0x1p-7f; break;   // 8-bit significand
+    case comm::DType::kF32: break;
+  }
+  return std::max(1e-4f, 2.0f * eps * static_cast<float>(options.world));
+}
+
+bool Near(float a, float b, float tol = 1e-4f) {
+  return std::fabs(a - b) <= tol * (1.0f + std::fabs(b));
+}
+
+/// `v` rounded once through the wire dtype — the oracle for what a
+/// copy-collective delivers (and what the sender keeps) under
+/// convert-on-pack. Identity for kF32.
+std::vector<float> Quantized(comm::DType dtype, std::vector<float> v) {
+  comm::kernels::QuantizeInPlace(dtype, std::span<float>(v));
+  return v;
+}
+
+/// Units-in-the-last-place distance between two floats in representation
+/// order (0 == bitwise equal; +0 and -0 are 1 apart, which is fine for a
+/// 0-ULP equality check).
+std::int64_t UlpDistance(float a, float b) {
+  auto ordered = [](float x) {
+    std::int32_t i = 0;
+    std::memcpy(&i, &x, sizeof(i));
+    // Map the sign-magnitude float ordering onto a monotone integer line.
+    return i < 0 ? std::int64_t{std::numeric_limits<std::int32_t>::min()} - i
+                 : std::int64_t{i};
+  };
+  const std::int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
 }
 
 /// First-failure collector.
@@ -97,17 +138,42 @@ struct Verdict {
 };
 
 void ExpectNearAll(Verdict& v, const char* what, std::span<const float> got,
-                   std::span<const float> want) {
+                   std::span<const float> want, float tol = 1e-4f) {
   v.Expect(got.size() == want.size(), std::string(what) + ": size mismatch");
   if (!v.ok) return;
   for (std::size_t i = 0; i < got.size(); ++i) {
-    if (!Near(got[i], want[i])) {
+    if (!Near(got[i], want[i], tol)) {
       v.Expect(false, std::string(what) + ": elem " + std::to_string(i) +
                           " got " + std::to_string(got[i]) + " want " +
                           std::to_string(want[i]));
       return;
     }
   }
+}
+
+/// Elementwise ULP-distance bound. `bound == 0` is bitwise equality but
+/// the failure message reports HOW FAR off the worst element landed —
+/// the decoupled-equivalence property uses this so a lossy-dtype break
+/// shows up as "N ULP apart", not an opaque memcmp mismatch.
+void ExpectUlpAll(Verdict& v, const char* what, std::span<const float> got,
+                  std::span<const float> want, std::int64_t bound) {
+  v.Expect(got.size() == want.size(), std::string(what) + ": size mismatch");
+  if (!v.ok) return;
+  std::int64_t worst = 0;
+  std::size_t worst_i = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::int64_t d = UlpDistance(got[i], want[i]);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  if (worst > bound)
+    v.Expect(false, std::string(what) + ": elem " + std::to_string(worst_i) +
+                        " is " + std::to_string(worst) + " ULP apart (bound " +
+                        std::to_string(bound) + "): got " +
+                        std::to_string(got[worst_i]) + " want " +
+                        std::to_string(want[worst_i]));
 }
 
 void ExpectBitwiseAll(Verdict& v, const char* what, std::span<const float> got,
@@ -119,9 +185,10 @@ void ExpectBitwiseAll(Verdict& v, const char* what, std::span<const float> got,
 }
 
 /// Runs `body(comm)` on `world` controller-registered rank threads over
-/// `hub`; a declared deadlock shuts the hub down so everything unwinds.
+/// `hub`, each communicator set to `wire_dtype`; a declared deadlock
+/// shuts the hub down so everything unwinds.
 ScheduleResult RunRanked(Picker& picker, int world, int expected_workers,
-                         comm::TransportHub& hub,
+                         comm::TransportHub& hub, comm::DType wire_dtype,
                          const std::function<void(comm::Communicator&)>& body) {
   ControllerOptions options;
   options.expected_workers = expected_workers;
@@ -133,6 +200,7 @@ ScheduleResult RunRanked(Picker& picker, int world, int expected_workers,
       threads.emplace_back([&, r] {
         schedpoint::WorkerScope worker("rank", r);
         comm::Communicator comm(&hub, r);
+        comm.set_wire_dtype(wire_dtype);
         body(comm);
       });
     }
@@ -150,7 +218,9 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
 
   // Fused reference, run WITHOUT the controller: the ring algorithm fixes
   // the reduction order, so this is the bitwise answer every schedule of
-  // the decoupled pair must reproduce exactly.
+  // the decoupled pair must reproduce exactly. This holds per wire dtype —
+  // the fused ring IS the decoupled pair under the hood, so even lossy
+  // fp16/bf16 rounding lands on identical bits on both sides.
   std::vector<std::vector<float>> sum_ref;
   std::vector<std::vector<float>> avg_ref;
   for (int r = 0; r < world; ++r) {
@@ -160,6 +230,7 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
   comm::RunOnRanks(
       world,
       [&](comm::Communicator& comm) {
+        comm.set_wire_dtype(options.wire_dtype);
         const auto r = static_cast<std::size_t>(comm.rank());
         (void)comm::RingAllReduce(comm, std::span<float>(sum_ref[r]),
                                   comm::ReduceOp::kSum);
@@ -177,8 +248,9 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
   std::vector<Status> status(static_cast<std::size_t>(world), Status::Ok());
 
   comm::TransportHub hub(world, {.use_pool = options.use_pool});
-  report.schedule =
-      RunRanked(picker, world, world, hub, [&](comm::Communicator& comm) {
+  report.schedule = RunRanked(
+      picker, world, world, hub, options.wire_dtype,
+      [&](comm::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
         Status s = comm::RingReduceScatter(comm, std::span<float>(sum_out[r]),
                                            comm::ReduceOp::kSum);
@@ -199,10 +271,12 @@ PropertyReport CheckDecoupledEquivalence(Picker& picker,
   std::uint64_t digest = kDigestBasis;
   for (int r = 0; r < world && v.ok; ++r) {
     const auto i = static_cast<std::size_t>(r);
-    ExpectBitwiseAll(v, "rs+ag(kSum) vs fused ring all-reduce", sum_out[i],
-                     sum_ref[i]);
-    ExpectBitwiseAll(v, "rs+ag(kAvg) vs fused ring all-reduce", avg_out[i],
-                     avg_ref[i]);
+    // Bound 0 for EVERY dtype: decoupling must stay exact even when the
+    // wire rounds — a nonzero distance prints as "N ULP apart".
+    ExpectUlpAll(v, "rs+ag(kSum) vs fused ring all-reduce", sum_out[i],
+                 sum_ref[i], /*bound=*/0);
+    ExpectUlpAll(v, "rs+ag(kAvg) vs fused ring all-reduce", avg_out[i],
+                 avg_ref[i], /*bound=*/0);
     digest = DigestFloats(digest, sum_out[i]);
     digest = DigestFloats(digest, avg_out[i]);
   }
@@ -230,6 +304,17 @@ PropertyReport CheckAllCollectives(Picker& picker,
   const std::vector<float> avg_oracle = Reduced(input, comm::ReduceOp::kAvg);
   const std::vector<float> max_oracle = Reduced(input, comm::ReduceOp::kMax);
   const std::vector<float> min_oracle = Reduced(input, comm::ReduceOp::kMin);
+  // Copy-collectives stay BITWISE-checkable under a lossy wire dtype: every
+  // element crosses the wire (or is retained-and-quantized by its sender)
+  // exactly once, so the oracle is the input rounded once through the
+  // dtype. For kF32 Quantized() is the identity and these are the plain
+  // fp32 oracles.
+  const bool lossy = options.wire_dtype != comm::DType::kF32;
+  const float tol = ReduceTolerance(options);
+  std::vector<std::vector<float>> q_input;
+  for (int r = 0; r < world; ++r)
+    q_input.push_back(
+        Quantized(options.wire_dtype, input[static_cast<std::size_t>(r)]));
 
   // Working buffers, all pre-filled deterministically on this thread.
   auto copies = [&] { return input; };
@@ -256,18 +341,22 @@ PropertyReport CheckAllCollectives(Picker& picker,
                        static_cast<float>(i) * 0.25f;
   }
   std::vector<std::vector<float>> ag_ring(uw, ag_expected);
+  const std::vector<float> ag_oracle = Quantized(options.wire_dtype,
+                                                 ag_expected);
   std::vector<std::vector<float>> a2a;
   for (int r = 0; r < world; ++r)
     a2a.push_back(MakeInput(options.payload_seed + 7, r, n_a2a));
-  const std::vector<std::vector<float>> a2a_in = a2a;  // pristine copy
+  std::vector<std::vector<float>> a2a_in;  // pristine, wire-rounded oracle
+  for (const auto& v : a2a) a2a_in.push_back(Quantized(options.wire_dtype, v));
   std::vector<std::vector<float>> gather_out(uw);
   std::vector<std::vector<float>> scatter_out(uw);
 
   std::vector<Status> status(uw, Status::Ok());
 
   comm::TransportHub hub(world, {.use_pool = options.use_pool});
-  report.schedule =
-      RunRanked(picker, world, world, hub, [&](comm::Communicator& comm) {
+  report.schedule = RunRanked(
+      picker, world, world, hub, options.wire_dtype,
+      [&](comm::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
         Status s = Status::Ok();
         auto step = [&](Status next) {
@@ -315,30 +404,41 @@ PropertyReport CheckAllCollectives(Picker& picker,
 
   std::uint64_t digest = kDigestBasis;
   for (std::size_t r = 0; r < uw && v.ok; ++r) {
-    ExpectNearAll(v, "ring all-reduce kSum", ar_sum[r], sum_oracle);
-    ExpectNearAll(v, "ring all-reduce kAvg", ar_avg[r], avg_oracle);
-    ExpectBitwiseAll(v, "ring all-reduce kMax", ar_max[r], max_oracle);
-    ExpectBitwiseAll(v, "ring all-reduce kMin", ar_min[r], min_oracle);
-    ExpectNearAll(v, "tree all-reduce", ar_tree[r], sum_oracle);
-    ExpectNearAll(v, "double-binary-tree all-reduce", ar_dbt[r], sum_oracle);
-    ExpectNearAll(v, "hierarchical all-reduce", ar_hier[r], sum_oracle);
+    ExpectNearAll(v, "ring all-reduce kSum", ar_sum[r], sum_oracle, tol);
+    ExpectNearAll(v, "ring all-reduce kAvg", ar_avg[r], avg_oracle, tol);
+    // kMax/kMin are exact in fp32 but a lossy wire rounds the partial
+    // extremum it forwards, so the tolerance oracle takes over there.
+    if (lossy) {
+      ExpectNearAll(v, "ring all-reduce kMax", ar_max[r], max_oracle, tol);
+      ExpectNearAll(v, "ring all-reduce kMin", ar_min[r], min_oracle, tol);
+    } else {
+      ExpectBitwiseAll(v, "ring all-reduce kMax", ar_max[r], max_oracle);
+      ExpectBitwiseAll(v, "ring all-reduce kMin", ar_min[r], min_oracle);
+    }
+    ExpectNearAll(v, "tree all-reduce", ar_tree[r], sum_oracle, tol);
+    ExpectNearAll(v, "double-binary-tree all-reduce", ar_dbt[r], sum_oracle,
+                  tol);
+    ExpectNearAll(v, "hierarchical all-reduce", ar_hier[r], sum_oracle, tol);
     if (pow2) {
       ExpectNearAll(v, "recursive halving-doubling all-reduce", ar_rhd[r],
-                    sum_oracle);
-      ExpectNearAll(v, "recursive RS+AG pair", pair_rhd[r], sum_oracle);
+                    sum_oracle, tol);
+      ExpectNearAll(v, "recursive RS+AG pair", pair_rhd[r], sum_oracle, tol);
     }
-    ExpectNearAll(v, "segmented ring all-reduce", ar_seg[r], sum_oracle);
-    ExpectNearAll(v, "hierarchical RS+AG pair", pair_hier[r], sum_oracle);
+    ExpectNearAll(v, "segmented ring all-reduce", ar_seg[r], sum_oracle, tol);
+    ExpectNearAll(v, "hierarchical RS+AG pair", pair_hier[r], sum_oracle, tol);
     const Range own = ChunkRange(n, uw, r);
     ExpectNearAll(
         v, "ring reduce-scatter (own chunk)",
         std::span<const float>(rs_ring[r]).subspan(own.begin, own.size()),
-        std::span<const float>(sum_oracle).subspan(own.begin, own.size()));
+        std::span<const float>(sum_oracle).subspan(own.begin, own.size()),
+        tol);
     if (r == 0)
-      ExpectNearAll(v, "tree reduce (root)", reduce_tree[0], sum_oracle);
+      ExpectNearAll(v, "tree reduce (root)", reduce_tree[0], sum_oracle, tol);
+    // Copy-collectives: bitwise against the once-quantized oracle for
+    // every dtype ("what you send is what you keep").
     ExpectBitwiseAll(v, "tree broadcast", bcast[r],
-                     input[static_cast<std::size_t>(bcast_root)]);
-    ExpectBitwiseAll(v, "ring all-gather", ag_ring[r], ag_expected);
+                     q_input[static_cast<std::size_t>(bcast_root)]);
+    ExpectBitwiseAll(v, "ring all-gather", ag_ring[r], ag_oracle);
     // Gather: root sees every rank's data concatenated.
     if (r == 0) {
       v.Expect(gather_out[0].size() == uw * n, "gather: size");
@@ -346,13 +446,13 @@ PropertyReport CheckAllCollectives(Picker& picker,
         ExpectBitwiseAll(
             v, "gather",
             std::span<const float>(gather_out[0]).subspan(src * n, n),
-            input[src]);
+            q_input[src]);
     }
     // Scatter: rank r holds root's chunk r.
     const Range chunk = ChunkRange(n, uw, r);
     ExpectBitwiseAll(
         v, "scatter", scatter_out[r],
-        std::span<const float>(input[0]).subspan(chunk.begin, chunk.size()));
+        std::span<const float>(q_input[0]).subspan(chunk.begin, chunk.size()));
     // All-to-all: my chunk j is rank j's pristine chunk r.
     const std::size_t chunk_elems = n_a2a / uw;
     for (std::size_t j = 0; j < uw && v.ok; ++j)
@@ -416,9 +516,20 @@ PropertyReport CheckTrainingStep(Picker& picker,
   std::vector<std::vector<std::vector<float>>> params(uw);
   std::vector<std::vector<float>> losses(uw);
 
+  // DistOptim drives the wire dtype through its Compression knob (the
+  // engine stamps it per request), so the communicator-level default the
+  // other properties use is left at fp32 here.
+  core::Compression compression = core::Compression::kNone;
+  switch (options.wire_dtype) {
+    case comm::DType::kF16: compression = core::Compression::kFp16; break;
+    case comm::DType::kBF16: compression = core::Compression::kBf16; break;
+    case comm::DType::kF32: break;
+  }
+
   // One compute + one comm-engine worker per rank.
   report.schedule = RunRanked(
-      picker, world, 2 * world, hub, [&](comm::Communicator& comm) {
+      picker, world, 2 * world, hub, comm::DType::kF32,
+      [&](comm::Communicator& comm) {
         const auto r = static_cast<std::size_t>(comm.rank());
         const auto shard = data.Shard(comm.rank(), world);
         train::Mlp mlp(dims, /*seed=*/21);
@@ -426,6 +537,7 @@ PropertyReport CheckTrainingStep(Picker& picker,
         optim_options.mode = core::ScheduleMode::kDeAR;
         optim_options.buffer_bytes = 256;  // several fusion groups
         optim_options.sgd = {.lr = 0.05f, .momentum = 0.9f};
+        optim_options.compression = compression;
         core::DistOptim optim(comm, mlp.Spec(), mlp.Bindings(), optim_options);
         std::vector<float> x;
         std::vector<float> y;

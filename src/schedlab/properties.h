@@ -6,11 +6,18 @@
 //  * Decoupled equivalence (paper Eq. 3-5): reduce-scatter followed by
 //    all-gather must equal the fused ring all-reduce within 0 ULP — the
 //    ring fixes the reduction order, so the thread schedule must not be
-//    able to change a single bit.
+//    able to change a single bit. The 0-ULP bound holds for EVERY wire
+//    dtype, including lossy fp16/bf16: the fused ring is literally the
+//    decoupled pair, so both sides round identically at every hop.
 //  * Collective correctness: all 18 collectives against exact oracles
 //    (near-oracles for order-sensitive float sums), with a bitwise digest
 //    of every defined output region so callers can assert invariance
-//    across schedules.
+//    across schedules. Under a lossy wire dtype the copy-collectives are
+//    still checked BITWISE — against the quantized oracle (inputs rounded
+//    once through the wire dtype; see kernels::QuantizeInPlace and the
+//    "what you send is what you keep" rule in collectives.cc) — while the
+//    reductions widen their tolerance to the dtype's epsilon scaled by
+//    world size.
 //  * Training-step schedule (paper §III-B): a DistOptim mini-run with
 //    dearcheck's GroupEvent machine as the online oracle for FeedPipe
 //    ("AG(l) completes before FF_l") and BackPipe FIFO order, plus
@@ -25,6 +32,7 @@
 #include <string>
 
 #include "check/checker.h"
+#include "comm/types.h"
 #include "schedlab/controller.h"
 
 namespace dear::schedlab {
@@ -39,6 +47,13 @@ struct PropertyOptions {
   /// with the pool on and off must produce identical digests — slab reuse
   /// is invisible to the collectives' arithmetic.
   bool use_pool{true};
+  /// Wire payload dtype for every collective the properties run (kF32
+  /// default keeps the historical fp32 digests bit-for-bit). A lossy
+  /// dtype switches the copy-collective oracles to quantized-bitwise and
+  /// the reduction oracles to eps-scaled tolerance; the decoupled-
+  /// equivalence 0-ULP bound is dtype-independent. The training-step
+  /// property maps kF16/kBF16 onto DistOptim's Compression knob.
+  comm::DType wire_dtype{comm::DType::kF32};
 };
 
 struct PropertyReport {

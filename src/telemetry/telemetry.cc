@@ -34,7 +34,10 @@ void Runtime::Enable(int world_size) {
     transport_.push_back({&reg.GetCounter("comm.messages_sent"),
                           &reg.GetCounter("comm.bytes_sent"),
                           &reg.GetCounter("comm.messages_received"),
-                          &reg.GetCounter("comm.bytes_received")});
+                          &reg.GetCounter("comm.bytes_received"),
+                          {&reg.GetCounter("comm.wire_bytes.f32"),
+                           &reg.GetCounter("comm.wire_bytes.f16"),
+                           &reg.GetCounter("comm.wire_bytes.bf16")}});
   }
   global_.Reset();
   pool_ = {&global_.GetCounter("transport.pool.hits"),
@@ -59,13 +62,15 @@ void Runtime::Enable(int world_size) {
   enabled_.store(true, std::memory_order_release);
 }
 
-void OnMessageSent(int src, std::size_t bytes) noexcept {
+void OnMessageSent(int src, std::size_t bytes, int dtype_index) noexcept {
   Runtime& rt = Runtime::Get();
   if (!rt.enabled()) return;
   auto* tc = rt.transport_counters(src);
   if (!tc) return;
   tc->messages_sent->Add(1);
   tc->bytes_sent->Add(static_cast<std::int64_t>(bytes));
+  if (dtype_index < 0 || dtype_index >= 3) dtype_index = 0;
+  tc->wire_bytes_by_dtype[dtype_index]->Add(static_cast<std::int64_t>(bytes));
 }
 
 void OnMessageReceived(int dst, std::size_t bytes) noexcept {

@@ -82,12 +82,17 @@ class Runtime {
   [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
 
   /// Pre-resolved per-rank transport counters so the per-message hooks are
-  /// four relaxed atomic adds — no name lookup on the hot path.
+  /// a few relaxed atomic adds — no name lookup on the hot path.
+  /// `wire_bytes_by_dtype` splits bytes_sent by the payload's wire dtype
+  /// (index = comm::DType value: 0 f32, 1 f16, 2 bf16; registered as
+  /// "comm.wire_bytes.<dtype>"), the counters `dearsim profile` surfaces
+  /// to show what mixed precision saved on the wire.
   struct TransportCounters {
     Counter* messages_sent{nullptr};
     Counter* bytes_sent{nullptr};
     Counter* messages_received{nullptr};
     Counter* bytes_received{nullptr};
+    Counter* wire_bytes_by_dtype[3] = {nullptr, nullptr, nullptr};
   };
   [[nodiscard]] TransportCounters* transport_counters(int rank) noexcept {
     if (rank < 0 || rank >= world_size_) return nullptr;
@@ -128,9 +133,11 @@ class Runtime {
 
 // ---- Hot-path hooks (no-ops unless a session is enabled) -----------------
 
-/// Transport accounting: one message of `bytes` payload left rank `src` /
-/// arrived at rank `dst`.
-void OnMessageSent(int src, std::size_t bytes) noexcept;
+/// Transport accounting: one message of `bytes` *wire* payload left rank
+/// `src` / arrived at rank `dst`. `dtype_index` is the payload's wire
+/// dtype (comm::DType value, 0 = fp32) and feeds the per-dtype wire-byte
+/// counters; out-of-range values fold into the fp32 bucket.
+void OnMessageSent(int src, std::size_t bytes, int dtype_index = 0) noexcept;
 void OnMessageReceived(int dst, std::size_t bytes) noexcept;
 
 /// Buffer-pool accounting (global registry, "transport.pool.*"): one slab

@@ -163,6 +163,65 @@ TEST(BufferPoolTest, ConcurrentAcquireReleaseKeepsAccounting) {
   EXPECT_LE(stats.misses, static_cast<std::uint64_t>(kThreads) * 3);
 }
 
+// --- mixed-precision slabs ----------------------------------------------
+
+// Size classes are element-width-aware: n 2-byte elements occupy half the
+// slab bytes of n floats, so a 2-byte request recycles through a smaller
+// class instead of wasting the fp32-sized slab.
+TEST(BufferPoolTest, TwoByteDtypesUseHalfWidthSizeClasses) {
+  BufferPool pool;
+  PooledBuffer f32 = pool.Acquire(256, DType::kF32);
+  PooledBuffer f16 = pool.Acquire(256, DType::kF16);
+  EXPECT_EQ(f32.wire_bytes(), 256 * 4u);
+  EXPECT_EQ(f16.wire_bytes(), 256 * 2u);
+  EXPECT_EQ(f16.dtype(), DType::kF16);
+  EXPECT_EQ(f16.size(), 256u);
+  // 512 f16 elements = 1 KiB = the byte class of 256 floats: releasing the
+  // fp32 slab must satisfy the 2-byte request from the free list.
+  f32.Release();
+  PooledBuffer wide = pool.Acquire(512, DType::kBF16);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  wide.Release();
+  f16.Release();
+}
+
+TEST(BufferPoolTest, DtypeAccessorsAreChecked) {
+  BufferPool pool;
+  PooledBuffer f32 = pool.Acquire(16, DType::kF32);
+  PooledBuffer bf16 = pool.Acquire(16, DType::kBF16);
+  // Right-typed access works...
+  f32.data()[0] = 1.0f;
+  bf16.u16()[0] = 0x3f80;
+  EXPECT_EQ(bf16.u16()[0], 0x3f80);
+  // ...wrong-typed access dies (DEAR_CHECK), so a 2-byte payload can never
+  // be silently read as floats.
+  EXPECT_DEATH((void)bf16.data(), "float access to a non-fp32 wire payload");
+  EXPECT_DEATH((void)f32.u16(), "u16 access to an fp32 wire payload");
+}
+
+TEST(BufferPoolTest, TwoByteSlabsRecycleWithinTheirOwnClass) {
+  BufferPool pool;
+  const std::uint16_t* slab = nullptr;
+  {
+    PooledBuffer a = pool.Acquire(100, DType::kF16);
+    slab = a.u16();
+  }
+  PooledBuffer b = pool.Acquire(100, DType::kF16);
+  EXPECT_EQ(b.u16(), slab);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, MovePreservesDtype) {
+  BufferPool pool;
+  PooledBuffer a = pool.Acquire(32, DType::kF16);
+  PooledBuffer b = std::move(a);
+  EXPECT_EQ(b.dtype(), DType::kF16);
+  EXPECT_EQ(b.wire_bytes(), 64u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_EQ(a.dtype(), DType::kF32);  // NOLINT(bugprone-use-after-move)
+}
+
 TEST(BufferPoolTest, SpanViewsMatchBuffer) {
   BufferPool pool;
   PooledBuffer buf = pool.Acquire(8);

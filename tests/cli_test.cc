@@ -332,6 +332,36 @@ TEST(CliTest, ProfileReportsModelResidual) {
   EXPECT_NE(r.out.find("model residual"), std::string::npos) << r.out;
 }
 
+TEST(CliTest, ProfileDtypeRoutesWireBytesToThatFormat) {
+  const auto r = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                             "--iters=2", "--batch-size=4", "--dtype=f16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("dtype=f16"), std::string::npos) << r.out;
+  // The telemetry section proves every gradient byte rode the 2-byte
+  // format: f32 wire traffic must be exactly zero.
+  EXPECT_NE(r.out.find("wire bytes by dtype: f32=0 KB"), std::string::npos)
+      << r.out;
+  // Lossy wire, but ranks still agree bitwise.
+  EXPECT_NE(r.out.find("consistency: OK"), std::string::npos) << r.out;
+}
+
+TEST(CliTest, ProfileRejectsUnknownDtype) {
+  const auto r = RunDearsim({"profile", "--model=alexnet", "--world=2",
+                             "--dtype=f64"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown dtype"), std::string::npos) << r.err;
+}
+
+TEST(CliTest, FuzzAcceptsLossyDtypeAndStaysDeterministic) {
+  const auto r = RunDearsim({"fuzz", "--world=2", "--schedules=2",
+                             "--dtype=bf16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("dtype=bf16"), std::string::npos) << r.out;
+  // Schedule-invariance must survive lossy rounding: one result digest.
+  EXPECT_NE(r.out.find("1 distinct result digests"), std::string::npos)
+      << r.out;
+}
+
 TEST(CliTest, BatchSizeOverrideChangesThroughput) {
   const auto a = RunDearsim({"simulate", "--model=resnet50", "--gpus=4",
                       "--batch-size=16"});

@@ -302,6 +302,40 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.ib ? "_ib" : "_eth");
     });
 
+TEST(CostModelTest, WireDtypeScalesBandwidthTermOnly) {
+  // fp16/bf16 wire halves every β·d term while α stays: at bandwidth-bound
+  // sizes the predicted speedup approaches exactly 2×; at latency-bound
+  // sizes it approaches 1× (narrowing the payload cannot buy back startup).
+  const CostModel f32(NetworkModel::TenGbE(), 64, DType::kF32);
+  const CostModel f16(NetworkModel::TenGbE(), 64, DType::kF16);
+  const CostModel bf16(NetworkModel::TenGbE(), 64, DType::kBF16);
+  const double big_ratio =
+      static_cast<double>(f32.RingAllReduce(MiB(256))) /
+      static_cast<double>(f16.RingAllReduce(MiB(256)));
+  EXPECT_GT(big_ratio, 1.9);  // α never fully vanishes; β halves exactly
+  EXPECT_LE(big_ratio, 2.0);
+  // Both 2-byte dtypes price identically: the model sees width, not format.
+  EXPECT_EQ(f16.RingAllReduce(MiB(64)), bf16.RingAllReduce(MiB(64)));
+  const double small_ratio =
+      static_cast<double>(f32.RingAllReduce(64)) /
+      static_cast<double>(f16.RingAllReduce(64));
+  EXPECT_LT(small_ratio, 1.05);
+  // The decoupled halves narrow the same way (the paper's RS+AG pair).
+  EXPECT_NEAR(static_cast<double>(f32.ReduceScatter(MiB(64)) +
+                                  f32.AllGather(MiB(64))) /
+                  static_cast<double>(f16.ReduceScatter(MiB(64)) +
+                                      f16.AllGather(MiB(64))),
+              2.0, 0.1);
+  // Eq. 6's bound tracks wire bytes exactly (pure β term, no α), so S^max
+  // rises under fp16. Integer-ns rounding allows 1 ns of slack.
+  EXPECT_NEAR(static_cast<double>(f16.AllReduceBandwidthBound(MiB(1)) * 2),
+              static_cast<double>(f32.AllReduceBandwidthBound(MiB(1))), 2.0);
+  // set_wire_dtype matches construction-time selection.
+  CostModel mutated(NetworkModel::TenGbE(), 64);
+  mutated.set_wire_dtype(DType::kF16);
+  EXPECT_EQ(mutated.RingAllReduce(MiB(4)), f16.RingAllReduce(MiB(4)));
+}
+
 TEST(CostModelTest, NetworkPresetsAreSane) {
   const auto eth = NetworkModel::TenGbE();
   // Effective bandwidth is the exact two-anchor fit (above line rate — the

@@ -229,6 +229,36 @@ TEST(DistOptimTest, Fp16TrajectoryNearUncompressed) {
       EXPECT_NEAR(a.params[t][i], b.params[t][i], 5e-3f);
 }
 
+TEST(DistOptimTest, Bf16CompressionKeepsRanksConsistentAndConverges) {
+  const Dataset data = MakeRegressionDataset(64, 6, 2, 5);
+  DistOptimOptions options;
+  options.mode = ScheduleMode::kDeAR;
+  options.compression = Compression::kBf16;
+  options.sgd = {.lr = 0.05f, .momentum = 0.0f};
+  const auto result =
+      TrainDistributed(kDims, kModelSeed, data, 40, 4, 4, options);
+  EXPECT_TRUE(result.params_consistent);
+  ASSERT_GE(result.rank0_losses.size(), 2u);
+  EXPECT_LT(result.rank0_losses.back(), 0.5f * result.rank0_losses.front());
+}
+
+TEST(DistOptimTest, Bf16TrajectoryNearUncompressed) {
+  const Dataset data = MakeRegressionDataset(64, 6, 2, 5);
+  DistOptimOptions plain;
+  plain.mode = ScheduleMode::kDeAR;
+  plain.sgd = {.lr = 0.02f, .momentum = 0.0f};
+  DistOptimOptions bf16 = plain;
+  bf16.compression = Compression::kBf16;
+  const auto a = TrainDistributed(kDims, kModelSeed, data, 10, 4, 2, plain);
+  const auto b = TrainDistributed(kDims, kModelSeed, data, 10, 4, 2, bf16);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  // bf16 keeps only 8 significand bits (~2^-8 relative rounding), so the
+  // drift envelope is wider than fp16's but still small over 10 steps.
+  for (std::size_t t = 0; t < a.params.size(); ++t)
+    for (std::size_t i = 0; i < a.params[t].size(); ++i)
+      EXPECT_NEAR(a.params[t][i], b.params[t][i], 4e-2f);
+}
+
 TEST(LocalSgdTest, OneLocalStepEqualsSynchronousSgd) {
   // With local_steps = 1 every update is immediately averaged; since SGD is
   // linear in the gradient, averaging parameters after identical-start

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "common/rng.h"
@@ -83,6 +85,90 @@ TEST(HalfTest, IdempotentQuantization) {
     const auto v = static_cast<float>(rng.Uniform(-1000.0, 1000.0));
     const float once = QuantizeFp16(v);
     EXPECT_EQ(QuantizeFp16(once), once);
+  }
+}
+
+// Every binary16 encoding widens and narrows back to itself: the wire
+// round trip is lossless once a value IS a half. This is what makes
+// QuantizeInPlace a sound bitwise oracle for the lossy wire formats
+// (schedlab's copy-collective properties depend on it).
+TEST(HalfTest, ExhaustiveEncodingRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = HalfToFloat(h);
+    if (std::isnan(f)) {
+      // NaN payloads may be canonicalized, but NaN-ness must survive.
+      EXPECT_TRUE(std::isnan(HalfToFloat(FloatToHalf(f)))) << std::hex << bits;
+      continue;
+    }
+    EXPECT_EQ(FloatToHalf(f), h) << std::hex << bits;
+  }
+}
+
+// --- bfloat16 ------------------------------------------------------------
+
+TEST(Bf16Test, KnownEncodings) {
+  // bf16 is the top half of binary32, so encodings mirror float bit
+  // patterns: 1.0f = 0x3f800000 -> 0x3f80.
+  EXPECT_EQ(FloatToBf16(0.0f), 0x0000);
+  EXPECT_EQ(FloatToBf16(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToBf16(1.0f), 0x3f80);
+  EXPECT_EQ(FloatToBf16(-2.0f), 0xc000);
+  EXPECT_EQ(Bf16ToFloat(0x3f80), 1.0f);
+  EXPECT_TRUE(std::isinf(Bf16ToFloat(0x7f80)));
+}
+
+TEST(Bf16Test, ExactValuesRoundTripExactly) {
+  // Values whose mantissa fits in bf16's 8 bits.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 3.0f,
+                  std::ldexp(1.0f, 100), std::ldexp(-1.0f, -100)}) {
+    EXPECT_EQ(QuantizeBf16(v), v) << v;
+  }
+}
+
+TEST(Bf16Test, RoundToNearestEvenTies) {
+  // 1 + 2^-8 sits exactly between 1.0 (mantissa 0x00, even) and the next
+  // bf16 (1 + 2^-7, mantissa 0x01, odd): the tie must go to even -> 1.0.
+  EXPECT_EQ(QuantizeBf16(1.0f + 0x1.0p-8f), 1.0f);
+  // (1 + 2^-7) + 2^-8 ties between mantissa 0x01 and 0x02: goes up to even.
+  EXPECT_EQ(QuantizeBf16(1.0f + 0x1.0p-7f + 0x1.0p-8f), 1.0f + 0x1.0p-6f);
+  // Just above a midpoint rounds up.
+  EXPECT_EQ(QuantizeBf16(1.0f + 0x1.2p-8f), 1.0f + 0x1.0p-7f);
+}
+
+TEST(Bf16Test, NanStaysNanAndOverflowRounds) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Bf16ToFloat(FloatToBf16(nan))));
+  // A NaN whose top-16 truncation would decay to infinity keeps a forced
+  // mantissa bit instead (0x7f800001 -> truncates to 0x7f80 -> must not).
+  float sneaky;
+  const std::uint32_t sneaky_bits = 0x7f800001u;
+  std::memcpy(&sneaky, &sneaky_bits, sizeof(sneaky));
+  EXPECT_TRUE(std::isnan(Bf16ToFloat(FloatToBf16(sneaky))));
+  // Finite values above bf16's max finite (0x7f7f ~= 3.3895e38) plus half
+  // a ulp round to bf16 infinity; just below it they stay finite.
+  EXPECT_TRUE(std::isinf(Bf16ToFloat(FloatToBf16(3.3999e38f))));
+  EXPECT_FALSE(std::isinf(Bf16ToFloat(FloatToBf16(3.38e38f))));
+}
+
+TEST(Bf16Test, RelativeErrorBoundedAndIdempotent) {
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<float>(rng.Uniform(-60000.0, 60000.0));
+    const float q = QuantizeBf16(v);
+    // 8-bit significand: relative error <= 2^-8.
+    EXPECT_LE(std::abs(q - v), std::abs(v) * 0x1.0p-8f + 1e-12f) << v;
+    EXPECT_EQ(QuantizeBf16(q), q);
+  }
+}
+
+// Every bf16 encoding survives widen+narrow bit-for-bit — including NaNs,
+// whose low 7 mantissa bits sit above the truncation point and so come
+// back unchanged.
+TEST(Bf16Test, ExhaustiveEncodingRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    EXPECT_EQ(FloatToBf16(Bf16ToFloat(h)), h) << std::hex << bits;
   }
 }
 

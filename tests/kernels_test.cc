@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <vector>
 
+#include "comm/buffer_pool.h"
+#include "common/half.h"
 #include "common/rng.h"
 
 namespace dear::comm {
@@ -23,12 +26,19 @@ bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
   return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
 
+// Scoped fallback to the scalar conversion kernels, so vector-vs-scalar
+// bitwise tests restore the default dispatch even on assertion failure.
+struct ScalarGuard {
+  ScalarGuard() { kernels::internal::ForceScalarForTest(true); }
+  ~ScalarGuard() { kernels::internal::ForceScalarForTest(false); }
+};
+
 // The unrolled kernels must be bitwise identical to the scalar ApplyOp
-// reference for every op and for every tail length (n % 4 in 0..3).
+// reference for every op and for every tail length (n % 8 in 0..7).
 TEST(KernelsTest, ReduceIntoMatchesScalarReferenceBitwise) {
   for (const ReduceOp op :
        {ReduceOp::kSum, ReduceOp::kAvg, ReduceOp::kMax, ReduceOp::kMin}) {
-    for (const std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 1001u}) {
+    for (const std::size_t n : {0u, 1u, 3u, 4u, 7u, 8u, 9u, 64u, 1001u}) {
       std::vector<float> acc = RandomVec(11, n);
       std::vector<float> ref = acc;
       const std::vector<float> in = RandomVec(22, n);
@@ -74,9 +84,150 @@ TEST(KernelsTest, MaxMinHandleEqualValuesLikeReference) {
 
 TEST(KernelsTest, EmptySpansAreNoOps) {
   std::vector<float> empty;
-  kernels::ReduceInto(ReduceOp::kSum, empty, {});
-  kernels::ReduceIntoScaled(empty, {}, 0.5f);
+  kernels::ReduceInto(ReduceOp::kSum, empty, std::span<const float>());
+  kernels::ReduceIntoScaled(empty, std::span<const float>(), 0.5f);
   kernels::Scale(empty, 0.5f);
+}
+
+// ---- Mixed-precision wire kernels ----------------------------------------
+
+// Pack to a narrow wire dtype followed by UnpackInto must equal the scalar
+// quantize reference exactly: fp16/bf16 conversion loses precision in one
+// well-defined rounding (RNE), never two.
+TEST(KernelsTest, PackUnpackRoundTripEqualsScalarQuantize) {
+  BufferPool pool;
+  for (const DType dtype : {DType::kF16, DType::kBF16}) {
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 501u}) {
+      const std::vector<float> src = RandomVec(55, n);
+      PooledBuffer buf = pool.Acquire(n, dtype);
+      kernels::Pack(dtype, buf.wire_data(), src);
+      std::vector<float> out(n);
+      kernels::UnpackInto(out, buf);
+      std::vector<float> ref = src;
+      for (float& x : ref) {
+        x = dtype == DType::kF16 ? QuantizeFp16(x) : QuantizeBf16(x);
+      }
+      EXPECT_TRUE(BitwiseEqual(out, ref))
+          << DTypeName(dtype) << " n=" << n;
+    }
+  }
+}
+
+// fp32 pack is a straight memcpy: bitwise round trip, no rounding at all.
+TEST(KernelsTest, Fp32PackIsBitwiseIdentity) {
+  BufferPool pool;
+  const std::vector<float> src = RandomVec(66, 777);
+  PooledBuffer buf = pool.Acquire(src.size(), DType::kF32);
+  kernels::Pack(DType::kF32, buf.wire_data(), src);
+  std::vector<float> out(src.size());
+  kernels::UnpackInto(out, buf);
+  EXPECT_TRUE(BitwiseEqual(out, src));
+}
+
+// The F16C vector paths must be bitwise identical to the portable scalar
+// conversions for all finite inputs — pack, unpack, and every fused
+// convert+reduce op, across tail lengths around the 8-wide stride.
+TEST(KernelsTest, VectorConversionPathsMatchScalarBitwise) {
+  BufferPool pool;
+  for (const DType dtype : {DType::kF16, DType::kBF16}) {
+    for (const std::size_t n :
+         {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 64u, 1001u}) {
+      const std::vector<float> src = RandomVec(77, n);
+      PooledBuffer vec_buf = pool.Acquire(n, dtype);
+      PooledBuffer sc_buf = pool.Acquire(n, dtype);
+      kernels::Pack(dtype, vec_buf.wire_data(), src);
+      {
+        ScalarGuard scalar;
+        kernels::Pack(dtype, sc_buf.wire_data(), src);
+      }
+      if (n > 0) {
+        EXPECT_EQ(std::memcmp(vec_buf.wire_data(), sc_buf.wire_data(),
+                              vec_buf.wire_bytes()),
+                  0)
+            << "pack " << DTypeName(dtype) << " n=" << n;
+      }
+
+      std::vector<float> vec_out(n), sc_out(n);
+      kernels::UnpackInto(vec_out, vec_buf);
+      {
+        ScalarGuard scalar;
+        kernels::UnpackInto(sc_out, vec_buf);
+      }
+      EXPECT_TRUE(BitwiseEqual(vec_out, sc_out))
+          << "unpack " << DTypeName(dtype) << " n=" << n;
+
+      for (const ReduceOp op :
+           {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+        std::vector<float> vec_acc = RandomVec(88, n);
+        std::vector<float> sc_acc = vec_acc;
+        kernels::ReduceInto(op, vec_acc, vec_buf);
+        {
+          ScalarGuard scalar;
+          kernels::ReduceInto(op, sc_acc, vec_buf);
+        }
+        EXPECT_TRUE(BitwiseEqual(vec_acc, sc_acc))
+            << "reduce op=" << static_cast<int>(op) << " "
+            << DTypeName(dtype) << " n=" << n;
+      }
+
+      std::vector<float> vec_acc = RandomVec(99, n);
+      std::vector<float> sc_acc = vec_acc;
+      kernels::ReduceIntoScaled(vec_acc, vec_buf, 1.0f / 3.0f);
+      {
+        ScalarGuard scalar;
+        kernels::ReduceIntoScaled(sc_acc, vec_buf, 1.0f / 3.0f);
+      }
+      EXPECT_TRUE(BitwiseEqual(vec_acc, sc_acc))
+          << "reduce-scaled " << DTypeName(dtype) << " n=" << n;
+    }
+  }
+}
+
+// Fused convert+reduce must equal unpack-to-fp32 followed by the fp32
+// reduce, bitwise: both compute fl(op(acc, upconvert(wire))) per element.
+TEST(KernelsTest, FusedConvertReduceEqualsUnpackThenReduce) {
+  BufferPool pool;
+  for (const DType dtype : {DType::kF16, DType::kBF16}) {
+    const std::size_t n = 333;
+    const std::vector<float> src = RandomVec(111, n);
+    PooledBuffer buf = pool.Acquire(n, dtype);
+    kernels::Pack(dtype, buf.wire_data(), src);
+    std::vector<float> widened(n);
+    kernels::UnpackInto(widened, buf);
+    for (const ReduceOp op :
+         {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+      std::vector<float> fused = RandomVec(222, n);
+      std::vector<float> staged = fused;
+      kernels::ReduceInto(op, fused, buf);
+      kernels::ReduceInto(op, staged, std::span<const float>(widened));
+      EXPECT_TRUE(BitwiseEqual(fused, staged))
+          << "op=" << static_cast<int>(op) << " " << DTypeName(dtype);
+    }
+    std::vector<float> fused = RandomVec(333, n);
+    std::vector<float> staged = fused;
+    kernels::ReduceIntoScaled(fused, buf, 0.25f);
+    kernels::ReduceIntoScaled(staged, std::span<const float>(widened), 0.25f);
+    EXPECT_TRUE(BitwiseEqual(fused, staged)) << DTypeName(dtype);
+  }
+}
+
+// kAvg folds through the scaled path at the collective layer; the
+// PooledBuffer ReduceInto only accepts the non-averaging ops.
+TEST(KernelsTest, PooledFp32ReduceMatchesSpanReduce) {
+  BufferPool pool;
+  const std::size_t n = 257;
+  const std::vector<float> src = RandomVec(444, n);
+  PooledBuffer buf = pool.Acquire(n, DType::kF32);
+  kernels::Pack(DType::kF32, buf.wire_data(), src);
+  for (const ReduceOp op :
+       {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+    std::vector<float> pooled = RandomVec(555, n);
+    std::vector<float> spanned = pooled;
+    kernels::ReduceInto(op, pooled, buf);
+    kernels::ReduceInto(op, spanned, std::span<const float>(src));
+    EXPECT_TRUE(BitwiseEqual(pooled, spanned))
+        << "op=" << static_cast<int>(op);
+  }
 }
 
 }  // namespace

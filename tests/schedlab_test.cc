@@ -163,6 +163,80 @@ TEST(SchedLab, PropertySuiteHandlesThreeRanks) {
   ASSERT_TRUE(report.ok) << report.failure;
 }
 
+TEST(SchedLab, LossyDtypeDecoupledEquivalenceStaysZeroUlp) {
+  // The paper's decoupling claim survives a lossy wire: the fused ring IS
+  // the decoupled pair, so fp16/bf16 rounding lands on identical bits on
+  // both sides — the 0-ULP bound is dtype-independent.
+  for (const comm::DType dtype : {comm::DType::kF16, comm::DType::kBF16}) {
+    PropertyOptions options;
+    options.world = 2;
+    options.elems = 16;
+    options.wire_dtype = dtype;
+    for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+      RandomWalkPicker picker(seed);
+      const PropertyReport report = CheckDecoupledEquivalence(picker, options);
+      ASSERT_TRUE(report.ok)
+          << "dtype " << static_cast<int>(dtype) << " seed " << seed << ": "
+          << report.failure;
+    }
+  }
+}
+
+TEST(SchedLab, LossyDtypePropertySuitePassesAndIsScheduleInvariant) {
+  // Full suite (18-collective sweep with quantized copy-oracles +
+  // eps-scaled reduction tolerance, training step under compression)
+  // under fuzzed schedules. Digests must still be schedule-invariant:
+  // quantization is deterministic, so a lossy wire moves WHICH bits the
+  // results hold but never lets the thread schedule pick them.
+  for (const comm::DType dtype : {comm::DType::kF16, comm::DType::kBF16}) {
+    PropertyOptions options;
+    options.world = 2;
+    options.elems = 16;
+    options.wire_dtype = dtype;
+    const int seeds = testenv::FuzzSchedules(/*fallback=*/2);
+    std::set<std::uint64_t> digests;
+    for (int i = 0; i < seeds; ++i) {
+      const auto seed = 9000ULL + static_cast<std::uint64_t>(i);
+      const PropertyReport report = RunPropertySuite(seed, options);
+      ASSERT_TRUE(report.ok)
+          << "dtype " << static_cast<int>(dtype) << " seed " << seed << ": "
+          << report.failure;
+      digests.insert(report.result_digest);
+    }
+    EXPECT_EQ(digests.size(), 1U)
+        << "schedule changed a lossy-dtype result bit";
+  }
+}
+
+TEST(SchedLab, LossyDtypeThreeRankSweep) {
+  // Odd world exercises the non-divisible chunk paths of the quantized
+  // copy-collective oracles (uneven retained regions).
+  for (const comm::DType dtype : {comm::DType::kF16, comm::DType::kBF16}) {
+    PropertyOptions options;
+    options.world = 3;
+    options.elems = 10;
+    options.wire_dtype = dtype;
+    RandomWalkPicker picker(7);
+    const PropertyReport report = CheckAllCollectives(picker, options);
+    ASSERT_TRUE(report.ok)
+        << "dtype " << static_cast<int>(dtype) << ": " << report.failure;
+  }
+}
+
+TEST(SchedLab, Fp32DigestsUnaffectedByDtypeField) {
+  // The wire_dtype knob at its kF32 default must be a perfect no-op:
+  // same digest as a suite run that never mentions the field.
+  PropertyOptions options;
+  options.world = 2;
+  options.elems = 16;
+  const PropertyReport baseline = RunPropertySuite(2026, options);
+  options.wire_dtype = comm::DType::kF32;
+  const PropertyReport explicit_f32 = RunPropertySuite(2026, options);
+  ASSERT_TRUE(baseline.ok) << baseline.failure;
+  ASSERT_TRUE(explicit_f32.ok) << explicit_f32.failure;
+  EXPECT_EQ(baseline.result_digest, explicit_f32.result_digest);
+}
+
 TEST(SchedLab, MutationSelfCheckDetectsEveryFaultKind) {
   const int budget = testenv::FuzzSchedules(/*fallback=*/8);
   const struct {

@@ -30,6 +30,19 @@ Rules (suppress one occurrence with `// lint: allow(<rule>)` on the line):
                       steady_clock::now() in the transport adds an
                       unbudgeted ~35 ns vDSO call and a second time base
                       the post-hoc trace merger cannot align.
+  payload-dtype-access
+                      (src/comm only) Wire payloads are dtype-tagged slabs
+                      (comm::PooledBuffer); a 2-byte payload holds raw
+                      binary16/bfloat16 encodings, not floats. Only the
+                      fused kernels (kernels.cc) may interpret those
+                      encodings (u16()) and only the pack path
+                      (transport.cc) may take the untyped slab pointer
+                      (wire_data()); everything else must stay
+                      dtype-generic through kernels::Pack / UnpackInto /
+                      ReduceInto so a new wire format cannot be silently
+                      misread as floats. Element access on a payload
+                      (.data()/.span()/.begin()/.end()/.u16()/
+                      .wire_data()) outside the approved files is flagged.
 
 Usage: python3 tools/lint.py [--root DIR] [paths...]
 Exits 1 if any finding survives suppression, 0 on a clean tree.
@@ -143,6 +156,21 @@ USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 STEADY_CLOCK_DIR = "src/comm/"
 STEADY_CLOCK_RE = re.compile(r"steady_clock\s*::\s*now\s*\(")
 
+# Directory whose payload element access is dtype-policed, and the files
+# allowed to touch payload storage directly: the accessor definitions
+# (buffer_pool.h), the encoding interpreters (kernels.cc), and the pack
+# path (transport.cc).
+PAYLOAD_DTYPE_DIR = "src/comm/"
+PAYLOAD_DTYPE_ALLOWED = (
+    "src/comm/buffer_pool.h",
+    "src/comm/kernels.cc",
+    "src/comm/transport.cc",
+)
+PAYLOAD_DTYPE_RE = re.compile(
+    r"\bpayload\s*(?:\.|->)\s*(?:data|span|begin|end)\s*\("  # fp32-only views
+    r"|(?:\.|->)\s*(?:u16|wire_data)\s*\("  # raw wire encodings, any object
+)
+
 # Directory whose payloads must ride comm::PooledBuffer, never raw vectors.
 RAW_PAYLOAD_DIR = "src/comm/"
 RAW_PAYLOAD_RE = re.compile(
@@ -249,6 +277,22 @@ class Linter:
                         "zero-copy slabs)",
                         raw_line(i))
 
+        # Rule: payload-dtype-access (transport layer only, approved files
+        # exempt).
+        norm = path.replace(os.sep, "/")
+        if PAYLOAD_DTYPE_DIR in norm and not any(
+            norm.endswith(a) for a in PAYLOAD_DTYPE_ALLOWED
+        ):
+            for i, line in enumerate(lines):
+                if PAYLOAD_DTYPE_RE.search(line):
+                    self.report(
+                        path, i + 1, "payload-dtype-access",
+                        "dtype-blind payload element access — wire "
+                        "encodings belong to the fused kernels "
+                        "(comm/kernels.h); go dtype-generic via "
+                        "kernels::Pack/UnpackInto/ReduceInto",
+                        raw_line(i))
+
         # Rule: steady-clock-in-comm (transport layer only).
         if STEADY_CLOCK_DIR in path.replace(os.sep, "/"):
             for i, line in enumerate(lines):
@@ -300,8 +344,14 @@ struct Bad {
   }
   std::vector<float> payload;  // finding: raw-payload-buffer
   void CopyOut(const Message& m) {
-    std::vector<float> copy(m.payload.begin(), m.payload.end());  // finding: raw-payload-buffer
+    std::vector<float> copy(m.payload.begin(), m.payload.end());  // finding: raw-payload-buffer, payload-dtype-access
     (void)copy;
+  }
+  void Peek(const Message& m) {
+    auto view = m.payload.span();                 // finding: payload-dtype-access
+    const std::uint16_t* bits = m.payload.u16();  // finding: payload-dtype-access
+    void* slab = m.payload.wire_data();           // finding: payload-dtype-access
+    (void)view; (void)bits; (void)slab;
   }
   void Stamp() {
     auto t = std::chrono::steady_clock::now();  // finding: steady-clock-in-comm
@@ -316,6 +366,7 @@ SELFTEST_EXPECT = {
     "atomic-memory-order": 2,
     "tag-magic-bits": 1,
     "raw-payload-buffer": 2,
+    "payload-dtype-access": 4,  # begin/end copy line + span + u16 + wire_data
     "steady-clock-in-comm": 1,
 }
 
